@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/prismdb/prismdb/workload"
+)
+
+// tinyScale keeps harness tests fast.
+func tinyScale() Scale {
+	return Scale{Keys: 3000, Ops: 4000, WarmupOps: 2000, ValueSize: 512}
+}
+
+func TestRunPrism(t *testing.T) {
+	wl, _ := workload.YCSB('A', 3000, 512, 0.99, 1)
+	res, err := Run(Setup{System: SysPrism, NVMFraction: 1.0 / 6}, tinyScale(), wl, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputKops <= 0 {
+		t.Fatal("no throughput")
+	}
+	if res.ReadHist.Count() == 0 || res.UpdateHist.Count() == 0 {
+		t.Fatal("histograms empty")
+	}
+	if res.Prism == nil || res.LSM != nil {
+		t.Fatal("engine stats mis-wired")
+	}
+	if res.Prism.Compactions == 0 {
+		t.Fatal("prism never compacted at this scale")
+	}
+	if res.CostPerGB <= 0.1 || res.CostPerGB >= 2.5 {
+		t.Fatalf("het cost %f out of band", res.CostPerGB)
+	}
+}
+
+func TestRunEverySystem(t *testing.T) {
+	wl, _ := workload.YCSB('A', 3000, 512, 0.99, 1)
+	for _, sys := range []System{SysPrism, SysRocks, SysRocksL2C, SysRocksRA, SysMutant, SysSpanDB} {
+		setup := Setup{System: sys, NVMFraction: 1.0 / 6}
+		res, err := Run(setup, tinyScale(), wl, sys.String())
+		if err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+		if res.ThroughputKops <= 0 {
+			t.Fatalf("%v: zero throughput", sys)
+		}
+	}
+}
+
+func TestRunSingleTier(t *testing.T) {
+	wl, _ := workload.YCSB('B', 3000, 512, 0.99, 1)
+	for _, tier := range []TierKind{TierNVM, TierTLC, TierQLC} {
+		res, err := Run(Setup{System: SysRocks, SingleTier: tier}, tinyScale(), wl, string(tier))
+		if err != nil {
+			t.Fatalf("%s: %v", tier, err)
+		}
+		if res.ThroughputKops <= 0 {
+			t.Fatalf("%s: zero throughput", tier)
+		}
+	}
+}
+
+func TestSingleTierOrdering(t *testing.T) {
+	// Table 2's first-order shape: NVM must beat QLC on the same engine.
+	wl, _ := workload.YCSB('A', 3000, 512, 0.8, 1)
+	nvm, err := Run(Setup{System: SysRocks, SingleTier: TierNVM}, tinyScale(), wl, "nvm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qlc, err := Run(Setup{System: SysRocks, SingleTier: TierQLC}, tinyScale(), wl, "qlc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nvm.ThroughputKops <= qlc.ThroughputKops {
+		t.Fatalf("NVM %f not faster than QLC %f", nvm.ThroughputKops, qlc.ThroughputKops)
+	}
+}
+
+func TestScansWorkThroughHarness(t *testing.T) {
+	wl, _ := workload.YCSB('E', 2000, 256, 0.99, 1)
+	sc := Scale{Keys: 2000, Ops: 1500, WarmupOps: 500, ValueSize: 256}
+	for _, sys := range []System{SysPrism, SysRocks} {
+		res, err := Run(Setup{System: sys, NVMFraction: 1.0 / 6}, sc, wl, "scan")
+		if err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+		if res.ScanHist.Count() == 0 {
+			t.Fatalf("%v: no scans recorded", sys)
+		}
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	if c := costPerGB(Setup{SingleTier: TierNVM}); c != 2.5 {
+		t.Fatalf("nvm cost %f", c)
+	}
+	if c := costPerGB(Setup{SingleTier: TierQLC}); c != 0.1 {
+		t.Fatalf("qlc cost %f", c)
+	}
+	if c := costPerGB(Setup{SingleTier: TierTLC}); c != 0.31 {
+		t.Fatalf("tlc cost %f", c)
+	}
+	// het10: 0.11·2.5 + 0.89·0.1 ≈ 0.364 (≈ the paper's $0.34–0.36/GB).
+	c := costPerGB(Setup{NVMFraction: 0.11})
+	if c < 0.35 || c > 0.38 {
+		t.Fatalf("het10 cost %f", c)
+	}
+}
+
+func TestScaleMul(t *testing.T) {
+	s := DefaultScale().Mul(2)
+	d := DefaultScale()
+	if s.Keys != d.Keys*2 || s.Ops != d.Ops*2 {
+		t.Fatalf("Mul: %+v", s)
+	}
+	if s.ValueSize != d.ValueSize {
+		t.Fatal("Mul must not scale object size")
+	}
+}
+
+func TestSystemStrings(t *testing.T) {
+	want := map[System]string{
+		SysPrism: "prismdb", SysRocks: "rocksdb", SysRocksL2C: "rocksdb-l2c",
+		SysRocksRA: "rocksdb-RA", SysMutant: "mutant", SysSpanDB: "spandb",
+	}
+	for sys, name := range want {
+		if sys.String() != name {
+			t.Fatalf("%d -> %q", sys, sys.String())
+		}
+	}
+	if System(99).String() != "unknown" {
+		t.Fatal("unknown system string")
+	}
+}
+
+func TestTable1Prints(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"NVM", "QLC", "$2.50", "$0.10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig12LifetimeModel(t *testing.T) {
+	sc := Scale{Keys: 3000, Ops: 3000, WarmupOps: 1000, ValueSize: 512}
+	var buf bytes.Buffer
+	years, err := Fig12(&buf, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read-dominated UDB must outlive write-heavy UP2X (Fig 12's story).
+	if years["UDB"] <= years["UP2X"] {
+		t.Fatalf("UDB %f years not > UP2X %f years", years["UDB"], years["UP2X"])
+	}
+	for name, y := range years {
+		if y <= 0 || y > 10 {
+			t.Fatalf("%s lifetime %f out of band", name, y)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§7). Each benchmark regenerates its experiment at a
+// reduced scale and reports the headline metric(s) via b.ReportMetric, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation. Use
+// cmd/prismbench for full-size runs and readable tables.
+package prismdb_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"github.com/prismdb/prismdb/bench"
+	"github.com/prismdb/prismdb/workload"
+)
+
+// benchScale keeps every experiment's benchmark in the seconds range.
+func benchScale() bench.Scale {
+	return bench.Scale{Keys: 8000, Ops: 10000, WarmupOps: 5000, ValueSize: 1024}
+}
+
+func BenchmarkTable1Devices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2SingleVsMultiTier(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Table2(io.Discard, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper: het multi-tier lands between single-tier QLC and NVM.
+		b.ReportMetric(res[0].ThroughputKops, "nvm-Kops")
+		b.ReportMetric(res[1].ThroughputKops, "qlc-Kops")
+		b.ReportMetric(res[2].ThroughputKops, "het-Kops")
+		b.ReportMetric(res[3].ThroughputKops, "prism-Kops")
+	}
+}
+
+func BenchmarkFig2LSMBreakdown(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig2(io.Discard, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := res.LSM
+		var flashReads int64
+		if n := len(st.ReadsPerLevel); n > 0 {
+			flashReads = st.ReadsPerLevel[n-1]
+		}
+		total := st.ReadsMemtable + st.ReadsBlockCache + st.ReadsMiss
+		for _, v := range st.ReadsPerLevel {
+			total += v
+		}
+		if total > 0 {
+			b.ReportMetric(100*float64(flashReads)/float64(total), "flash-read-%")
+		}
+	}
+}
+
+func BenchmarkFig5ClockDistributions(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		dists, err := bench.Fig5(io.Discard, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(dists["ycsb-a"][3], "ycsbA-clk3-%")
+		b.ReportMetric(dists["ycsb-f"][3], "ycsbF-clk3-%")
+	}
+}
+
+func BenchmarkFig6MSCPolicies(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig6(io.Discard, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res["approx-MSC"].ThroughputKops, "approx-Kops")
+		b.ReportMetric(res["precise-MSC"].ThroughputKops, "precise-Kops")
+		b.ReportMetric(float64(res["random-selection"].FlashWritten)/(1<<20), "random-flashMB")
+		b.ReportMetric(float64(res["precise-MSC"].FlashWritten)/(1<<20), "precise-flashMB")
+	}
+}
+
+func BenchmarkFig9CostSweep(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig9(io.Discard, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res["prismdb-het10"].ThroughputKops, "prism-het10-Kops")
+		b.ReportMetric(res["rocksdb-tlc"].ThroughputKops, "rocksdb-tlc-Kops")
+	}
+}
+
+func BenchmarkFig10YCSBSweep(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig10(io.Discard, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res["prismdb"]['B'].ThroughputKops, "prism-B-Kops")
+		b.ReportMetric(res["rocksdb"]['B'].ThroughputKops, "rocksdb-B-Kops")
+	}
+}
+
+func BenchmarkFig11SkewSweep(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig11(io.Discard, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res["prismdb"]["0.99"].ReadHist.Quantile(0.5))/1000, "prism-p50-µs")
+		b.ReportMetric(float64(res["rocksdb"]["0.99"].ReadHist.Quantile(0.5))/1000, "rocksdb-p50-µs")
+	}
+}
+
+func BenchmarkFig12Lifetime(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		years, err := bench.Fig12(io.Discard, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(years["UDB"], "UDB-years")
+		b.ReportMetric(years["UP2X"], "UP2X-years")
+	}
+}
+
+func BenchmarkFig13Fsync(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig13(io.Discard, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res["prismdb"]['A'].ThroughputKops, "prism-Kops")
+		b.ReportMetric(res["rocksdb"]['A'].ThroughputKops, "rocksdb-fsync-Kops")
+	}
+}
+
+func BenchmarkFig14aReadCDF(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig14a(io.Discard, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res["prismdb"].ReadHist.Quantile(0.5))/1000, "prism-p50-µs")
+		b.ReportMetric(float64(res["rocksdb"].ReadHist.Quantile(0.5))/1000, "rocksdb-p50-µs")
+	}
+}
+
+func BenchmarkFig14bPromotions(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.Fig14b(io.Discard, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prom := pts["prom"]
+		noprom := pts["noprom"]
+		if len(prom) > 0 && len(noprom) > 0 {
+			b.ReportMetric(prom[len(prom)-1].NVMReadRatio, "prom-nvm-ratio")
+			b.ReportMetric(noprom[len(noprom)-1].NVMReadRatio, "noprom-nvm-ratio")
+		}
+	}
+}
+
+func BenchmarkFig14cPinningThreshold(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig14c(io.Discard, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res["95/5"][90].ThroughputKops, "read-heavy@90%-Kops")
+		b.ReportMetric(res["5/95"][1].ThroughputKops, "write-heavy@1%-Kops")
+	}
+}
+
+func BenchmarkFig14dPartitionScaling(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig14d(io.Discard, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res[1].ThroughputKops, "p1-Kops")
+		b.ReportMetric(res[8].ThroughputKops, "p8-Kops")
+	}
+}
+
+func BenchmarkTable5Twitter(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Table5(io.Discard, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res["cluster51"]["prismdb"].ThroughputKops, "c51-prism-Kops")
+		b.ReportMetric(res["cluster51"]["rocksdb"].ThroughputKops, "c51-rocksdb-Kops")
+	}
+}
+
+// BenchmarkEngineOps measures raw engine operation cost outside the
+// experiment harness (microbenchmark of the public API).
+func BenchmarkEngineOps(b *testing.B) {
+	wl, _ := workload.YCSB('A', 4000, 512, 0.99, 3)
+	gen := workload.NewGenerator(wl)
+	setup := bench.Setup{System: bench.SysPrism, NVMFraction: 1.0 / 6}
+	sc := bench.Scale{Keys: 4000, Ops: 1, WarmupOps: 1, ValueSize: 512}
+	res, err := bench.Run(setup, sc, wl, "micro")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = res
+	_ = gen
+	b.ReportMetric(res.ThroughputKops, "Kops")
+}
+
+// --- Ablation benchmarks for the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationPowerK sweeps the power-of-k candidate count (§5.3; the
+// paper picks k=8 as the throughput/flash-I/O sweet spot).
+func BenchmarkAblationPowerK(b *testing.B) {
+	sc := benchScale()
+	wl, _ := workload.YCSB('A', sc.Keys, sc.ValueSize, 0.99, 1)
+	for _, k := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Run(bench.Setup{
+					System: bench.SysPrism, NVMFraction: 1.0 / 6, PowerK: k,
+				}, sc, wl, "ablation")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.ThroughputKops, "Kops")
+				b.ReportMetric(float64(res.FlashWritten)/(1<<20), "flashMB")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRangeFiles sweeps i, the SSTs per compaction key range
+// (§5.2: higher i suits workloads with small SSTs or even key spread).
+func BenchmarkAblationRangeFiles(b *testing.B) {
+	sc := benchScale()
+	wl, _ := workload.YCSB('A', sc.Keys, sc.ValueSize, 0.99, 1)
+	for _, rf := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("i=%d", rf), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Run(bench.Setup{
+					System: bench.SysPrism, NVMFraction: 1.0 / 6, RangeFiles: rf,
+				}, sc, wl, "ablation")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.ThroughputKops, "Kops")
+				b.ReportMetric(float64(res.FlashWritten)/(1<<20), "flashMB")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTrackerSize sweeps the tracker's coverage of the key
+// space (the paper uses 10–20%).
+func BenchmarkAblationTrackerSize(b *testing.B) {
+	sc := benchScale()
+	wl, _ := workload.YCSB('B', sc.Keys, sc.ValueSize, 0.99, 1)
+	for _, frac := range []int{20, 10, 5} {
+		b.Run(fmt.Sprintf("tracker=%d%%", frac), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Run(bench.Setup{
+					System: bench.SysPrism, NVMFraction: 1.0 / 6,
+					TrackerFraction: float64(frac) / 100,
+				}, sc, wl, "ablation")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.ThroughputKops, "Kops")
+				if res.Prism != nil {
+					b.ReportMetric(res.Prism.NVMReadRatio(), "nvm-read-ratio")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+// Sweep the NVM fraction of a two-tier PrismDB deployment and print the
+// cost-vs-throughput Pareto curve (the shape of Fig 9): how much faster does
+// the database get per extra dollar of Optane?
+//
+// Usage: go run ./examples/tieringexplorer [-keys 15000] [-ops 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/prismdb/prismdb"
+	"github.com/prismdb/prismdb/workload"
+)
+
+func main() {
+	keys := flag.Int("keys", 15000, "dataset keys")
+	ops := flag.Int("ops", 20000, "ops per configuration")
+	theta := flag.Float64("theta", 0.99, "zipfian parameter")
+	flag.Parse()
+
+	fmt.Println("NVM%   $/GB    Kops/s   p50-read   p99-read   reads from fast tiers")
+	for _, frac := range []float64{0.05, 0.11, 0.20, 0.35, 0.50} {
+		tput, p50, p99, fastRatio := run(*keys, *ops, *theta, frac)
+		costPerGB := frac*2.5 + (1-frac)*0.1
+		fmt.Printf("%4.0f%%  $%.2f   %6.1f   %8s   %8s   %.0f%%\n",
+			frac*100, costPerGB, tput, p50, p99, fastRatio*100)
+	}
+	fmt.Println("\n(device prices: NVM $2.50/GB, QLC $0.10/GB — Table 1 of the paper)")
+}
+
+func run(keys, ops int, theta, frac float64) (tputK float64, p50, p99 string, fastRatio float64) {
+	wl, err := workload.YCSB('A', keys, 1024, theta, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := prismdb.Open(prismdb.RecommendedConfig(prismdb.TierSpec{
+		TotalBytes:  int64(keys) * 1088,
+		NVMFraction: frac,
+		DatasetKeys: keys,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := workload.NewGenerator(wl)
+	for i := 0; i < keys; i++ {
+		if _, err := db.Put(gen.LoadKey(i), gen.LoadValue(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.AdvanceAll()
+	db.ResetStats()
+	start := db.Elapsed()
+
+	var readLats []int64
+	for i := 0; i < ops; i++ {
+		op := gen.Next()
+		if op.Kind == workload.OpRead {
+			_, _, lat, err := db.Get(op.Key)
+			if err != nil {
+				log.Fatal(err)
+			}
+			readLats = append(readLats, int64(lat))
+		} else {
+			if _, err := db.Put(op.Key, op.Value); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	elapsed := db.Elapsed() - start
+	st := db.Stats()
+	tputK = float64(ops) / elapsed.Seconds() / 1000
+
+	// Exact quantiles over the collected latencies.
+	for i := 1; i < len(readLats); i++ {
+		for j := i; j > 0 && readLats[j] < readLats[j-1]; j-- {
+			readLats[j], readLats[j-1] = readLats[j-1], readLats[j]
+		}
+	}
+	q := func(f float64) string {
+		if len(readLats) == 0 {
+			return "-"
+		}
+		idx := int(f * float64(len(readLats)))
+		if idx >= len(readLats) {
+			idx = len(readLats) - 1
+		}
+		return fmt.Sprintf("%.0fµs", float64(readLats[idx])/1000)
+	}
+	return tputK, q(0.5), q(0.99), st.NVMReadRatio()
+}

@@ -1,0 +1,112 @@
+// Run a YCSB workload against PrismDB on tiered storage and report
+// throughput, latency percentiles, and tier behaviour — a miniature version
+// of the paper's §7.2 sweep for a single workload.
+//
+// Usage: go run ./examples/ycsb [-workload A] [-keys 20000] [-theta 0.99]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/prismdb/prismdb"
+	"github.com/prismdb/prismdb/workload"
+)
+
+func main() {
+	wName := flag.String("workload", "A", "YCSB workload (A-F)")
+	keys := flag.Int("keys", 20000, "dataset keys")
+	ops := flag.Int("ops", 40000, "operations to run")
+	theta := flag.Float64("theta", 0.99, "zipfian parameter")
+	valueSize := flag.Int("value", 1024, "object size in bytes")
+	flag.Parse()
+
+	wl, err := workload.YCSB((*wName)[0], *keys, *valueSize, *theta, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := prismdb.Open(prismdb.RecommendedConfig(prismdb.TierSpec{
+		TotalBytes:  int64(*keys) * int64(*valueSize+64),
+		NVMFraction: 1.0 / 6, // the paper's default 1:5 NVM:QLC split
+		DatasetKeys: *keys,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("loading %d keys of %dB...\n", *keys, *valueSize)
+	gen := workload.NewGenerator(wl)
+	for i := 0; i < *keys; i++ {
+		if _, err := db.Put(gen.LoadKey(i), gen.LoadValue(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.ResetStats()
+	start := db.Elapsed()
+
+	fmt.Printf("running %d ops of %s (zipf %.2f)...\n", *ops, wl.Name, *theta)
+	var readLats, writeLats []time.Duration
+	for i := 0; i < *ops; i++ {
+		op := gen.Next()
+		switch op.Kind {
+		case workload.OpRead:
+			_, _, lat, err := db.Get(op.Key)
+			if err != nil {
+				log.Fatal(err)
+			}
+			readLats = append(readLats, lat)
+		case workload.OpUpdate, workload.OpInsert:
+			lat, err := db.Put(op.Key, op.Value)
+			if err != nil {
+				log.Fatal(err)
+			}
+			writeLats = append(writeLats, lat)
+		case workload.OpScan:
+			if _, _, err := db.Scan(op.Key, op.ScanLen); err != nil {
+				log.Fatal(err)
+			}
+		case workload.OpRMW:
+			if _, _, _, err := db.Get(op.Key); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := db.Put(op.Key, op.Value); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	elapsed := db.Elapsed() - start
+	st := db.Stats()
+	fmt.Printf("\nthroughput: %.1f Kops/s (virtual time %.2fs)\n",
+		float64(*ops)/elapsed.Seconds()/1000, elapsed.Seconds())
+	fmt.Printf("read  p50/p99: %v / %v\n", quantile(readLats, 0.5), quantile(readLats, 0.99))
+	fmt.Printf("write p50/p99: %v / %v\n", quantile(writeLats, 0.5), quantile(writeLats, 0.99))
+	total := st.GetDRAM + st.GetNVM + st.GetFlash
+	if total > 0 {
+		fmt.Printf("reads served: %.0f%% DRAM, %.0f%% NVM, %.0f%% flash\n",
+			100*float64(st.GetDRAM)/float64(total),
+			100*float64(st.GetNVM)/float64(total),
+			100*float64(st.GetFlash)/float64(total))
+	}
+	fmt.Printf("compactions: %d (%d demoted, %d promoted, %d read-triggered)\n",
+		st.Compactions, st.Demoted, st.Promoted, st.ReadTriggeredComps)
+}
+
+func quantile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	for i := 1; i < len(sorted); i++ { // insertion sort is fine at this scale
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

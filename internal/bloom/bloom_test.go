@@ -1,0 +1,124 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContain([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+	if f.Len() != 1000 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f := New(10000, 0.01)
+	for i := 0; i < 10000; i++ {
+		f.Add([]byte(fmt.Sprintf("present-%d", i)))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.4f, want ≲0.01", rate)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := New(100, 0.01)
+	for i := 0; i < 100; i++ {
+		f.Add([]byte{byte(i), byte(i >> 4)})
+	}
+	g, err := FromBytes(f.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !g.MayContain([]byte{byte(i), byte(i >> 4)}) {
+			t.Fatalf("false negative after round trip, key %d", i)
+		}
+	}
+	if g.Len() != f.Len() {
+		t.Fatalf("Len mismatch %d vs %d", g.Len(), f.Len())
+	}
+}
+
+func TestFromBytesErrors(t *testing.T) {
+	if _, err := FromBytes(nil); err == nil {
+		t.Fatal("nil input should fail")
+	}
+	if _, err := FromBytes(make([]byte, 10)); err == nil {
+		t.Fatal("short input should fail")
+	}
+	f := New(10, 0.01)
+	b := f.Bytes()
+	if _, err := FromBytes(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated bits should fail")
+	}
+	corrupt := make([]byte, 20)
+	if _, err := FromBytes(corrupt); err == nil {
+		t.Fatal("zero header should fail")
+	}
+}
+
+func TestClampedParameters(t *testing.T) {
+	// Degenerate inputs must still produce a working filter.
+	for _, tc := range []struct {
+		n  int
+		fp float64
+	}{{0, 0.01}, {10, 0}, {10, 1.0}, {1, 1e-12}} {
+		f := New(tc.n, tc.fp)
+		f.Add([]byte("x"))
+		if !f.MayContain([]byte("x")) {
+			t.Fatalf("false negative with n=%d fp=%g", tc.n, tc.fp)
+		}
+	}
+}
+
+func TestQuickNoFalseNegatives(t *testing.T) {
+	// Property: any set of random keys added is always reported present,
+	// including after serialization.
+	f := func(keys [][]byte) bool {
+		fl := New(len(keys)+1, 0.01)
+		for _, k := range keys {
+			fl.Add(k)
+		}
+		rt, err := FromBytes(fl.Bytes())
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if !fl.MayContain(k) || !rt.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeScalesWithKeys(t *testing.T) {
+	small := New(100, 0.01)
+	big := New(100000, 0.01)
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Fatalf("size should grow with expected keys: %d vs %d",
+			big.SizeBytes(), small.SizeBytes())
+	}
+}

@@ -1,0 +1,323 @@
+// Package btree implements the in-memory B-tree index PrismDB keeps in DRAM
+// to locate unsorted objects on NVM (§4.1). Each entry maps a key to a
+// packed NVM address (slab ID + slot offset, encoded by the caller into a
+// uint64). Only NVM-resident objects are indexed here; flash objects are
+// found through per-SST index and filter blocks.
+//
+// The tree is not internally synchronized: in PrismDB's shared-nothing
+// design each partition owns one tree guarded by the partition lock.
+package btree
+
+import "bytes"
+
+const degree = 32 // minimum children of an internal node
+
+const (
+	maxItems = 2*degree - 1
+	minItems = degree - 1
+)
+
+// Item is a key/value entry. Keys are treated as immutable after insert.
+type Item struct {
+	Key []byte
+	Val uint64
+}
+
+type node struct {
+	items    []Item
+	children []*node
+}
+
+func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// find returns the index of the first item ≥ key and whether it equals key.
+func (n *node) find(key []byte) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.items[mid].Key, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.items) && bytes.Equal(n.items[lo].Key, key) {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Tree is a B-tree index. The zero value is an empty tree ready for use.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored for key.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	n := t.root
+	for n != nil {
+		i, eq := n.find(key)
+		if eq {
+			return n.items[i].Val, true
+		}
+		if n.leaf() {
+			return 0, false
+		}
+		n = n.children[i]
+	}
+	return 0, false
+}
+
+// Insert stores val under key, returning the previous value and whether the
+// key already existed.
+func (t *Tree) Insert(key []byte, val uint64) (prev uint64, replaced bool) {
+	if t.root == nil {
+		t.root = &node{items: []Item{{Key: key, Val: val}}}
+		t.size = 1
+		return 0, false
+	}
+	if len(t.root.items) == maxItems {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	prev, replaced = t.root.insertNonFull(key, val)
+	if !replaced {
+		t.size++
+	}
+	return prev, replaced
+}
+
+// splitChild splits n.children[i] (which must be full) around its median.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := maxItems / 2
+	median := child.items[mid]
+
+	right := &node{items: append([]Item(nil), child.items[mid+1:]...)}
+	if !child.leaf() {
+		right.children = append([]*node(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+
+	n.items = append(n.items, Item{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *node) insertNonFull(key []byte, val uint64) (prev uint64, replaced bool) {
+	for {
+		i, eq := n.find(key)
+		if eq {
+			prev = n.items[i].Val
+			n.items[i].Val = val
+			return prev, true
+		}
+		if n.leaf() {
+			n.items = append(n.items, Item{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = Item{Key: key, Val: val}
+			return 0, false
+		}
+		if len(n.children[i].items) == maxItems {
+			n.splitChild(i)
+			if c := bytes.Compare(key, n.items[i].Key); c == 0 {
+				prev = n.items[i].Val
+				n.items[i].Val = val
+				return prev, true
+			} else if c > 0 {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Delete removes key, returning its value and whether it was present.
+func (t *Tree) Delete(key []byte) (uint64, bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	val, ok := t.root.remove(key)
+	if len(t.root.items) == 0 {
+		if t.root.leaf() {
+			t.root = nil
+		} else {
+			t.root = t.root.children[0]
+		}
+	}
+	if ok {
+		t.size--
+	}
+	return val, ok
+}
+
+func (n *node) remove(key []byte) (uint64, bool) {
+	i, eq := n.find(key)
+	if n.leaf() {
+		if !eq {
+			return 0, false
+		}
+		val := n.items[i].Val
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return val, true
+	}
+	if eq {
+		val := n.items[i].Val
+		// Replace with predecessor (max of left subtree), then delete
+		// that predecessor from the child. Grow the child first so the
+		// recursive removal cannot underflow.
+		if len(n.children[i].items) > minItems {
+			pred := n.children[i].max()
+			n.items[i] = pred
+			n.children[i].remove(pred.Key)
+			return val, true
+		}
+		if len(n.children[i+1].items) > minItems {
+			succ := n.children[i+1].min()
+			n.items[i] = succ
+			n.children[i+1].remove(succ.Key)
+			return val, true
+		}
+		n.mergeChildren(i)
+		return n.children[i].remove(key)
+	}
+	// Descending: ensure the child has more than minItems first.
+	if len(n.children[i].items) == minItems {
+		i = n.growChild(i)
+	}
+	return n.children[i].remove(key)
+}
+
+func (n *node) max() Item {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+func (n *node) min() Item {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+// growChild ensures children[i] has more than minItems by borrowing from a
+// sibling or merging. It returns the (possibly shifted) child index to
+// descend into.
+func (n *node) growChild(i int) int {
+	switch {
+	case i > 0 && len(n.children[i-1].items) > minItems:
+		// Borrow from left sibling through the separator.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append(child.items, Item{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			moved := left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = moved
+		}
+	case i < len(n.children)-1 && len(n.children[i+1].items) > minItems:
+		// Borrow from right sibling through the separator.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if !right.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+	default:
+		if i == len(n.children)-1 {
+			i--
+		}
+		n.mergeChildren(i)
+	}
+	return i
+}
+
+// mergeChildren merges children[i], items[i], and children[i+1].
+func (n *node) mergeChildren(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.items = append(child.items, n.items[i])
+	child.items = append(child.items, right.items...)
+	child.children = append(child.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// AscendFrom calls fn for every entry with key ≥ start in ascending order,
+// stopping early if fn returns false. A nil start iterates from the minimum.
+func (t *Tree) AscendFrom(start []byte, fn func(Item) bool) {
+	if t.root != nil {
+		t.root.ascend(start, fn)
+	}
+}
+
+func (n *node) ascend(start []byte, fn func(Item) bool) bool {
+	i := 0
+	if start != nil {
+		i, _ = n.find(start)
+	}
+	for ; i < len(n.items); i++ {
+		if !n.leaf() && !n.children[i].ascend(start, fn) {
+			return false
+		}
+		if start != nil && bytes.Compare(n.items[i].Key, start) < 0 {
+			continue
+		}
+		if !fn(n.items[i]) {
+			return false
+		}
+		// Children right of a yielded item are all ≥ start.
+		start = nil
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(start, fn)
+	}
+	return true
+}
+
+// Range calls fn for every entry with start ≤ key < end (end nil = +∞).
+func (t *Tree) Range(start, end []byte, fn func(Item) bool) {
+	t.AscendFrom(start, func(it Item) bool {
+		if end != nil && bytes.Compare(it.Key, end) >= 0 {
+			return false
+		}
+		return fn(it)
+	})
+}
+
+// Min returns the smallest entry.
+func (t *Tree) Min() (Item, bool) {
+	if t.root == nil || t.size == 0 {
+		return Item{}, false
+	}
+	return t.root.min(), true
+}
+
+// Max returns the largest entry.
+func (t *Tree) Max() (Item, bool) {
+	if t.root == nil || t.size == 0 {
+		return Item{}, false
+	}
+	return t.root.max(), true
+}

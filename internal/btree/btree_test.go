@@ -1,0 +1,283 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if _, ok := tr.Delete([]byte("x")); ok {
+		t.Fatal("Delete on empty tree returned ok")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree returned ok")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree returned ok")
+	}
+	called := false
+	tr.AscendFrom(nil, func(Item) bool { called = true; return true })
+	if called {
+		t.Fatal("AscendFrom on empty tree called fn")
+	}
+}
+
+func TestInsertGetSequential(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if _, replaced := tr.Insert(key(i), uint64(i)); replaced {
+			t.Fatalf("unexpected replace at %d", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(key(n)); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte("a"), 1)
+	prev, replaced := tr.Insert([]byte("a"), 2)
+	if !replaced || prev != 1 {
+		t.Fatalf("replace: prev=%d replaced=%v", prev, replaced)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tr.Len())
+	}
+	v, _ := tr.Get([]byte("a"))
+	if v != 2 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestDeleteRandomOrder(t *testing.T) {
+	tr := New()
+	const n = 3000
+	rng := rand.New(rand.NewSource(42))
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		tr.Insert(key(i), uint64(i))
+	}
+	perm2 := rng.Perm(n)
+	for cnt, i := range perm2 {
+		v, ok := tr.Delete(key(i))
+		if !ok || v != uint64(i) {
+			t.Fatalf("Delete(%d) = %d,%v", i, v, ok)
+		}
+		if tr.Len() != n-cnt-1 {
+			t.Fatalf("Len = %d after %d deletes", tr.Len(), cnt+1)
+		}
+	}
+	if _, ok := tr.Delete(key(0)); ok {
+		t.Fatal("double delete returned ok")
+	}
+}
+
+func TestAscendOrderAndRange(t *testing.T) {
+	tr := New()
+	const n = 1000
+	rng := rand.New(rand.NewSource(7))
+	for _, i := range rng.Perm(n) {
+		tr.Insert(key(i), uint64(i))
+	}
+	var got [][]byte
+	tr.AscendFrom(nil, func(it Item) bool {
+		got = append(got, it.Key)
+		return true
+	})
+	if len(got) != n {
+		t.Fatalf("iterated %d items, want %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if bytes.Compare(got[i-1], got[i]) >= 0 {
+			t.Fatalf("out of order at %d: %s >= %s", i, got[i-1], got[i])
+		}
+	}
+	// AscendFrom a mid key yields exactly the tail.
+	var tail []uint64
+	tr.AscendFrom(key(500), func(it Item) bool {
+		tail = append(tail, it.Val)
+		return true
+	})
+	if len(tail) != 500 || tail[0] != 500 {
+		t.Fatalf("tail len=%d first=%v", len(tail), tail)
+	}
+	// Early stop.
+	count := 0
+	tr.AscendFrom(nil, func(Item) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Fatalf("early stop iterated %d", count)
+	}
+	// Range [100, 200).
+	var rangeVals []uint64
+	tr.Range(key(100), key(200), func(it Item) bool {
+		rangeVals = append(rangeVals, it.Val)
+		return true
+	})
+	if len(rangeVals) != 100 || rangeVals[0] != 100 || rangeVals[99] != 199 {
+		t.Fatalf("range = len %d, bounds %v..%v", len(rangeVals), rangeVals[0], rangeVals[len(rangeVals)-1])
+	}
+}
+
+func TestAscendFromBetweenKeys(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i += 2 {
+		tr.Insert(key(i), uint64(i))
+	}
+	var first uint64 = 999
+	tr.AscendFrom(key(51), func(it Item) bool { first = it.Val; return false })
+	if first != 52 {
+		t.Fatalf("first ≥ key(51) = %d, want 52", first)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(3))
+	for _, i := range rng.Perm(500) {
+		tr.Insert(key(i), uint64(i))
+	}
+	mn, _ := tr.Min()
+	mx, _ := tr.Max()
+	if !bytes.Equal(mn.Key, key(0)) || !bytes.Equal(mx.Key, key(499)) {
+		t.Fatalf("min=%s max=%s", mn.Key, mx.Key)
+	}
+}
+
+// modelOp is a scripted operation for model-based property testing.
+type modelOp struct {
+	Kind byte // 0 insert, 1 delete, 2 get
+	Key  uint16
+	Val  uint64
+}
+
+func TestQuickAgainstMapModel(t *testing.T) {
+	// Property: a random op sequence leaves the tree equivalent to a map,
+	// and iteration yields the sorted key set.
+	f := func(ops []modelOp) bool {
+		tr := New()
+		model := map[string]uint64{}
+		for _, op := range ops {
+			k := []byte(fmt.Sprintf("%05d", op.Key%997))
+			switch op.Kind % 3 {
+			case 0:
+				_, replaced := tr.Insert(k, op.Val)
+				_, existed := model[string(k)]
+				if replaced != existed {
+					return false
+				}
+				model[string(k)] = op.Val
+			case 1:
+				v, ok := tr.Delete(k)
+				mv, existed := model[string(k)]
+				if ok != existed || (ok && v != mv) {
+					return false
+				}
+				delete(model, string(k))
+			case 2:
+				v, ok := tr.Get(k)
+				mv, existed := model[string(k)]
+				if ok != existed || (ok && v != mv) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		var keys []string
+		tr.AscendFrom(nil, func(it Item) bool {
+			keys = append(keys, string(it.Key))
+			return true
+		})
+		if len(keys) != len(model) || !sort.StringsAreSorted(keys) {
+			return false
+		}
+		for _, k := range keys {
+			if _, ok := model[k]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeChurn(t *testing.T) {
+	// Interleave inserts and deletes to exercise borrow/merge paths.
+	tr := New()
+	model := map[int]uint64{}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 30000; i++ {
+		k := rng.Intn(2000)
+		if rng.Intn(3) == 0 {
+			_, ok := tr.Delete(key(k))
+			_, existed := model[k]
+			if ok != existed {
+				t.Fatalf("delete mismatch at op %d key %d", i, k)
+			}
+			delete(model, k)
+		} else {
+			tr.Insert(key(k), uint64(i))
+			model[k] = uint64(i)
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+	}
+	for k, v := range model {
+		got, ok := tr.Get(key(k))
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	keys := make([][]byte, b.N)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keys[i], uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Insert(key(i), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % n))
+	}
+}

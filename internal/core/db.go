@@ -1,0 +1,273 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/prismdb/prismdb/internal/tracker"
+)
+
+// DB is a PrismDB instance: Options.Partitions shared-nothing partitions
+// over one NVM device and one flash device. Methods are safe for concurrent
+// use; each request serializes on its partition's lock, as in the paper's
+// worker-thread-per-partition design.
+type DB struct {
+	opts  Options
+	parts []*partition
+}
+
+// Open creates or recovers a DB. If the devices already hold this DB's
+// files (slabs, manifests, SSTs), state is rebuilt from them — PrismDB has
+// no write-ahead log; slab writes are synchronous and carry version
+// timestamps, so recovery is a parallel scan per partition (§6).
+func Open(opts Options) (*DB, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{opts: opts}
+	for i := 0; i < opts.Partitions; i++ {
+		p, err := newPartition(i, &db.opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d: %w", i, err)
+		}
+		if err := p.recover(); err != nil {
+			return nil, fmt.Errorf("core: recover partition %d: %w", i, err)
+		}
+		db.parts = append(db.parts, p)
+	}
+	return db, nil
+}
+
+// partitionOf routes a key: range partitioning splits the key-index domain
+// evenly; hash partitioning uses an FNV hash (for skewed/load-imbalanced
+// workloads, §4.1).
+func (db *DB) partitionOf(key []byte) *partition {
+	n := uint64(len(db.parts))
+	if n == 1 {
+		return db.parts[0]
+	}
+	if db.opts.RangePartitioning {
+		idx := db.opts.KeyIndex(key)
+		p := idx * n / db.opts.KeySpace
+		if p >= n {
+			p = n - 1
+		}
+		return db.parts[p]
+	}
+	var h uint64 = 14695981039346656037
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return db.parts[h%n]
+}
+
+// Put writes key=value and returns the simulated operation latency.
+func (db *DB) Put(key, value []byte) (time.Duration, error) {
+	return db.partitionOf(key).put(key, value, false)
+}
+
+// Get returns the value for key, the tier that served the read, and the
+// simulated latency. A missing key returns (nil, TierMiss, lat, nil).
+func (db *DB) Get(key []byte) ([]byte, Tier, time.Duration, error) {
+	return db.partitionOf(key).get(key)
+}
+
+// Delete removes key, writing a flash tombstone when needed (§6).
+func (db *DB) Delete(key []byte) (time.Duration, error) {
+	return db.partitionOf(key).del(key)
+}
+
+// Scan returns up to n live objects with keys ≥ start in global key order.
+// With range partitioning, partitions are visited in key order; with hash
+// partitioning every partition contributes candidates which are then
+// merged (range queries lock one partition at a time, §6).
+func (db *DB) Scan(start []byte, n int) ([]KV, time.Duration, error) {
+	if n <= 0 {
+		return nil, 0, nil
+	}
+	if len(db.parts) == 1 {
+		return db.parts[0].scan(start, n)
+	}
+	if db.opts.RangePartitioning {
+		var out []KV
+		var total time.Duration
+		startIdx := int(uint64(len(db.parts)) * db.opts.KeyIndex(start) / db.opts.KeySpace)
+		if startIdx >= len(db.parts) {
+			startIdx = len(db.parts) - 1
+		}
+		for i := startIdx; i < len(db.parts) && len(out) < n; i++ {
+			kvs, lat, err := db.parts[i].scan(start, n-len(out))
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, kvs...)
+			total += lat
+		}
+		return out, total, nil
+	}
+	// Hash partitioning: gather n from each partition, merge, take n.
+	var all []KV
+	var total time.Duration
+	for _, p := range db.parts {
+		kvs, lat, err := p.scan(start, n)
+		if err != nil {
+			return nil, 0, err
+		}
+		all = append(all, kvs...)
+		total += lat
+	}
+	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].Key, all[j].Key) < 0 })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all, total, nil
+}
+
+// Stats aggregates all partitions' counters plus live object counts.
+func (db *DB) Stats() Stats {
+	var s Stats
+	for _, p := range db.parts {
+		p.mu.Lock()
+		ps := p.stats
+		nvm, flash := p.objectCounts()
+		ps.NVMObjects, ps.FlashObjects = nvm, flash
+		p.mu.Unlock()
+		s.add(ps)
+	}
+	return s
+}
+
+// ResetStats zeroes all partition counters (between warm-up and
+// measurement).
+func (db *DB) ResetStats() {
+	for _, p := range db.parts {
+		p.mu.Lock()
+		p.stats = Stats{}
+		p.mu.Unlock()
+	}
+}
+
+// Elapsed returns the simulation's wall clock: the maximum worker clock
+// across partitions. In-flight background compactions are not included —
+// their effect on foreground time is already modeled through device/CPU
+// contention and write admission (a workload that outruns compaction stalls
+// on admission, slowing the worker clocks themselves).
+func (db *DB) Elapsed() time.Duration {
+	var maxNs int64
+	for _, p := range db.parts {
+		p.mu.Lock()
+		t := p.clk.Now()
+		p.mu.Unlock()
+		if t > maxNs {
+			maxNs = t
+		}
+	}
+	return time.Duration(maxNs)
+}
+
+// AdvanceAll moves every partition clock to at least the global maximum,
+// including the completion of all in-flight background compactions, and
+// matures their reclaimed space. Harnesses call this between phases so
+// measurement starts from a settled state with a common time origin.
+func (db *DB) AdvanceAll() {
+	now := int64(db.Elapsed())
+	for _, p := range db.parts {
+		p.mu.Lock()
+		if p.compEndAt > now {
+			now = p.compEndAt
+		}
+		p.mu.Unlock()
+	}
+	for _, p := range db.parts {
+		p.mu.Lock()
+		p.clk.AdvanceTo(now)
+		p.matureCredit(now)
+		p.mu.Unlock()
+	}
+}
+
+// PartitionOf returns the index of the partition serving key. Harnesses
+// use it to drive partitions in virtual-time order (discrete-event style),
+// which keeps shared-resource queueing causally consistent.
+func (db *DB) PartitionOf(key []byte) int {
+	p := db.partitionOf(key)
+	for i := range db.parts {
+		if db.parts[i] == p {
+			return i
+		}
+	}
+	return 0
+}
+
+// PartitionClock returns partition i's current worker clock.
+func (db *DB) PartitionClock(i int) time.Duration {
+	p := db.parts[i]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return time.Duration(p.clk.Now())
+}
+
+// PartitionClocks returns each partition's worker clock and compaction
+// horizon (diagnostics: load imbalance, compaction overhang).
+func (db *DB) PartitionClocks() (clocks, compEnds []time.Duration) {
+	for _, p := range db.parts {
+		p.mu.Lock()
+		clocks = append(clocks, time.Duration(p.clk.Now()))
+		compEnds = append(compEnds, time.Duration(p.compEndAt))
+		p.mu.Unlock()
+	}
+	return clocks, compEnds
+}
+
+// PinThresholds reports each partition's current (possibly auto-tuned)
+// pinning threshold.
+func (db *DB) PinThresholds() []float64 {
+	out := make([]float64, 0, len(db.parts))
+	for _, p := range db.parts {
+		p.mu.Lock()
+		out = append(out, p.pinThreshold)
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// ClockDistribution sums the tracker clock-value histograms across
+// partitions (Fig 5).
+func (db *DB) ClockDistribution() [tracker.MaxClock + 1]int {
+	var d [tracker.MaxClock + 1]int
+	for _, p := range db.parts {
+		p.mu.Lock()
+		pd := p.trk.Distribution()
+		p.mu.Unlock()
+		for i, n := range pd {
+			d[i] += n
+		}
+	}
+	return d
+}
+
+// NVMUsage returns the DB's current NVM consumption in bytes and its
+// budget.
+func (db *DB) NVMUsage() (used, budget int64) {
+	for _, p := range db.parts {
+		p.mu.Lock()
+		used += p.usage()
+		p.mu.Unlock()
+	}
+	return used, db.opts.NVMBudget
+}
+
+// Partitions returns the partition count.
+func (db *DB) Partitions() int { return len(db.parts) }
+
+// Options returns the effective (defaulted) options.
+func (db *DB) Options() Options { return db.opts }
+
+// Close is a no-op placeholder for API symmetry: all state is already
+// durable on the simulated devices (synchronous slab writes, persisted
+// manifests).
+func (db *DB) Close() error { return nil }

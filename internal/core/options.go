@@ -1,0 +1,288 @@
+// Package core implements the PrismDB engine: a partitioned, shared-nothing
+// key-value store spanning an NVM tier (slab files, §4.1) and a flash tier
+// (a sorted log of SST files), with multi-tiered storage compaction (§5)
+// moving objects between them based on popularity and compaction cost.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/prismdb/prismdb/internal/msc"
+	"github.com/prismdb/prismdb/internal/simdev"
+)
+
+// CPUCosts models per-operation CPU time charged to worker and compaction
+// clocks. The evaluation's CPU-vs-I/O breakdowns (§3, Fig 6) emerge from
+// these charges; the defaults are loosely calibrated to the per-op costs of
+// the C++ implementation's data structures.
+type CPUCosts struct {
+	// OpBase covers request dispatch, partition-lock handoff, and the
+	// tracker update on the critical path.
+	OpBase time.Duration
+	// IndexOp is a B-tree lookup/insert/delete.
+	IndexOp time.Duration
+	// BloomCheck is one SST filter probe plus index-block navigation.
+	BloomCheck time.Duration
+	// MergePerKey is the per-record cost of compaction merge-sorting.
+	MergePerKey time.Duration
+	// PreciseScanPerObject is the per-object cost of precise-MSC scoring:
+	// a mapper lookup plus B-tree and SST-index navigation (§5.3).
+	PreciseScanPerObject time.Duration
+	// ApproxPerBucket is the per-bucket cost of approx-MSC scoring.
+	ApproxPerBucket time.Duration
+}
+
+// DefaultCPUCosts returns the standard cost model.
+func DefaultCPUCosts() CPUCosts {
+	return CPUCosts{
+		OpBase:               500 * time.Nanosecond,
+		IndexOp:              300 * time.Nanosecond,
+		BloomCheck:           100 * time.Nanosecond,
+		MergePerKey:          200 * time.Nanosecond,
+		PreciseScanPerObject: 2 * time.Microsecond,
+		ApproxPerBucket:      100 * time.Nanosecond,
+	}
+}
+
+// ReadTriggerOptions configure read-triggered compactions (§5.3): the
+// detection → invocation → monitoring state machine that promotes hot flash
+// objects under read-heavy workloads.
+type ReadTriggerOptions struct {
+	// Enabled turns the mechanism on.
+	Enabled bool
+	// Epoch is the invocation window in client operations (paper default
+	// 1 M; scale with dataset size).
+	Epoch int
+	// Cooldown is the pause after an unproductive epoch (paper default
+	// 10 M operations).
+	Cooldown int
+	// ImproveDelta is the minimum NVM-read-ratio improvement per epoch to
+	// keep compacting (paper default 1%).
+	ImproveDelta float64
+	// ReadHeavyFraction is the read share above which the workload counts
+	// as read-dominated during detection.
+	ReadHeavyFraction float64
+	// MinFlashFraction is the fraction of tracked keys on flash above
+	// which detection fires.
+	MinFlashFraction float64
+}
+
+// DefaultReadTrigger returns the paper's defaults scaled by dataset size.
+func DefaultReadTrigger(datasetKeys int) ReadTriggerOptions {
+	epoch := datasetKeys / 10
+	if epoch < 1000 {
+		epoch = 1000
+	}
+	return ReadTriggerOptions{
+		Enabled:           true,
+		Epoch:             epoch,
+		Cooldown:          epoch * 10,
+		ImproveDelta:      0.01,
+		ReadHeavyFraction: 0.80,
+		MinFlashFraction:  0.25,
+	}
+}
+
+// Options configure a DB. NVM and Flash are required; zero values elsewhere
+// take the documented defaults.
+type Options struct {
+	// Partitions is the number of shared-nothing partitions, each with a
+	// dedicated worker and compaction job (paper default: one per core).
+	Partitions int
+
+	// NVM and Flash are the two storage tiers.
+	NVM   *simdev.Device
+	Flash *simdev.Device
+
+	// Cache models the OS page cache (DRAM). Shared by both tiers.
+	Cache *simdev.PageCache
+
+	// NVMBudget is the total NVM bytes the DB may use for slabs plus
+	// flash index/filter metadata. Defaults to the NVM device capacity.
+	NVMBudget int64
+
+	// SlabClasses overrides the slot-size ladder.
+	SlabClasses []int
+
+	// TrackerCapacity bounds the popularity tracker (total across
+	// partitions; the paper uses 10–20% of the database's keys).
+	TrackerCapacity int
+
+	// PinningThreshold is the fraction of tracked objects pinned to NVM
+	// (paper default 0.7 of the tracker).
+	PinningThreshold float64
+
+	// HighWatermark / LowWatermark bound NVM usage: compaction triggers
+	// at high (default 0.98) and demotes until usage falls below low
+	// (default 0.95).
+	HighWatermark float64
+	LowWatermark  float64
+
+	// RangeFiles is i, the number of consecutive SST files per candidate
+	// compaction key range (§5.2, default 1).
+	RangeFiles int
+
+	// PowerK is the number of candidate ranges scored per compaction
+	// (power-of-k choices, §5.3, default 8).
+	PowerK int
+
+	// Policy selects the compaction scoring policy (default approx-MSC).
+	Policy msc.Policy
+
+	// Promotions enables moving hot flash objects to NVM during
+	// compactions (§5.3).
+	Promotions bool
+
+	// ReadTrigger configures read-triggered compactions.
+	ReadTrigger ReadTriggerOptions
+
+	// KeyIndex maps a key to a dense index in [0, KeySpace), used for
+	// bucket statistics and range partitioning. Defaults to parsing the
+	// decimal digits embedded in the key.
+	KeyIndex func([]byte) uint64
+
+	// KeySpace is the size of the key-index domain (defaults 1<<20).
+	KeySpace uint64
+
+	// BucketKeys is the approx-MSC bucket size in keys (§6; the paper
+	// default equals the average keys per SST file).
+	BucketKeys int
+
+	// TargetSSTBytes is the flash SST file size (default 4 MiB).
+	TargetSSTBytes int64
+
+	// BlockSize is the SST data-block size (default 4 KiB).
+	BlockSize int
+
+	// RangePartitioning routes keys to partitions by key order rather
+	// than by hash (recommended for scan-heavy workloads, §4.1).
+	RangePartitioning bool
+
+	// ScanPrefetch enables SST readahead during scans. The paper leaves
+	// a prefetcher as future work (§7.2, its one lost workload); this
+	// implements the same block-readahead RocksDB ships with.
+	ScanPrefetch bool
+
+	// AutoTuneThreshold enables the hill-climbing pinning-threshold tuner
+	// the paper sketches as future work (§7.4): each partition perturbs
+	// its threshold every AutoTuneWindow operations and keeps the
+	// direction that improved observed throughput.
+	AutoTuneThreshold bool
+	// AutoTuneWindow is the observation window in operations (default
+	// 4096) and AutoTuneStep the perturbation size (default 0.1).
+	AutoTuneWindow int
+	AutoTuneStep   float64
+
+	// Seed drives the engine's random choices (candidate selection,
+	// boundary-clock sampling).
+	Seed int64
+
+	// CPU is the CPU cost model.
+	CPU CPUCosts
+
+	// CPUPool, when set, routes all engine CPU charges through a shared
+	// fixed-core pool so foreground requests and background compactions
+	// contend for cores as they do on the paper's 10-core cgroup.
+	CPUPool *simdev.CPUPool
+}
+
+// withDefaults validates opts and fills defaults.
+func (o Options) withDefaults() (Options, error) {
+	if o.NVM == nil || o.Flash == nil {
+		return o, fmt.Errorf("core: Options.NVM and Options.Flash are required")
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = 1
+	}
+	if o.Cache == nil {
+		o.Cache = simdev.NewPageCache(0)
+	}
+	if o.NVMBudget <= 0 {
+		o.NVMBudget = o.NVM.Params().Capacity
+	}
+	if o.TrackerCapacity <= 0 {
+		o.TrackerCapacity = 1 << 16
+	}
+	if o.PinningThreshold == 0 {
+		o.PinningThreshold = 0.7
+	}
+	if o.HighWatermark == 0 {
+		o.HighWatermark = 0.98
+	}
+	if o.LowWatermark == 0 {
+		o.LowWatermark = 0.95
+	}
+	if o.LowWatermark >= o.HighWatermark {
+		return o, fmt.Errorf("core: LowWatermark %v must be below HighWatermark %v",
+			o.LowWatermark, o.HighWatermark)
+	}
+	if o.RangeFiles <= 0 {
+		o.RangeFiles = 1
+	}
+	if o.PowerK <= 0 {
+		o.PowerK = 8
+	}
+	if o.KeyIndex == nil {
+		o.KeyIndex = DefaultKeyIndex
+	}
+	if o.KeySpace == 0 {
+		o.KeySpace = 1 << 20
+	}
+	if o.BucketKeys <= 0 {
+		// Default: average keys per SST (paper §6). Assume ~1 KB objects.
+		o.BucketKeys = int(o.TargetSSTBytesOrDefault() / 1024)
+		if o.BucketKeys < 64 {
+			o.BucketKeys = 64
+		}
+	}
+	if o.TargetSSTBytes <= 0 {
+		o.TargetSSTBytes = 4 << 20
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4096
+	}
+	if o.CPU == (CPUCosts{}) {
+		o.CPU = DefaultCPUCosts()
+	}
+	if o.AutoTuneWindow <= 0 {
+		o.AutoTuneWindow = 4096
+	}
+	if o.AutoTuneStep <= 0 {
+		o.AutoTuneStep = 0.1
+	}
+	return o, nil
+}
+
+// TargetSSTBytesOrDefault returns the SST size without mutating o.
+func (o Options) TargetSSTBytesOrDefault() int64 {
+	if o.TargetSSTBytes > 0 {
+		return o.TargetSSTBytes
+	}
+	return 4 << 20
+}
+
+// DefaultKeyIndex extracts the decimal digits of a key into a uint64:
+// "user000123" → 123. Keys without digits hash to a stable value derived
+// from their bytes. Workload generators use fixed-width decimal keys, so
+// lexicographic and numeric order coincide.
+func DefaultKeyIndex(key []byte) uint64 {
+	var n uint64
+	sawDigit := false
+	for _, b := range key {
+		if b >= '0' && b <= '9' {
+			n = n*10 + uint64(b-'0')
+			sawDigit = true
+		}
+	}
+	if sawDigit {
+		return n
+	}
+	// FNV fallback for non-numeric keys.
+	var h uint64 = 14695981039346656037
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,547 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/prismdb/prismdb/internal/btree"
+	"github.com/prismdb/prismdb/internal/buckets"
+	"github.com/prismdb/prismdb/internal/mapper"
+	"github.com/prismdb/prismdb/internal/simdev"
+	"github.com/prismdb/prismdb/internal/slab"
+	"github.com/prismdb/prismdb/internal/sst"
+	"github.com/prismdb/prismdb/internal/tracker"
+)
+
+// partition is one shared-nothing shard: a dedicated worker clock, NVM
+// slabs indexed by an in-DRAM B-tree, a flash SST log, and the popularity
+// machinery. All access is serialized by mu (the paper's partition lock).
+type partition struct {
+	id   int
+	opts *Options
+
+	mu  sync.Mutex
+	clk *simdev.Clock
+
+	slabs *slab.Manager
+	index *btree.Tree
+	man   *sst.Manifest
+	trk   *tracker.Tracker
+	mpr   *mapper.Mapper
+	bkt   *buckets.Map
+	rng   *rand.Rand
+
+	nextVersion uint64
+	nvmBudget   int64
+
+	// Background-compaction overlap model: data-structure changes apply
+	// atomically (reads stay consistent), but the SPACE a job reclaims
+	// only becomes admissible when the job's virtual I/O completes.
+	// spaceCredit is the admission budget: fresh inserts debit it, client
+	// deletes credit it immediately, and each compaction job's freed
+	// bytes mature at its compEndAt. Writes that outrun compaction
+	// completions stall — the paper's rate limiting (§4.2).
+	compEndAt   int64
+	compQueue   []compJob
+	spaceCredit int64
+
+	rt readTriggerState
+
+	// Hill-climbing threshold tuner state (§7.4 future work).
+	pinThreshold float64
+	tuneOps      int
+	tuneLastT    int64   // clock at window start
+	tuneLastRate float64 // ops/sec of the previous window
+	tuneDir      float64 // +step or -step
+
+	stats Stats
+}
+
+// chargeCPU charges CPU work to clk, through the shared core pool when one
+// is configured.
+func (p *partition) chargeCPU(clk *simdev.Clock, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if p.opts.CPUPool != nil {
+		p.opts.CPUPool.Charge(clk, d)
+	} else {
+		clk.Advance(d)
+	}
+}
+
+// readTriggerState is the detection → invocation → monitoring machine of
+// §5.3.
+type readTriggerState struct {
+	phase      rtPhase
+	opsInPhase int
+	reads      int64
+	writes     int64
+	nvmReads   int64 // reads served from DRAM/NVM this epoch
+	flashReads int64
+	lastRatio  float64
+}
+
+type rtPhase int
+
+const (
+	rtDetect rtPhase = iota
+	rtActive
+	rtCooldown
+)
+
+func newPartition(id int, opts *Options) (*partition, error) {
+	p := &partition{
+		id:        id,
+		opts:      opts,
+		clk:       simdev.NewClock(),
+		index:     btree.New(),
+		mpr:       mapper.New(opts.PinningThreshold),
+		rng:       rand.New(rand.NewSource(opts.Seed + int64(id)*7919)),
+		nvmBudget: opts.NVMBudget / int64(opts.Partitions),
+	}
+	trkCap := opts.TrackerCapacity / opts.Partitions
+	if trkCap < 16 {
+		trkCap = 16
+	}
+	p.trk = tracker.New(trkCap)
+	p.bkt = buckets.New(opts.KeySpace, opts.BucketKeys)
+	p.pinThreshold = opts.PinningThreshold
+	p.tuneDir = opts.AutoTuneStep
+
+	var err error
+	p.slabs, err = slab.NewManager(opts.NVM, opts.Cache, fmt.Sprintf("p%d-slab", id), opts.SlabClasses)
+	if err != nil {
+		return nil, err
+	}
+	manName := fmt.Sprintf("p%d-MANIFEST", id)
+	if _, openErr := opts.Flash.OpenFile(manName); openErr == nil {
+		p.man, err = sst.LoadManifest(opts.Flash, opts.Cache, manName, p.clk)
+	} else {
+		p.man, err = sst.NewManifest(opts.Flash, opts.Cache, manName)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.nextVersion = 1
+	return p, nil
+}
+
+// recover rebuilds the B-tree index from the slab files (keeping the newest
+// version per key and freeing stale duplicate slots), rebuilds bucket
+// state, and restores the version counter. Partitions recover independently
+// and in parallel in the paper; here each charges its own clock.
+func (p *partition) recover() error {
+	type liveEntry struct {
+		loc slab.Loc
+		ver uint64
+	}
+	seen := map[string]liveEntry{}
+	var staleLocs []slab.Loc
+	err := p.slabs.Recover(p.clk, func(loc slab.Loc, rec slab.Record) {
+		if rec.Version >= p.nextVersion {
+			p.nextVersion = rec.Version + 1
+		}
+		if old, ok := seen[string(rec.Key)]; ok {
+			// Crash between new-slot write and old-slot free left two
+			// versions; keep the newest.
+			if rec.Version > old.ver {
+				staleLocs = append(staleLocs, old.loc)
+				seen[string(rec.Key)] = liveEntry{loc, rec.Version}
+			} else {
+				staleLocs = append(staleLocs, loc)
+			}
+			return
+		}
+		seen[string(rec.Key)] = liveEntry{loc, rec.Version}
+	})
+	if err != nil {
+		return err
+	}
+	for _, l := range staleLocs {
+		if err := p.slabs.FreeSlot(p.clk, l); err != nil {
+			return err
+		}
+	}
+	for k, e := range seen {
+		p.index.Insert([]byte(k), uint64(e.loc))
+		p.bkt.OnPut(p.opts.KeyIndex([]byte(k)))
+	}
+	p.spaceCredit = p.nvmBudget - p.usage()
+	// Rebuild flash bucket bits from the SST log.
+	snap := p.man.Current()
+	defer p.man.Release(snap)
+	for _, t := range snap {
+		err := t.ReadAll(p.clk, func(r sst.Record) error {
+			p.bkt.OnDemote(p.opts.KeyIndex(r.Key))
+			// OnDemote would clear the NVM bit; restore it if the key is
+			// also NVM-resident.
+			if _, ok := seen[string(r.Key)]; ok {
+				p.bkt.OnPut(p.opts.KeyIndex(r.Key))
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// usage returns the partition's NVM consumption: live slab bytes plus the
+// flash index/filter metadata PrismDB keeps on NVM (§4.1).
+func (p *partition) usage() int64 {
+	return p.slabs.LiveBytes() + p.man.MetaBytes()
+}
+
+// compJob records a background compaction whose reclaimed space matures at
+// endAt.
+type compJob struct {
+	endAt int64
+	freed int64
+}
+
+// admitWrite applies the rate-limiting model (§4.2): a space-consuming
+// write debits the partition's space credit; compaction reclaim matures at
+// each job's virtual completion. When credit runs dry the writer stalls
+// until the next job completes.
+func (p *partition) admitWrite(slotSize int64) {
+	p.matureCredit(p.clk.Now())
+	for p.spaceCredit < slotSize && len(p.compQueue) > 0 {
+		next := p.compQueue[0].endAt
+		p.stallTo(next)
+		p.matureCredit(p.clk.Now())
+	}
+	// With no pending jobs the bookkept space is authoritative (the
+	// watermark trigger will start a job on this very write if needed).
+	p.spaceCredit -= slotSize
+}
+
+// matureCredit banks the reclaim of every job completed by time now.
+func (p *partition) matureCredit(now int64) {
+	for len(p.compQueue) > 0 && p.compQueue[0].endAt <= now {
+		p.spaceCredit += p.compQueue[0].freed
+		p.compQueue = p.compQueue[1:]
+	}
+}
+
+func (p *partition) stallTo(t int64) {
+	stall := p.clk.AdvanceTo(t)
+	if stall > 0 {
+		p.stats.WriteStalls++
+		p.stats.WriteStallTime += stall
+	}
+}
+
+// put writes key=value (or a tombstone when value is nil and tomb is set).
+func (p *partition) put(key, value []byte, tomb bool) (time.Duration, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	start := p.clk.Now()
+	cpu := p.opts.CPU
+	p.chargeCPU(p.clk, cpu.OpBase+cpu.IndexOp)
+
+	rec := slab.Record{Key: key, Value: value, Version: p.nextVersion, Tombstone: tomb}
+	ci := p.slabs.ClassOf(len(key), len(value))
+	if ci < 0 {
+		return 0, fmt.Errorf("core: object of %d bytes too large", len(key)+len(value))
+	}
+	p.nextVersion++
+	idx := p.opts.KeyIndex(key)
+	if v, ok := p.index.Get(key); ok {
+		loc := slab.Loc(v)
+		if loc.Class() == ci {
+			// In-place updates reuse their slot: no new NVM space is
+			// consumed, so they are never rate-limited (§4.1).
+			if err := p.slabs.Update(p.clk, loc, rec); err != nil {
+				return 0, err
+			}
+			p.stats.InPlaceUpdates++
+		} else {
+			// Changed size class: delete + fresh insert (§6). The old
+			// slot's space returns to the admission credit immediately.
+			p.admitWrite(int64(p.slabs.Classes()[ci]))
+			oldSlot := int64(p.slabs.SlotSize(loc))
+			if err := p.slabs.Delete(p.clk, loc); err != nil {
+				return 0, err
+			}
+			p.spaceCredit += oldSlot
+			newLoc, err := p.slabs.Put(p.clk, rec)
+			if err != nil {
+				return 0, err
+			}
+			p.index.Insert(key, uint64(newLoc))
+			p.stats.SlabMoves++
+		}
+	} else {
+		p.admitWrite(int64(p.slabs.Classes()[ci]))
+		loc, err := p.slabs.Put(p.clk, rec)
+		if err != nil {
+			return 0, err
+		}
+		p.index.Insert(key, uint64(loc))
+		p.bkt.OnPut(idx)
+		p.stats.FreshInserts++
+	}
+	p.touch(key, idx, tracker.NVM)
+	p.stats.Puts++
+	p.maybeCompact()
+	p.rt.onOp(p, false)
+	return time.Duration(p.clk.Now() - start), nil
+}
+
+// touch updates the tracker and popularity bitmap for an access.
+func (p *partition) touch(key []byte, idx uint64, loc tracker.Location) {
+	if evicted, did := p.trk.Touch(key, loc); did {
+		p.bkt.OnCold(p.opts.KeyIndex([]byte(evicted)))
+	}
+	p.bkt.OnHot(idx)
+}
+
+// get returns the newest version of key and the tier that served it.
+func (p *partition) get(key []byte) ([]byte, Tier, time.Duration, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	start := p.clk.Now()
+	cpu := p.opts.CPU
+	p.chargeCPU(p.clk, cpu.OpBase+cpu.IndexOp)
+	idx := p.opts.KeyIndex(key)
+	p.stats.Gets++
+
+	if v, ok := p.index.Get(key); ok {
+		before := p.clk.Now()
+		rec, err := p.slabs.Get(p.clk, slab.Loc(v))
+		if err != nil {
+			return nil, TierMiss, 0, err
+		}
+		src := TierNVM
+		if p.clk.Now() == before {
+			src = TierDRAM // page-cache hit: no device time
+		}
+		if rec.Tombstone {
+			p.recordGet(TierMiss)
+			p.rt.onOp(p, true)
+			return nil, TierMiss, time.Duration(p.clk.Now() - start), nil
+		}
+		p.recordGet(src)
+		p.touch(key, idx, tracker.NVM)
+		p.rt.onOp(p, true)
+		return rec.Value, src, time.Duration(p.clk.Now() - start), nil
+	}
+
+	// Flash lookup through the SST log (disjoint ranges ⇒ at most one
+	// table holds the key, but check every overlapping table).
+	snap := p.man.Current()
+	defer p.man.Release(snap)
+	for _, t := range snap {
+		if !t.Overlaps(key, key) {
+			continue
+		}
+		p.chargeCPU(p.clk, cpu.BloomCheck)
+		if !t.MayContain(key) {
+			continue
+		}
+		before := p.clk.Now()
+		rec, found, err := t.Get(p.clk, key)
+		if err != nil {
+			return nil, TierMiss, 0, err
+		}
+		if !found {
+			continue
+		}
+		if rec.Tombstone {
+			break
+		}
+		src := TierFlash
+		if p.clk.Now() == before {
+			src = TierDRAM
+		}
+		p.recordGet(src)
+		p.touch(key, idx, tracker.Flash)
+		p.rt.onOp(p, true)
+		return rec.Value, src, time.Duration(p.clk.Now() - start), nil
+	}
+	p.recordGet(TierMiss)
+	p.rt.onOp(p, true)
+	return nil, TierMiss, time.Duration(p.clk.Now() - start), nil
+}
+
+func (p *partition) recordGet(src Tier) {
+	switch src {
+	case TierDRAM:
+		p.stats.GetDRAM++
+		p.rt.nvmReads++
+	case TierNVM:
+		p.stats.GetNVM++
+		p.rt.nvmReads++
+	case TierFlash:
+		p.stats.GetFlash++
+		p.rt.flashReads++
+	default:
+		p.stats.GetMiss++
+	}
+}
+
+// del removes key. NVM versions are deleted directly; if an older version
+// may remain on flash a tombstone is inserted to NVM, to die in a later
+// merge (§6).
+func (p *partition) del(key []byte) (time.Duration, error) {
+	p.mu.Lock()
+	start := p.clk.Now()
+	cpu := p.opts.CPU
+	p.chargeCPU(p.clk, cpu.OpBase+cpu.IndexOp)
+	idx := p.opts.KeyIndex(key)
+
+	if v, ok := p.index.Get(key); ok {
+		oldSlot := int64(p.slabs.SlotSize(slab.Loc(v)))
+		if err := p.slabs.Delete(p.clk, slab.Loc(v)); err != nil {
+			p.mu.Unlock()
+			return 0, err
+		}
+		p.index.Delete(key)
+		p.bkt.OnNVMDelete(idx)
+		p.spaceCredit += oldSlot
+	}
+	// Does flash possibly hold an older version?
+	flashMay := false
+	snap := p.man.Current()
+	for _, t := range snap {
+		if t.Overlaps(key, key) {
+			p.chargeCPU(p.clk, cpu.BloomCheck)
+			if t.MayContain(key) {
+				flashMay = true
+				break
+			}
+		}
+	}
+	p.man.Release(snap)
+	p.trk.Forget(key)
+	p.bkt.OnCold(idx)
+	p.stats.Deletes++
+	p.mu.Unlock()
+
+	if flashMay {
+		// Fresh tombstone insert (goes through the normal put path,
+		// including watermark checks).
+		if _, err := p.put(key, nil, true); err != nil {
+			return 0, err
+		}
+		p.mu.Lock()
+		p.stats.Puts-- // the tombstone is part of the delete, not a client put
+		lat := time.Duration(p.clk.Now() - start)
+		p.mu.Unlock()
+		return lat, nil
+	}
+	p.mu.Lock()
+	lat := time.Duration(p.clk.Now() - start)
+	p.mu.Unlock()
+	return lat, nil
+}
+
+// KV is a scan result element.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// scan returns up to n live objects with keys ≥ start, in key order, via
+// the two-level iterator of §6: one cursor over the NVM index and one over
+// the flash SST log, always advancing the smaller key; the NVM version
+// shadows flash on ties.
+func (p *partition) scan(start []byte, n int) ([]KV, time.Duration, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	startT := p.clk.Now()
+	cpu := p.opts.CPU
+	p.chargeCPU(p.clk, cpu.OpBase)
+	p.stats.Scans++
+
+	// NVM side: collect up to n index entries (B-tree is sorted).
+	type nvmEntry struct {
+		key []byte
+		loc slab.Loc
+	}
+	var nvmQ []nvmEntry
+	p.index.AscendFrom(start, func(it btree.Item) bool {
+		nvmQ = append(nvmQ, nvmEntry{it.Key, slab.Loc(it.Val)})
+		return len(nvmQ) < n
+	})
+	p.chargeCPU(p.clk, time.Duration(len(nvmQ))*cpu.IndexOp)
+
+	snap := p.man.Current()
+	defer p.man.Release(snap)
+	// Flash side: chain iterators over tables in key order (disjoint).
+	tblIdx := 0
+	var fIt *sst.Iter
+	advanceFlash := func() {
+		for {
+			if fIt != nil && fIt.Valid() {
+				return
+			}
+			if tblIdx >= len(snap) {
+				fIt = nil
+				return
+			}
+			t := snap[tblIdx]
+			tblIdx++
+			if start != nil && bytes.Compare(t.Largest(), start) < 0 {
+				continue
+			}
+			fIt = t.Iter(p.clk, start, p.opts.ScanPrefetch)
+		}
+	}
+	advanceFlash()
+
+	var out []KV
+	ni := 0
+	for len(out) < n {
+		var nvmKey []byte
+		if ni < len(nvmQ) {
+			nvmKey = nvmQ[ni].key
+		}
+		var flashRec *sst.Record
+		if fIt != nil && fIt.Valid() {
+			r := fIt.Record()
+			flashRec = &r
+		}
+		if nvmKey == nil && flashRec == nil {
+			break
+		}
+		useNVM := flashRec == nil ||
+			(nvmKey != nil && bytes.Compare(nvmKey, flashRec.Key) <= 0)
+		if useNVM {
+			// NVM shadows an equal flash key.
+			if flashRec != nil && bytes.Equal(nvmKey, flashRec.Key) {
+				fIt.Next()
+				advanceFlash()
+			}
+			rec, err := p.slabs.Get(p.clk, nvmQ[ni].loc)
+			ni++
+			if err != nil {
+				return nil, 0, err
+			}
+			if !rec.Tombstone {
+				out = append(out, KV{rec.Key, rec.Value})
+			}
+		} else {
+			if !flashRec.Tombstone {
+				out = append(out, KV{flashRec.Key, flashRec.Value})
+			}
+			fIt.Next()
+			advanceFlash()
+		}
+		p.chargeCPU(p.clk, cpu.MergePerKey)
+	}
+	if fIt != nil && fIt.Err() != nil {
+		return nil, 0, fIt.Err()
+	}
+	return out, time.Duration(p.clk.Now() - startT), nil
+}
+
+// objectCounts reports live objects per tier.
+func (p *partition) objectCounts() (nvm, flash int64) {
+	return int64(p.slabs.LiveObjects()), int64(p.man.TotalCount())
+}

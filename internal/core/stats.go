@@ -1,0 +1,111 @@
+package core
+
+import "time"
+
+// Tier identifies where a read was served from (Fig 2b, Fig 14a).
+type Tier int
+
+const (
+	// TierDRAM means the OS page cache absorbed the read.
+	TierDRAM Tier = iota
+	// TierNVM means the fast device served it.
+	TierNVM
+	// TierFlash means the slow device served it.
+	TierFlash
+	// TierMiss means the key does not exist.
+	TierMiss
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierDRAM:
+		return "dram"
+	case TierNVM:
+		return "nvm"
+	case TierFlash:
+		return "flash"
+	case TierMiss:
+		return "miss"
+	}
+	return "unknown"
+}
+
+// Stats aggregates engine activity. All counters are cumulative since Open
+// (or the last ResetStats).
+type Stats struct {
+	Puts    int64
+	Gets    int64
+	Deletes int64
+	Scans   int64
+
+	// Read sources.
+	GetDRAM  int64
+	GetNVM   int64
+	GetFlash int64
+	GetMiss  int64
+
+	// Write paths.
+	InPlaceUpdates int64
+	FreshInserts   int64
+	SlabMoves      int64 // update changed size class: delete + fresh insert
+
+	// Compaction activity.
+	Compactions        int64
+	ReadTriggeredComps int64
+	CompactionTime     time.Duration
+	SelectionTime      time.Duration // time spent scoring candidates
+	Demoted            int64
+	Promoted           int64
+	DroppedStale       int64 // obsolete flash versions removed by merges
+	DroppedTombstones  int64
+	FlashBytesRead     int64 // compaction reads from flash
+	FlashBytesWritten  int64 // compaction writes to flash
+
+	// Foreground write stalls caused by NVM rate limiting (§4.2).
+	WriteStalls    int64
+	WriteStallTime time.Duration
+
+	// Objects currently resident per tier.
+	NVMObjects   int64
+	FlashObjects int64
+}
+
+// add merges two stats (for per-partition aggregation).
+func (s *Stats) add(o Stats) {
+	s.Puts += o.Puts
+	s.Gets += o.Gets
+	s.Deletes += o.Deletes
+	s.Scans += o.Scans
+	s.GetDRAM += o.GetDRAM
+	s.GetNVM += o.GetNVM
+	s.GetFlash += o.GetFlash
+	s.GetMiss += o.GetMiss
+	s.InPlaceUpdates += o.InPlaceUpdates
+	s.FreshInserts += o.FreshInserts
+	s.SlabMoves += o.SlabMoves
+	s.Compactions += o.Compactions
+	s.ReadTriggeredComps += o.ReadTriggeredComps
+	s.CompactionTime += o.CompactionTime
+	s.SelectionTime += o.SelectionTime
+	s.Demoted += o.Demoted
+	s.Promoted += o.Promoted
+	s.DroppedStale += o.DroppedStale
+	s.DroppedTombstones += o.DroppedTombstones
+	s.FlashBytesRead += o.FlashBytesRead
+	s.FlashBytesWritten += o.FlashBytesWritten
+	s.WriteStalls += o.WriteStalls
+	s.WriteStallTime += o.WriteStallTime
+	s.NVMObjects += o.NVMObjects
+	s.FlashObjects += o.FlashObjects
+}
+
+// NVMReadRatio returns the fraction of successful reads served from DRAM or
+// NVM rather than flash.
+func (s Stats) NVMReadRatio() float64 {
+	total := s.GetDRAM + s.GetNVM + s.GetFlash
+	if total == 0 {
+		return 0
+	}
+	return float64(s.GetDRAM+s.GetNVM) / float64(total)
+}

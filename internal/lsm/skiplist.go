@@ -1,0 +1,126 @@
+// Package lsm implements a leveled log-structured merge tree in the style
+// of RocksDB, used as the baseline family in the paper's evaluation:
+// single-tier RocksDB, multi-tier "het" RocksDB (levels mapped to devices,
+// like SpanDB's layout), RocksDB with an NVM L2 cache, read-aware RocksDB
+// with pinned compactions (the authors' year-one prototype, §3), Mutant's
+// file-granularity placement, and SpanDB's SPDK-backed WAL. All variants
+// share this one engine, differing only in placement/logging policy, so
+// comparisons against PrismDB isolate data-structure and compaction design.
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// skipEntry is one memtable record. Tombstone deletes shadow older versions
+// in lower levels.
+type skipEntry struct {
+	key       []byte
+	value     []byte
+	seq       uint64
+	tombstone bool
+}
+
+const maxHeight = 12
+
+type skipNode struct {
+	entry skipEntry
+	next  [maxHeight]*skipNode
+}
+
+// skiplist is the memtable: a probabilistic balanced list with O(log n)
+// insert and lookup, as in LevelDB/RocksDB.
+type skiplist struct {
+	head   *skipNode
+	height int
+	rng    *rand.Rand
+	n      int
+	bytes  int64
+}
+
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{
+		head:   &skipNode{},
+		height: 1,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (s *skiplist) randomHeight() int {
+	h := 1
+	for h < maxHeight && s.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGE returns the first node with key ≥ k, filling prev with the
+// predecessors at each level when prev is non-nil.
+func (s *skiplist) findGE(k []byte, prev *[maxHeight]*skipNode) *skipNode {
+	x := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && bytes.Compare(x.next[level].entry.key, k) < 0 {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// put inserts or replaces key. Replacement keeps the memtable's latest-only
+// semantics (the WAL holds history; levels hold older versions).
+func (s *skiplist) put(e skipEntry) {
+	var prev [maxHeight]*skipNode
+	if n := s.findGE(e.key, &prev); n != nil && bytes.Equal(n.entry.key, e.key) {
+		s.bytes += int64(len(e.value) - len(n.entry.value))
+		n.entry = e
+		return
+	}
+	h := s.randomHeight()
+	if h > s.height {
+		for level := s.height; level < h; level++ {
+			prev[level] = s.head
+		}
+		s.height = h
+	}
+	node := &skipNode{entry: e}
+	for level := 0; level < h; level++ {
+		node.next[level] = prev[level].next[level]
+		prev[level].next[level] = node
+	}
+	s.n++
+	s.bytes += int64(len(e.key) + len(e.value) + 24)
+}
+
+// get returns the entry for key.
+func (s *skiplist) get(k []byte) (skipEntry, bool) {
+	n := s.findGE(k, nil)
+	if n != nil && bytes.Equal(n.entry.key, k) {
+		return n.entry, true
+	}
+	return skipEntry{}, false
+}
+
+// iterate calls fn for every entry with key ≥ start, in order, until fn
+// returns false.
+func (s *skiplist) iterate(start []byte, fn func(skipEntry) bool) {
+	var n *skipNode
+	if start == nil {
+		n = s.head.next[0]
+	} else {
+		n = s.findGE(start, nil)
+	}
+	for n != nil {
+		if !fn(n.entry) {
+			return
+		}
+		n = n.next[0]
+	}
+}
+
+// len returns the entry count; sizeBytes the approximate memory footprint.
+func (s *skiplist) len() int         { return s.n }
+func (s *skiplist) sizeBytes() int64 { return s.bytes }

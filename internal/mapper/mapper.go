@@ -1,0 +1,99 @@
+// Package mapper implements PrismDB's pinning-threshold algorithm (§4.3):
+// given the tracker's clock-value distribution, decide which objects are
+// "popular enough" to stay on NVM. The mapper satisfies the threshold using
+// the highest-ranked clock values by descending rank and, at the boundary
+// clock value, randomly samples objects with the probability that exactly
+// meets the threshold.
+package mapper
+
+import "math/rand"
+
+// NumClockValues is the number of distinct clock values (2-bit clock).
+const NumClockValues = 4
+
+// Mapper converts a pinning threshold plus a clock distribution into
+// per-object pin decisions.
+type Mapper struct {
+	// Threshold is the fraction of *tracked* objects that should be
+	// pinned on NVM (the paper expresses it as a percentage of the
+	// tracker size, §7.4).
+	Threshold float64
+}
+
+// New creates a mapper with the given pinning threshold in [0, 1].
+func New(threshold float64) *Mapper {
+	if threshold < 0 {
+		threshold = 0
+	}
+	if threshold > 1 {
+		threshold = 1
+	}
+	return &Mapper{Threshold: threshold}
+}
+
+// Decider is a snapshot of pin probabilities per clock value, computed once
+// per compaction pass from the current distribution.
+type Decider struct {
+	// probs[v] is the probability an object with clock value v is pinned.
+	probs [NumClockValues]float64
+}
+
+// NewDecider computes the per-clock-value pin probabilities for the given
+// distribution. Walking from the highest clock value down: fully pin values
+// that fit in the threshold budget, take a random fraction of the boundary
+// value, and demote everything below (§4.3's worked example).
+func (m *Mapper) NewDecider(dist [NumClockValues]int) Decider {
+	var d Decider
+	total := 0
+	for _, n := range dist {
+		total += n
+	}
+	if total == 0 {
+		return d
+	}
+	budget := m.Threshold * float64(total)
+	for v := NumClockValues - 1; v >= 0; v-- {
+		n := float64(dist[v])
+		if n == 0 {
+			continue
+		}
+		switch {
+		case budget >= n:
+			d.probs[v] = 1
+			budget -= n
+		case budget > 0:
+			d.probs[v] = budget / n
+			budget = 0
+		default:
+			d.probs[v] = 0
+		}
+	}
+	return d
+}
+
+// PinProbability returns the probability an object with the given clock
+// value is pinned. Untracked objects (clock < 0) are never pinned.
+func (d Decider) PinProbability(clock int) float64 {
+	if clock < 0 || clock >= NumClockValues {
+		return 0
+	}
+	return d.probs[clock]
+}
+
+// ShouldPin decides whether to keep an object with the given clock value on
+// NVM. tracked=false objects are always demoted (the tracker does not track
+// all keys; untracked means cold). rng drives the random sampling at the
+// boundary clock value.
+func (d Decider) ShouldPin(clock int, tracked bool, rng *rand.Rand) bool {
+	if !tracked {
+		return false
+	}
+	p := d.PinProbability(clock)
+	if p >= 1 {
+		return true
+	}
+	if p <= 0 {
+		return false
+	}
+	return rng.Float64() < p
+}

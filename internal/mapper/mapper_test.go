@@ -1,0 +1,130 @@
+package mapper
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperWorkedExample(t *testing.T) {
+	// §4.3: distribution like YCSB-B — 10% clock 3, 10% clock 2,
+	// 30% clock 1, 50% clock 0; threshold 15%.
+	m := New(0.15)
+	d := m.NewDecider([4]int{500, 300, 100, 100})
+	if p := d.PinProbability(3); p != 1 {
+		t.Fatalf("clock 3 pin prob = %f, want 1 (always pinned)", p)
+	}
+	if p := d.PinProbability(2); p != 0.5 {
+		t.Fatalf("clock 2 pin prob = %f, want 0.5", p)
+	}
+	if p := d.PinProbability(1); p != 0 {
+		t.Fatalf("clock 1 pin prob = %f, want 0", p)
+	}
+	if p := d.PinProbability(0); p != 0 {
+		t.Fatalf("clock 0 pin prob = %f, want 0", p)
+	}
+}
+
+func TestThresholdBoundaries(t *testing.T) {
+	dist := [4]int{100, 100, 100, 100}
+	// Zero threshold pins nothing.
+	d0 := New(0).NewDecider(dist)
+	for v := 0; v < 4; v++ {
+		if d0.PinProbability(v) != 0 {
+			t.Fatalf("threshold 0 pins clock %d", v)
+		}
+	}
+	// Threshold 1 pins everything tracked.
+	d1 := New(1).NewDecider(dist)
+	for v := 0; v < 4; v++ {
+		if d1.PinProbability(v) != 1 {
+			t.Fatalf("threshold 1 does not pin clock %d", v)
+		}
+	}
+	// Out-of-range thresholds clamp.
+	if New(-5).Threshold != 0 || New(5).Threshold != 1 {
+		t.Fatal("threshold clamping failed")
+	}
+}
+
+func TestEmptyDistribution(t *testing.T) {
+	d := New(0.5).NewDecider([4]int{})
+	for v := 0; v < 4; v++ {
+		if d.PinProbability(v) != 0 {
+			t.Fatal("empty distribution should pin nothing")
+		}
+	}
+}
+
+func TestUntrackedNeverPinned(t *testing.T) {
+	d := New(1).NewDecider([4]int{10, 10, 10, 10})
+	rng := rand.New(rand.NewSource(1))
+	if d.ShouldPin(3, false, rng) {
+		t.Fatal("untracked object pinned")
+	}
+	if d.PinProbability(-1) != 0 || d.PinProbability(4) != 0 {
+		t.Fatal("out-of-range clock pinned")
+	}
+}
+
+func TestShouldPinSampling(t *testing.T) {
+	// Boundary clock value should be pinned with the exact fractional
+	// probability, in expectation.
+	m := New(0.15)
+	d := m.NewDecider([4]int{500, 300, 100, 100})
+	rng := rand.New(rand.NewSource(42))
+	pinned := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if d.ShouldPin(2, true, rng) {
+			pinned++
+		}
+	}
+	got := float64(pinned) / trials
+	if got < 0.47 || got > 0.53 {
+		t.Fatalf("clock-2 pin rate = %f, want ≈0.5", got)
+	}
+}
+
+func TestQuickExpectedPinnedMatchesThreshold(t *testing.T) {
+	// Property: Σ dist[v]·prob[v] ≈ threshold·total (within rounding),
+	// and probabilities are monotone in clock value.
+	f := func(d0, d1, d2, d3 uint16, thRaw uint8) bool {
+		dist := [4]int{int(d0) % 1000, int(d1) % 1000, int(d2) % 1000, int(d3) % 1000}
+		total := dist[0] + dist[1] + dist[2] + dist[3]
+		th := float64(thRaw%101) / 100
+		dec := New(th).NewDecider(dist)
+		var expected float64
+		for v := 0; v < 4; v++ {
+			p := dec.PinProbability(v)
+			if p < 0 || p > 1 {
+				return false
+			}
+			expected += p * float64(dist[v])
+		}
+		if total == 0 {
+			return expected == 0
+		}
+		want := th * float64(total)
+		if diff := expected - want; diff > 1e-6 || diff < -1e-6 {
+			return false
+		}
+		// Monotone: higher clock value never less likely to be pinned
+		// (among non-empty classes).
+		last := 2.0
+		for v := 3; v >= 0; v-- {
+			if dist[v] == 0 {
+				continue
+			}
+			p := dec.PinProbability(v)
+			if p > last+1e-12 {
+				return false
+			}
+			last = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package metrics provides log-bucketed latency histograms and counters for
+// the experiment harness: p50/p99 latencies (Figs 10, 11, 13), full CDFs
+// (Fig 14a), and throughput accounting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram records durations in logarithmic buckets (HdrHistogram-style:
+// ~4% relative error), cheap enough to sit on the critical path of a
+// simulated worker.
+type Histogram struct {
+	buckets []int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// bucketCount covers 1ns..~18s with 16 sub-buckets per power of two.
+const (
+	subBucketBits = 4
+	subBuckets    = 1 << subBucketBits
+	bucketCount   = 64 * subBuckets
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make([]int64, bucketCount), min: math.MaxInt64}
+}
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 1 {
+		v = 1
+	}
+	exp := 63 - leadingZeros(uint64(v))
+	var sub int64
+	if exp >= subBucketBits {
+		sub = (v >> (exp - subBucketBits)) & (subBuckets - 1)
+	} else {
+		sub = (v << (subBucketBits - exp)) & (subBuckets - 1)
+	}
+	idx := exp*subBuckets + int(sub)
+	if idx >= bucketCount {
+		idx = bucketCount - 1
+	}
+	return idx
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// bucketValue returns a representative value for bucket idx (its lower bound).
+func bucketValue(idx int) int64 {
+	exp := idx / subBuckets
+	sub := int64(idx % subBuckets)
+	if exp >= subBucketBits {
+		return (1 << exp) + (sub << (exp - subBucketBits))
+	}
+	return (1 << exp) + (sub >> (subBucketBits - exp))
+}
+
+// Record adds one duration observation.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Min returns the smallest observation.
+func (h *Histogram) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.max)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1), e.g. 0.5 for the median.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			v := bucketValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge adds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.count > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	Latency  time.Duration
+	Fraction float64
+}
+
+// CDF returns the cumulative distribution over the recorded observations,
+// one point per non-empty bucket.
+func (h *Histogram) CDF() []CDFPoint {
+	if h.count == 0 {
+		return nil
+	}
+	var out []CDFPoint
+	var seen int64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		out = append(out, CDFPoint{
+			Latency:  time.Duration(bucketValue(i)),
+			Fraction: float64(seen) / float64(h.count),
+		})
+	}
+	return out
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}
+
+// Sample keeps raw values for small exact distributions (used in tests to
+// validate Histogram accuracy).
+type Sample struct {
+	vals []time.Duration
+}
+
+// Record adds an observation.
+func (s *Sample) Record(d time.Duration) { s.vals = append(s.vals, d) }
+
+// Quantile returns the exact q-quantile.
+func (s *Sample) Quantile(q float64) time.Duration {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	if h.CDF() != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Record(100 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 100*time.Microsecond || h.Max() != 100*time.Microsecond {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	q := h.Quantile(0.5)
+	if q != 100*time.Microsecond {
+		t.Fatalf("p50 = %v (clamped to min/max)", q)
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	s := &Sample{}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100000; i++ {
+		// Log-uniform from 1µs to ~100ms.
+		v := time.Duration(float64(time.Microsecond) * float64(uint64(1)<<uint(rng.Intn(17))) * (1 + rng.Float64()))
+		h.Record(v)
+		s.Record(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := float64(h.Quantile(q))
+		want := float64(s.Quantile(q))
+		ratio := got / want
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Fatalf("q=%.2f: histogram %v vs exact %v (ratio %.3f)",
+				q, h.Quantile(q), s.Quantile(q), ratio)
+		}
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5 * time.Second)
+	if h.Count() != 1 || h.Min() != 0 {
+		t.Fatalf("negative record: count=%d min=%v", h.Count(), h.Min())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Record(time.Duration(i) * time.Microsecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Record(time.Duration(i) * time.Microsecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != time.Microsecond || a.Max() != 200*time.Microsecond {
+		t.Fatalf("merged min=%v max=%v", a.Min(), a.Max())
+	}
+	p50 := a.Quantile(0.5)
+	if p50 < 80*time.Microsecond || p50 > 125*time.Microsecond {
+		t.Fatalf("merged p50 = %v, want ≈100µs", p50)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(rng.Intn(1000000)))
+	}
+	cdf := h.CDF()
+	if len(cdf) == 0 {
+		t.Fatal("empty CDF")
+	}
+	prev := CDFPoint{}
+	for _, p := range cdf {
+		if p.Latency < prev.Latency || p.Fraction < prev.Fraction {
+			t.Fatalf("CDF not monotone: %+v after %+v", p, prev)
+		}
+		prev = p
+	}
+	if last := cdf[len(cdf)-1].Fraction; last != 1.0 {
+		t.Fatalf("CDF ends at %f", last)
+	}
+}
+
+func TestQuickQuantileBounds(t *testing.T) {
+	// Property: quantiles are within [min, max] and monotone in q.
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Record(time.Duration(v))
+		}
+		last := time.Duration(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+			val := h.Quantile(q)
+			if val < h.Min() || val > h.Max() || val < last {
+				return false
+			}
+			last = val
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndString(t *testing.T) {
+	h := NewHistogram()
+	h.Record(10 * time.Microsecond)
+	h.Record(20 * time.Microsecond)
+	if h.Mean() != 15*time.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,122 @@
+// Package msc implements PrismDB's multi-tiered storage compaction metric
+// (§5.2, Eq. 1): the ratio of compaction benefit (summed coldness of the
+// NVM objects a key range would demote) to cost (flash I/O per migrated
+// object). It also provides the power-of-k candidate selection of §5.3.
+package msc
+
+import "math/rand"
+
+// Policy selects how candidate ranges are scored (Fig 6).
+type Policy int
+
+const (
+	// Approx scores ranges from bucket estimates (the default; §5.3).
+	Approx Policy = iota
+	// Precise scores ranges by walking every object (accurate, CPU-heavy).
+	Precise
+	// Random picks a candidate range uniformly (the strawman baseline).
+	Random
+)
+
+// String returns the policy's name as used in the paper's figures.
+func (p Policy) String() string {
+	switch p {
+	case Approx:
+		return "approx-MSC"
+	case Precise:
+		return "precise-MSC"
+	case Random:
+		return "random-selection"
+	}
+	return "unknown"
+}
+
+// RangeStats are the inputs to the MSC formula for one candidate range.
+// Counts may be in objects or (for variable-sized workloads) bytes; the
+// formula is scale-free as long as all fields use the same unit.
+type RangeStats struct {
+	Tn      float64 // objects in the candidate NVM key range
+	Tf      float64 // objects in the overlapping flash SST file(s)
+	P       float64 // fraction of popular (pinned) objects in the NVM range
+	O       float64 // fraction of SST objects also present in the NVM range
+	Benefit float64 // Σ coldness(j) over NVM objects in the range
+}
+
+// Cost returns the flash I/O per migrated object: F·(2−o)/(1−p) + 1, where
+// F = tf/tn is the fanout (§5.2).
+func Cost(s RangeStats) float64 {
+	if s.Tn <= 0 {
+		return 0
+	}
+	f := s.Tf / s.Tn
+	p := s.P
+	if p < 0 {
+		p = 0
+	}
+	if p > 0.999 {
+		p = 0.999 // a fully-pinned range would demote nothing
+	}
+	o := s.O
+	if o < 0 {
+		o = 0
+	}
+	if o > 1 {
+		o = 1
+	}
+	return f*(2-o)/(1-p) + 1
+}
+
+// Score returns the MSC metric: benefit / cost. Ranges with no NVM objects
+// score zero (nothing to demote).
+func Score(s RangeStats) float64 {
+	if s.Tn <= 0 || s.Benefit <= 0 {
+		return 0
+	}
+	return s.Benefit / Cost(s)
+}
+
+// PickCandidates returns min(k, n) distinct indices drawn uniformly from
+// [0, n), implementing power-of-k-choices candidate selection (§5.3,
+// default k = 8). Enumerating all possible ranges is impractical for large
+// databases; scoring a random subset gets most of the benefit.
+func PickCandidates(n, k int, rng *rand.Rand) []int {
+	if n <= 0 {
+		return nil
+	}
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Partial Fisher-Yates over a sparse permutation.
+	chosen := make(map[int]int, k)
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		vi, vj := i, j
+		if v, ok := chosen[i]; ok {
+			vi = v
+		}
+		if v, ok := chosen[j]; ok {
+			vj = v
+		}
+		out = append(out, vj)
+		chosen[j] = vi
+	}
+	return out
+}
+
+// Best returns the index of the highest-scoring candidate and its score.
+// Ties go to the earliest index, keeping selection deterministic for a
+// given candidate order.
+func Best(stats []RangeStats) (int, float64) {
+	best, bestScore := -1, -1.0
+	for i, s := range stats {
+		if sc := Score(s); sc > bestScore {
+			best, bestScore = i, sc
+		}
+	}
+	return best, bestScore
+}

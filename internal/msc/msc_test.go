@@ -1,0 +1,170 @@
+package msc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCostFormula(t *testing.T) {
+	// F=1, o=0, p=0: cost = 1·2/1 + 1 = 3.
+	s := RangeStats{Tn: 100, Tf: 100, P: 0, O: 0}
+	if c := Cost(s); c != 3 {
+		t.Fatalf("Cost = %f, want 3", c)
+	}
+	// Full overlap halves the flash term: 1·1/1 + 1 = 2.
+	s.O = 1
+	if c := Cost(s); c != 2 {
+		t.Fatalf("Cost with o=1 = %f, want 2", c)
+	}
+	// Higher fanout costs more.
+	low := Cost(RangeStats{Tn: 100, Tf: 100})
+	high := Cost(RangeStats{Tn: 100, Tf: 1000})
+	if high <= low {
+		t.Fatalf("fanout 10 cost %f not > fanout 1 cost %f", high, low)
+	}
+}
+
+func TestScoreZeroCases(t *testing.T) {
+	if Score(RangeStats{Tn: 0, Benefit: 10}) != 0 {
+		t.Fatal("empty NVM range must score 0")
+	}
+	if Score(RangeStats{Tn: 10, Benefit: 0}) != 0 {
+		t.Fatal("zero benefit must score 0")
+	}
+}
+
+func TestScoreMonotoneInColdness(t *testing.T) {
+	base := RangeStats{Tn: 100, Tf: 100, P: 0.2, O: 0.3, Benefit: 50}
+	colder := base
+	colder.Benefit = 80
+	if Score(colder) <= Score(base) {
+		t.Fatal("more coldness must score higher")
+	}
+}
+
+func TestScoreDecreasesWithPinningAndFanout(t *testing.T) {
+	base := RangeStats{Tn: 100, Tf: 100, P: 0.1, O: 0.3, Benefit: 50}
+	pinned := base
+	pinned.P = 0.8
+	if Score(pinned) >= Score(base) {
+		t.Fatal("high pin ratio must lower score (sparser demotions)")
+	}
+	fanout := base
+	fanout.Tf = 800
+	if Score(fanout) >= Score(base) {
+		t.Fatal("high fanout must lower score")
+	}
+	overlap := base
+	overlap.O = 0.9
+	if Score(overlap) <= Score(base) {
+		t.Fatal("high overlap must raise score (less non-overlapping rewrite)")
+	}
+}
+
+func TestExtremePClamped(t *testing.T) {
+	s := RangeStats{Tn: 100, Tf: 100, P: 1.0, O: 0, Benefit: 10}
+	if c := Cost(s); c <= 0 || c != c { // NaN check
+		t.Fatalf("Cost with p=1 = %f, must be finite positive", c)
+	}
+	s.P = 5 // nonsense input clamps
+	if c := Cost(s); c <= 0 {
+		t.Fatalf("Cost with p>1 = %f", c)
+	}
+	s.O = -3
+	if c := Cost(s); c <= 0 {
+		t.Fatalf("Cost with o<0 = %f", c)
+	}
+}
+
+func TestPickCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// k ≥ n returns all indices.
+	got := PickCandidates(3, 8, rng)
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	// k < n returns k distinct indices in range.
+	got = PickCandidates(100, 8, rng)
+	if len(got) != 8 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		if i < 0 || i >= 100 {
+			t.Fatalf("index %d out of range", i)
+		}
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+	if PickCandidates(0, 8, rng) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestQuickPickCandidatesDistinct(t *testing.T) {
+	f := func(nRaw, kRaw uint8, seed int64) bool {
+		n := int(nRaw)%200 + 1
+		k := int(kRaw)%20 + 1
+		rng := rand.New(rand.NewSource(seed))
+		got := PickCandidates(n, k, rng)
+		want := k
+		if n < k {
+			want = n
+		}
+		if len(got) != want {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range got {
+			if i < 0 || i >= n || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickCandidatesUniform(t *testing.T) {
+	// Rough uniformity: every index of a small space is eventually chosen.
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, 10)
+	for trial := 0; trial < 2000; trial++ {
+		for _, i := range PickCandidates(10, 3, rng) {
+			counts[i]++
+		}
+	}
+	for i, c := range counts {
+		if c < 400 || c > 800 { // expected 600
+			t.Fatalf("index %d chosen %d times, want ≈600", i, c)
+		}
+	}
+}
+
+func TestBest(t *testing.T) {
+	stats := []RangeStats{
+		{Tn: 100, Tf: 100, Benefit: 10},
+		{Tn: 100, Tf: 100, Benefit: 90},
+		{Tn: 100, Tf: 100, Benefit: 50},
+	}
+	i, sc := Best(stats)
+	if i != 1 || sc <= 0 {
+		t.Fatalf("Best = %d, %f", i, sc)
+	}
+	if i, _ := Best(nil); i != -1 {
+		t.Fatalf("Best(nil) = %d", i)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Approx.String() != "approx-MSC" || Precise.String() != "precise-MSC" ||
+		Random.String() != "random-selection" || Policy(9).String() != "unknown" {
+		t.Fatal("policy names wrong")
+	}
+}

@@ -1,0 +1,121 @@
+package simdev
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PageCache models the OS page cache: an LRU of (file, page) entries.
+// PrismDB relies on the kernel page cache instead of a userspace DRAM
+// object cache (§4.1), so cache residency determines whether a slab access
+// costs a device I/O. The LSM baselines use the same structure for their
+// block caches.
+//
+// Only cache residency is tracked, not page contents: the backing store in
+// File always holds current data, so a hit simply skips the device charge.
+type PageCache struct {
+	mu       sync.Mutex
+	capacity int // pages
+	lru      *list.List
+	entries  map[pageKey]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type pageKey struct {
+	file string
+	page int64
+}
+
+// NewPageCache creates a cache holding capacityBytes worth of pages.
+// A non-positive capacity yields a cache that always misses.
+func NewPageCache(capacityBytes int64) *PageCache {
+	pages := int(capacityBytes / PageSize)
+	return &PageCache{
+		capacity: pages,
+		lru:      list.New(),
+		entries:  make(map[pageKey]*list.Element),
+	}
+}
+
+// Touch records an access to the page range [off, off+n) of file. It
+// returns the number of pages that missed (must be read from the device).
+// All touched pages become resident, evicting LRU pages as needed.
+func (c *PageCache) Touch(file string, off, n int64) (missPages int64) {
+	if n <= 0 {
+		return 0
+	}
+	first := off / PageSize
+	last := (off + n - 1) / PageSize
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for p := first; p <= last; p++ {
+		k := pageKey{file, p}
+		if el, ok := c.entries[k]; ok {
+			c.lru.MoveToFront(el)
+			c.hits++
+			continue
+		}
+		c.misses++
+		missPages++
+		if c.capacity <= 0 {
+			continue
+		}
+		for c.lru.Len() >= c.capacity {
+			back := c.lru.Back()
+			c.lru.Remove(back)
+			delete(c.entries, back.Value.(pageKey))
+		}
+		c.entries[k] = c.lru.PushFront(k)
+	}
+	return missPages
+}
+
+// Contains reports whether a single page is resident, without touching it.
+func (c *PageCache) Contains(file string, off int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[pageKey{file, off / PageSize}]
+	return ok
+}
+
+// InvalidateFile drops every resident page of the named file, as the kernel
+// does when a file is deleted. Compactions call this when removing SSTs so
+// dead files don't keep polluting the cache.
+func (c *PageCache) InvalidateFile(file string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(pageKey).file == file {
+			c.lru.Remove(el)
+			delete(c.entries, el.Value.(pageKey))
+		}
+		el = next
+	}
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (c *PageCache) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Stats returns raw hit and miss counts.
+func (c *PageCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of resident pages.
+func (c *PageCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

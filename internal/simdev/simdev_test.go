@@ -1,0 +1,382 @@
+package simdev
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %d, want 0", c.Now())
+	}
+	c.Advance(5 * time.Microsecond)
+	if got := c.Now(); got != 5000 {
+		t.Fatalf("Now = %d, want 5000", got)
+	}
+	c.Advance(-time.Second) // negative ignored
+	if got := c.Now(); got != 5000 {
+		t.Fatalf("Now after negative advance = %d, want 5000", got)
+	}
+	if stall := c.AdvanceTo(4000); stall != 0 {
+		t.Fatalf("AdvanceTo(past) stalled %v, want 0", stall)
+	}
+	if stall := c.AdvanceTo(9000); stall != 4000 {
+		t.Fatalf("AdvanceTo(future) stalled %v, want 4000ns", stall)
+	}
+	if c.Elapsed() != 9000 {
+		t.Fatalf("Elapsed = %v, want 9µs", c.Elapsed())
+	}
+}
+
+func TestDeviceServiceTime(t *testing.T) {
+	d := New(Params{
+		Name: "t", ReadLatency: 10 * time.Microsecond, WriteLatency: 20 * time.Microsecond,
+		ReadBandwidth: 1 << 30, WriteBandwidth: 1 << 30, Channels: 1, Capacity: 1 << 30,
+	})
+	// 4KB read: latency + 4096/1GiB sec ≈ 10µs + 3.8µs
+	svc := d.serviceTime(OpRead, 4096)
+	want := 10*time.Microsecond + time.Duration(4096*int64(time.Second)/(1<<30))
+	if svc != want {
+		t.Fatalf("serviceTime read = %v, want %v", svc, want)
+	}
+	// Sub-page request rounds up to one page.
+	if got := d.serviceTime(OpRead, 100); got != want {
+		t.Fatalf("sub-page serviceTime = %v, want %v", got, want)
+	}
+	// Writes use write latency/bandwidth.
+	if got := d.serviceTime(OpWrite, 4096); got <= svc {
+		t.Fatalf("write serviceTime %v not slower than read %v", got, svc)
+	}
+}
+
+func TestDeviceQueueing(t *testing.T) {
+	// One channel: second concurrent request must wait for the first.
+	d := New(Params{
+		Name: "q", ReadLatency: 100 * time.Microsecond, Channels: 1, Capacity: 1 << 30,
+	})
+	c1 := d.Access(0, OpRead, 4096)
+	c2 := d.Access(0, OpRead, 4096)
+	if c2 <= c1 {
+		t.Fatalf("second request completed at %d, not after first at %d", c2, c1)
+	}
+	if c2 != 2*c1 {
+		t.Fatalf("second request at %d, want %d (serialized)", c2, 2*c1)
+	}
+	st := d.Stats()
+	if st.QueueTime != time.Duration(c1) {
+		t.Fatalf("QueueTime = %v, want %v", st.QueueTime, time.Duration(c1))
+	}
+}
+
+func TestDeviceParallelChannels(t *testing.T) {
+	d := New(Params{
+		Name: "p", ReadLatency: 100 * time.Microsecond, Channels: 4, Capacity: 1 << 30,
+	})
+	var completions []int64
+	for i := 0; i < 4; i++ {
+		completions = append(completions, d.Access(0, OpRead, 4096))
+	}
+	for i, c := range completions {
+		if c != completions[0] {
+			t.Fatalf("request %d completed at %d, want all parallel at %d", i, c, completions[0])
+		}
+	}
+	// Fifth request queues.
+	if c := d.Access(0, OpRead, 4096); c <= completions[0] {
+		t.Fatalf("5th request at %d should queue past %d", c, completions[0])
+	}
+}
+
+func TestDeviceChannelTimesMonotonic(t *testing.T) {
+	// Property: a request issued at time now never completes before
+	// now + service, and stats count every operation.
+	d := New(Params{Name: "m", ReadLatency: time.Microsecond, Channels: 3, Capacity: 1 << 30})
+	f := func(nowRaw uint32, sizeRaw uint16, write bool) bool {
+		now := int64(nowRaw)
+		size := int64(sizeRaw) + 1
+		kind := OpRead
+		if write {
+			kind = OpWrite
+		}
+		done := d.Access(now, kind, size)
+		return done >= now+int64(d.serviceTime(kind, size))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceStatsAndWear(t *testing.T) {
+	d := New(NVMParams(1 << 30))
+	clk := NewClock()
+	d.AccessClk(clk, OpWrite, 8192)
+	d.AccessClk(clk, OpRead, 4096)
+	st := d.Stats()
+	if st.WriteOps != 1 || st.WriteBytes != 8192 {
+		t.Fatalf("write stats = %+v", st)
+	}
+	if st.ReadOps != 1 || st.ReadBytes != 4096 {
+		t.Fatalf("read stats = %+v", st)
+	}
+	if d.WearBytes() != 8192 {
+		t.Fatalf("wear = %d, want 8192", d.WearBytes())
+	}
+	d.ResetStats()
+	if got := d.Stats(); got.WriteOps != 0 || got.ReadOps != 0 {
+		t.Fatalf("stats after reset = %+v", got)
+	}
+	if d.WearBytes() != 8192 {
+		t.Fatalf("wear must survive ResetStats, got %d", d.WearBytes())
+	}
+}
+
+func TestDeviceLifetimeModel(t *testing.T) {
+	d := New(QLCParams(600 << 30)) // 600 GB, 0.1 DWPD, 5y warranty
+	tbw := d.TotalWriteBudget()
+	want := float64(600<<30) * 0.1 * 365 * 5
+	if tbw != want {
+		t.Fatalf("TBW = %g, want %g", tbw, want)
+	}
+	// Writing exactly one drive-capacity per day at 0.1 DWPD lasts 0.5y.
+	years := d.LifetimeYears(float64(600 << 30))
+	if diff := years - 0.5; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("LifetimeYears = %g, want 0.5", years)
+	}
+	if d.LifetimeYears(0) != 5 {
+		t.Fatalf("zero write rate should return warranty years")
+	}
+}
+
+func TestDeviceCost(t *testing.T) {
+	d := New(QLCParams(100 << 30))
+	if got := d.Cost(); got != 10.0 {
+		t.Fatalf("Cost = %g, want $10 for 100GB at $0.1/GB", got)
+	}
+}
+
+func TestFileCreateAppendRead(t *testing.T) {
+	d := New(NVMParams(1 << 20))
+	f, err := d.CreateFile("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CreateFile("a"); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	off, err := f.Append([]byte("hello"))
+	if err != nil || off != 0 {
+		t.Fatalf("append: off=%d err=%v", off, err)
+	}
+	off2, _ := f.Append([]byte("world"))
+	if off2 != 5 {
+		t.Fatalf("second append off=%d, want 5", off2)
+	}
+	buf := make([]byte, 10)
+	if err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "helloworld" {
+		t.Fatalf("read %q", buf)
+	}
+	if err := f.ReadAt(buf, 5); err == nil {
+		t.Fatal("out-of-range read should fail")
+	}
+	if d.Used() != 10 {
+		t.Fatalf("used = %d, want 10", d.Used())
+	}
+}
+
+func TestFileWriteAtInPlace(t *testing.T) {
+	d := New(NVMParams(1 << 20))
+	f, _ := d.CreateFile("slab")
+	if err := f.Truncate(4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteAt([]byte("xyz"), 100); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if err := f.ReadAt(buf, 100); err != nil || string(buf) != "xyz" {
+		t.Fatalf("got %q err %v", buf, err)
+	}
+	if err := f.WriteAt([]byte("abc"), 4095); err == nil {
+		t.Fatal("write past end must fail (in-place only)")
+	}
+	// Truncate shrink is a no-op.
+	if err := f.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 4096 {
+		t.Fatalf("size = %d after shrink attempt, want 4096", f.Size())
+	}
+}
+
+func TestDeviceCapacityEnforced(t *testing.T) {
+	d := New(Params{Name: "tiny", Capacity: 100, Channels: 1})
+	f, _ := d.CreateFile("f")
+	if _, err := f.Append(make([]byte, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append(make([]byte, 60)); err == nil {
+		t.Fatal("append past capacity must fail")
+	}
+	if err := d.RemoveFile("f"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Used() != 0 {
+		t.Fatalf("used after remove = %d", d.Used())
+	}
+	f2, _ := d.CreateFile("g")
+	if _, err := f2.Append(make([]byte, 100)); err != nil {
+		t.Fatalf("space not reclaimed: %v", err)
+	}
+}
+
+func TestDeviceListAndRemove(t *testing.T) {
+	d := New(NVMParams(1 << 20))
+	d.CreateFile("b")
+	d.CreateFile("a")
+	d.CreateFile("c")
+	got := d.ListFiles()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("ListFiles = %v", got)
+	}
+	if err := d.RemoveFile("nope"); err == nil {
+		t.Fatal("removing missing file should fail")
+	}
+	if _, err := d.OpenFile("b"); err != nil {
+		t.Fatal(err)
+	}
+	d.RemoveFile("b")
+	if _, err := d.OpenFile("b"); err == nil {
+		t.Fatal("open after remove should fail")
+	}
+}
+
+func TestNextFileNameUnique(t *testing.T) {
+	d := New(NVMParams(1 << 20))
+	seen := map[string]bool{}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				n := d.NextFileName("sst")
+				mu.Lock()
+				if seen[n] {
+					t.Errorf("duplicate name %s", n)
+				}
+				seen[n] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPageCacheBasics(t *testing.T) {
+	c := NewPageCache(4 * PageSize)
+	if miss := c.Touch("f", 0, PageSize); miss != 1 {
+		t.Fatalf("first touch misses = %d, want 1", miss)
+	}
+	if miss := c.Touch("f", 0, PageSize); miss != 0 {
+		t.Fatalf("second touch misses = %d, want 0", miss)
+	}
+	// Range spanning 3 pages.
+	if miss := c.Touch("f", PageSize-1, 2*PageSize); miss != 2 {
+		t.Fatalf("range touch misses = %d, want 2 (page 0 resident)", miss)
+	}
+	if !c.Contains("f", 2*PageSize) {
+		t.Fatal("page 2 should be resident")
+	}
+}
+
+func TestPageCacheEviction(t *testing.T) {
+	c := NewPageCache(2 * PageSize)
+	c.Touch("f", 0, PageSize)          // page 0
+	c.Touch("f", PageSize, PageSize)   // page 1
+	c.Touch("f", 0, PageSize)          // page 0 now MRU
+	c.Touch("f", 2*PageSize, PageSize) // page 2 evicts page 1
+	if c.Contains("f", PageSize) {
+		t.Fatal("page 1 should be evicted (LRU)")
+	}
+	if !c.Contains("f", 0) {
+		t.Fatal("page 0 should survive (was MRU)")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestPageCacheInvalidateFile(t *testing.T) {
+	c := NewPageCache(8 * PageSize)
+	c.Touch("a", 0, 2*PageSize)
+	c.Touch("b", 0, 2*PageSize)
+	c.InvalidateFile("a")
+	if c.Contains("a", 0) || c.Contains("a", PageSize) {
+		t.Fatal("file a pages should be gone")
+	}
+	if !c.Contains("b", 0) {
+		t.Fatal("file b pages should remain")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestPageCacheZeroCapacity(t *testing.T) {
+	c := NewPageCache(0)
+	if miss := c.Touch("f", 0, PageSize); miss != 1 {
+		t.Fatalf("zero-cap cache must always miss, got %d", miss)
+	}
+	if miss := c.Touch("f", 0, PageSize); miss != 1 {
+		t.Fatalf("zero-cap cache must always miss, got %d", miss)
+	}
+	if c.HitRate() != 0 {
+		t.Fatalf("hit rate = %f", c.HitRate())
+	}
+}
+
+func TestPageCacheHitRate(t *testing.T) {
+	c := NewPageCache(16 * PageSize)
+	c.Touch("f", 0, PageSize)
+	c.Touch("f", 0, PageSize)
+	c.Touch("f", 0, PageSize)
+	c.Touch("f", 0, PageSize)
+	if hr := c.HitRate(); hr != 0.75 {
+		t.Fatalf("hit rate = %f, want 0.75", hr)
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestAccessClkAdvances(t *testing.T) {
+	d := New(QLCParams(1 << 30))
+	clk := NewClock()
+	lat := d.AccessClk(clk, OpRead, 4096)
+	if lat < 391*time.Microsecond {
+		t.Fatalf("QLC read latency %v < 391µs", lat)
+	}
+	if clk.Elapsed() != lat {
+		t.Fatalf("clock %v != latency %v", clk.Elapsed(), lat)
+	}
+}
+
+func TestTierLatencyGap(t *testing.T) {
+	// Table 1: ~65× random-read gap between NVM and QLC.
+	nvm := New(NVMParams(1 << 30))
+	qlc := New(QLCParams(1 << 30))
+	nl := nvm.AccessClk(NewClock(), OpRead, 4096)
+	ql := qlc.AccessClk(NewClock(), OpRead, 4096)
+	ratio := float64(ql) / float64(nl)
+	if ratio < 40 || ratio > 90 {
+		t.Fatalf("NVM:QLC read gap = %.1fx, want ~65x", ratio)
+	}
+}

@@ -1,0 +1,224 @@
+package sst
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/prismdb/prismdb/internal/simdev"
+)
+
+// Manifest tracks the live SST files of one partition's flash log, in the
+// style of RocksDB's live-file tracking (§6): an on-device manifest file
+// records the current file set for recovery, and in-memory reference counts
+// guarantee a compaction never deletes an SST still in use by a concurrent
+// Get or Scan iterator.
+//
+// Tables are kept sorted by smallest key; within a single-level log the key
+// ranges are disjoint.
+type Manifest struct {
+	dev   *simdev.Device
+	cache *simdev.PageCache
+	name  string
+
+	mu     sync.Mutex
+	tables []*Table
+}
+
+// NewManifest creates an empty manifest backed by the named device file.
+func NewManifest(dev *simdev.Device, cache *simdev.PageCache, name string) (*Manifest, error) {
+	m := &Manifest{dev: dev, cache: cache, name: name}
+	if _, err := dev.CreateFile(name); err != nil {
+		return nil, err
+	}
+	if err := m.persist(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadManifest reopens a manifest and all live tables it references,
+// charging recovery I/O to clk.
+func LoadManifest(dev *simdev.Device, cache *simdev.PageCache, name string, clk *simdev.Clock) (*Manifest, error) {
+	f, err := dev.OpenFile(name)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, f.Size())
+	if err := f.ReadAt(data, 0); err != nil {
+		return nil, err
+	}
+	if clk != nil && len(data) > 0 {
+		dev.AccessClk(clk, simdev.OpRead, int64(len(data)))
+	}
+	if len(data) < 4 {
+		return nil, fmt.Errorf("sst: manifest %s truncated", name)
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	m := &Manifest{dev: dev, cache: cache, name: name}
+	for i := 0; i < n; i++ {
+		if len(data) < 2 {
+			return nil, fmt.Errorf("sst: manifest %s truncated entry", name)
+		}
+		nl := int(binary.LittleEndian.Uint16(data))
+		data = data[2:]
+		if len(data) < nl {
+			return nil, fmt.Errorf("sst: manifest %s truncated name", name)
+		}
+		fname := string(data[:nl])
+		data = data[nl:]
+		t, err := Open(dev, cache, fname, clk)
+		if err != nil {
+			return nil, fmt.Errorf("sst: manifest %s references %s: %v", name, fname, err)
+		}
+		t.refs = 1 // the manifest's own reference
+		m.tables = append(m.tables, t)
+	}
+	m.sortTables()
+	return m, nil
+}
+
+func (m *Manifest) sortTables() {
+	sort.Slice(m.tables, func(i, j int) bool {
+		return bytes.Compare(m.tables[i].smallest, m.tables[j].smallest) < 0
+	})
+}
+
+// persist rewrites the manifest file. Caller holds m.mu (or is initialising).
+func (m *Manifest) persist() error {
+	var buf []byte
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(m.tables)))
+	buf = append(buf, cnt[:]...)
+	for _, t := range m.tables {
+		var nl [2]byte
+		binary.LittleEndian.PutUint16(nl[:], uint16(len(t.Name())))
+		buf = append(buf, nl[:]...)
+		buf = append(buf, t.Name()...)
+	}
+	// Rewrite in place: remove and recreate (the simulation's files don't
+	// support truncating writes).
+	m.dev.RemoveFile(m.name)
+	f, err := m.dev.CreateFile(m.name)
+	if err != nil {
+		return err
+	}
+	_, err = f.Append(buf)
+	return err
+}
+
+// Apply atomically installs added tables and removes old ones, persisting
+// the new file set. Removed tables keep their files on the device until the
+// last reader releases them. Added tables must already be finished.
+func (m *Manifest) Apply(add, remove []*Table) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm := make(map[*Table]bool, len(remove))
+	for _, t := range remove {
+		rm[t] = true
+	}
+	kept := m.tables[:0]
+	for _, t := range m.tables {
+		if rm[t] {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	m.tables = kept
+	for _, t := range add {
+		t.refs++ // the manifest's reference
+		m.tables = append(m.tables, t)
+	}
+	m.sortTables()
+	if err := m.persist(); err != nil {
+		return err
+	}
+	for _, t := range remove {
+		m.unrefLocked(t)
+	}
+	return nil
+}
+
+// Current returns a snapshot of the live tables, sorted by smallest key,
+// with a reference taken on each. Callers must Release the snapshot.
+func (m *Manifest) Current() []*Table {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := make([]*Table, len(m.tables))
+	copy(snap, m.tables)
+	for _, t := range snap {
+		t.refs++
+	}
+	return snap
+}
+
+// Release drops the references taken by Current, deleting any table that
+// was removed from the manifest while the snapshot was held.
+func (m *Manifest) Release(snap []*Table) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range snap {
+		m.unrefLocked(t)
+	}
+}
+
+func (m *Manifest) unrefLocked(t *Table) {
+	t.refs--
+	if t.refs <= 0 {
+		m.dev.RemoveFile(t.Name())
+		if m.cache != nil {
+			m.cache.InvalidateFile(t.Name())
+		}
+	}
+}
+
+// Tables returns the number of live tables.
+func (m *Manifest) Tables() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.tables)
+}
+
+// TotalBytes returns the summed size of live tables.
+func (m *Manifest) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, t := range m.tables {
+		n += t.size
+	}
+	return n
+}
+
+// TotalCount returns the summed record count of live tables.
+func (m *Manifest) TotalCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int
+	for _, t := range m.tables {
+		n += t.count
+	}
+	return n
+}
+
+// MetaBytes returns the summed NVM footprint of all tables' indices and
+// filters.
+func (m *Manifest) MetaBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, t := range m.tables {
+		n += t.MetaBytes()
+	}
+	return n
+}
+
+// refsOf reports a table's current reference count (testing hook).
+func (m *Manifest) refsOf(t *Table) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return t.refs
+}

@@ -1,0 +1,594 @@
+// Package sst implements the Sorted String Table files PrismDB stores on
+// flash (§4.1): immutable files of sorted key-value records organised into
+// blocks, with a per-file index and bloom filter. As in the paper, the index
+// and filter are small enough to live on NVM; the engine accounts for their
+// footprint there while this package keeps parsed copies in memory.
+//
+// SST files store disjoint key ranges within a partition's flash log, which
+// makes point lookups a single block read.
+package sst
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/prismdb/prismdb/internal/bloom"
+	"github.com/prismdb/prismdb/internal/simdev"
+)
+
+// DefaultBlockSize is the target data-block size. Flash reads happen at
+// block granularity, so this matches the device page size.
+const DefaultBlockSize = 4096
+
+const footerMagic = 0x5052534d53535431 // "PRSMSST1"
+
+// Record is one stored entry. Tombstones persist deletes of keys whose
+// older versions may still exist in earlier flash data.
+type Record struct {
+	Key       []byte
+	Value     []byte
+	Version   uint64
+	Tombstone bool
+}
+
+// blockHandle locates a data block within the file.
+type blockHandle struct {
+	off, len int64
+	lastKey  []byte // largest key in the block
+}
+
+// Table is an open, immutable SST file. The parsed index and bloom filter
+// are retained in memory (their byte size is reported by MetaBytes so the
+// engine can charge NVM capacity for them, per §4.1).
+type Table struct {
+	file   *simdev.File
+	dev    *simdev.Device
+	cache  *simdev.PageCache
+	index  []blockHandle
+	filter *bloom.Filter
+
+	// Optional second-level cache tier (e.g. NVM as an L2 block cache in
+	// the rocksdb-l2c baseline): block reads missing the primary cache
+	// check tierCache; hits there cost a tierDev read instead of a dev
+	// read, and misses are inserted.
+	tierCache *simdev.PageCache
+	tierDev   *simdev.Device
+
+	smallest []byte
+	largest  []byte
+	count    int   // number of records
+	size     int64 // file bytes
+	refs     int   // guarded by the owning Manifest
+}
+
+// SetTierCache installs a second-level block cache backed by tierDev.
+func (t *Table) SetTierCache(c *simdev.PageCache, dev *simdev.Device) {
+	t.tierCache = c
+	t.tierDev = dev
+}
+
+// Device returns the device holding the table's file.
+func (t *Table) Device() *simdev.Device { return t.dev }
+
+// Name returns the underlying file name.
+func (t *Table) Name() string { return t.file.Name() }
+
+// Smallest returns the table's smallest key.
+func (t *Table) Smallest() []byte { return t.smallest }
+
+// Largest returns the table's largest key.
+func (t *Table) Largest() []byte { return t.largest }
+
+// Count returns the number of records.
+func (t *Table) Count() int { return t.count }
+
+// Size returns the file size in bytes.
+func (t *Table) Size() int64 { return t.size }
+
+// MetaBytes returns the bytes of index + filter the engine must account for
+// on NVM.
+func (t *Table) MetaBytes() int64 {
+	var n int64
+	for _, h := range t.index {
+		n += int64(len(h.lastKey)) + 12
+	}
+	if t.filter != nil {
+		n += int64(t.filter.SizeBytes())
+	}
+	return n
+}
+
+// Overlaps reports whether the table's key range intersects [lo, hi].
+// A nil hi means +∞; a nil lo means -∞.
+func (t *Table) Overlaps(lo, hi []byte) bool {
+	if hi != nil && bytes.Compare(t.smallest, hi) > 0 {
+		return false
+	}
+	if lo != nil && bytes.Compare(t.largest, lo) < 0 {
+		return false
+	}
+	return true
+}
+
+// appendRecord serializes a record into buf:
+// [version u64][keyLen u16][valLen u32][flags u8] key value
+func appendRecord(buf []byte, r Record) []byte {
+	var hdr [15]byte
+	binary.LittleEndian.PutUint64(hdr[0:], r.Version)
+	binary.LittleEndian.PutUint16(hdr[8:], uint16(len(r.Key)))
+	binary.LittleEndian.PutUint32(hdr[10:], uint32(len(r.Value)))
+	if r.Tombstone {
+		hdr[14] = 1
+	}
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, r.Key...)
+	buf = append(buf, r.Value...)
+	return buf
+}
+
+// decodeRecord parses one record from data, returning it and the remaining
+// bytes.
+func decodeRecord(data []byte) (Record, []byte, error) {
+	if len(data) < 15 {
+		return Record{}, nil, errors.New("sst: truncated record header")
+	}
+	version := binary.LittleEndian.Uint64(data[0:])
+	kl := int(binary.LittleEndian.Uint16(data[8:]))
+	vl := int(binary.LittleEndian.Uint32(data[10:]))
+	tomb := data[14] == 1
+	data = data[15:]
+	if len(data) < kl+vl {
+		return Record{}, nil, errors.New("sst: truncated record body")
+	}
+	rec := Record{
+		Key:       append([]byte(nil), data[:kl]...),
+		Value:     append([]byte(nil), data[kl:kl+vl]...),
+		Version:   version,
+		Tombstone: tomb,
+	}
+	return rec, data[kl+vl:], nil
+}
+
+// Writer builds an SST file. Records must be added in strictly increasing
+// key order. The file is written with one large sequential device write at
+// Finish, matching the paper's flash layout goal of large sequential writes.
+type Writer struct {
+	dev       *simdev.Device
+	cache     *simdev.PageCache
+	name      string
+	blockSize int
+
+	buf      []byte // current block
+	blocks   []blockHandle
+	data     []byte // all finished blocks
+	filter   *bloom.Filter
+	keys     [][]byte // collected for the filter
+	firstKey []byte
+	lastKey  []byte
+	count    int
+}
+
+// NewWriter starts building a table in the named file on dev.
+func NewWriter(dev *simdev.Device, cache *simdev.PageCache, name string, blockSize int) *Writer {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &Writer{dev: dev, cache: cache, name: name, blockSize: blockSize}
+}
+
+// Add appends a record. Keys must arrive in strictly increasing order.
+func (w *Writer) Add(r Record) error {
+	if w.lastKey != nil && bytes.Compare(r.Key, w.lastKey) <= 0 {
+		return fmt.Errorf("sst: keys out of order: %q after %q", r.Key, w.lastKey)
+	}
+	if w.firstKey == nil {
+		w.firstKey = append([]byte(nil), r.Key...)
+	}
+	w.lastKey = append(w.lastKey[:0], r.Key...)
+	w.buf = appendRecord(w.buf, r)
+	w.keys = append(w.keys, append([]byte(nil), r.Key...))
+	w.count++
+	if len(w.buf) >= w.blockSize {
+		w.flushBlock()
+	}
+	return nil
+}
+
+func (w *Writer) flushBlock() {
+	if len(w.buf) == 0 {
+		return
+	}
+	w.blocks = append(w.blocks, blockHandle{
+		off:     int64(len(w.data)),
+		len:     int64(len(w.buf)),
+		lastKey: append([]byte(nil), w.lastKey...),
+	})
+	w.data = append(w.data, w.buf...)
+	w.buf = w.buf[:0]
+}
+
+// Count returns the records added so far.
+func (w *Writer) Count() int { return w.count }
+
+// EstimatedSize returns the bytes buffered so far, for size-based splits.
+func (w *Writer) EstimatedSize() int64 { return int64(len(w.data) + len(w.buf)) }
+
+// Finish writes the file and returns an open Table. The write is charged as
+// one sequential flash write against clk (nil skips time accounting, e.g.
+// during test setup).
+func (w *Writer) Finish(clk *simdev.Clock) (*Table, error) {
+	if w.count == 0 {
+		return nil, errors.New("sst: cannot finish empty table")
+	}
+	w.flushBlock()
+
+	// Index block.
+	var idx []byte
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(w.blocks)))
+	idx = append(idx, cnt[:]...)
+	for _, b := range w.blocks {
+		var h [14]byte
+		binary.LittleEndian.PutUint64(h[0:], uint64(b.off))
+		binary.LittleEndian.PutUint32(h[8:], uint32(b.len))
+		binary.LittleEndian.PutUint16(h[12:], uint16(len(b.lastKey)))
+		idx = append(idx, h[:]...)
+		idx = append(idx, b.lastKey...)
+	}
+	// Smallest key, for reopening.
+	var skl [2]byte
+	binary.LittleEndian.PutUint16(skl[:], uint16(len(w.firstKey)))
+	idx = append(idx, skl[:]...)
+	idx = append(idx, w.firstKey...)
+
+	// Bloom filter block.
+	w.filter = bloom.New(len(w.keys), 0.01)
+	for _, k := range w.keys {
+		w.filter.Add(k)
+	}
+	fb := w.filter.Bytes()
+
+	// Assemble: data | index | filter | footer.
+	out := make([]byte, 0, len(w.data)+len(idx)+len(fb)+48)
+	out = append(out, w.data...)
+	idxOff := int64(len(out))
+	out = append(out, idx...)
+	fOff := int64(len(out))
+	out = append(out, fb...)
+	var footer [48]byte
+	binary.LittleEndian.PutUint64(footer[0:], uint64(idxOff))
+	binary.LittleEndian.PutUint64(footer[8:], uint64(len(idx)))
+	binary.LittleEndian.PutUint64(footer[16:], uint64(fOff))
+	binary.LittleEndian.PutUint64(footer[24:], uint64(len(fb)))
+	binary.LittleEndian.PutUint64(footer[32:], uint64(w.count))
+	binary.LittleEndian.PutUint64(footer[40:], footerMagic)
+	out = append(out, footer[:]...)
+
+	f, err := w.dev.CreateFile(w.name)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Append(out); err != nil {
+		w.dev.RemoveFile(w.name)
+		return nil, err
+	}
+	if clk != nil {
+		w.dev.AccessClk(clk, simdev.OpWrite, int64(len(out)))
+	}
+	return &Table{
+		file:     f,
+		dev:      w.dev,
+		cache:    w.cache,
+		index:    w.blocks,
+		filter:   w.filter,
+		smallest: w.firstKey,
+		largest:  append([]byte(nil), w.lastKey...),
+		count:    w.count,
+		size:     int64(len(out)),
+	}, nil
+}
+
+// Open loads an existing SST file's metadata (footer, index, filter). Used
+// during recovery; charges one sequential read of the metadata if clk is
+// non-nil.
+func Open(dev *simdev.Device, cache *simdev.PageCache, name string, clk *simdev.Clock) (*Table, error) {
+	f, err := dev.OpenFile(name)
+	if err != nil {
+		return nil, err
+	}
+	size := f.Size()
+	if size < 48 {
+		return nil, fmt.Errorf("sst: %s too small (%d bytes)", name, size)
+	}
+	var footer [48]byte
+	if err := f.ReadAt(footer[:], size-48); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(footer[40:]) != footerMagic {
+		return nil, fmt.Errorf("sst: %s bad magic", name)
+	}
+	idxOff := int64(binary.LittleEndian.Uint64(footer[0:]))
+	idxLen := int64(binary.LittleEndian.Uint64(footer[8:]))
+	fOff := int64(binary.LittleEndian.Uint64(footer[16:]))
+	fLen := int64(binary.LittleEndian.Uint64(footer[24:]))
+	count := int(binary.LittleEndian.Uint64(footer[32:]))
+	if idxOff < 0 || idxOff+idxLen > size || fOff < 0 || fOff+fLen > size {
+		return nil, fmt.Errorf("sst: %s corrupt footer", name)
+	}
+
+	idx := make([]byte, idxLen)
+	if err := f.ReadAt(idx, idxOff); err != nil {
+		return nil, err
+	}
+	if clk != nil {
+		dev.AccessClk(clk, simdev.OpRead, idxLen+fLen)
+	}
+	if len(idx) < 4 {
+		return nil, fmt.Errorf("sst: %s truncated index", name)
+	}
+	nBlocks := int(binary.LittleEndian.Uint32(idx))
+	idx = idx[4:]
+	blocks := make([]blockHandle, 0, nBlocks)
+	for i := 0; i < nBlocks; i++ {
+		if len(idx) < 14 {
+			return nil, fmt.Errorf("sst: %s truncated index entry", name)
+		}
+		off := int64(binary.LittleEndian.Uint64(idx[0:]))
+		blen := int64(binary.LittleEndian.Uint32(idx[8:]))
+		kl := int(binary.LittleEndian.Uint16(idx[12:]))
+		idx = idx[14:]
+		if len(idx) < kl {
+			return nil, fmt.Errorf("sst: %s truncated index key", name)
+		}
+		blocks = append(blocks, blockHandle{
+			off: off, len: blen,
+			lastKey: append([]byte(nil), idx[:kl]...),
+		})
+		idx = idx[kl:]
+	}
+	if len(idx) < 2 {
+		return nil, fmt.Errorf("sst: %s missing smallest key", name)
+	}
+	skl := int(binary.LittleEndian.Uint16(idx))
+	idx = idx[2:]
+	if len(idx) < skl {
+		return nil, fmt.Errorf("sst: %s truncated smallest key", name)
+	}
+	smallest := append([]byte(nil), idx[:skl]...)
+
+	fb := make([]byte, fLen)
+	if err := f.ReadAt(fb, fOff); err != nil {
+		return nil, err
+	}
+	filter, err := bloom.FromBytes(fb)
+	if err != nil {
+		return nil, fmt.Errorf("sst: %s: %v", name, err)
+	}
+	if nBlocks == 0 {
+		return nil, fmt.Errorf("sst: %s has no blocks", name)
+	}
+	return &Table{
+		file:     f,
+		dev:      dev,
+		cache:    cache,
+		index:    blocks,
+		filter:   filter,
+		smallest: smallest,
+		largest:  blocks[len(blocks)-1].lastKey,
+		count:    count,
+		size:     size,
+	}, nil
+}
+
+// MayContain consults the bloom filter (held on NVM; no flash I/O).
+func (t *Table) MayContain(key []byte) bool {
+	return t.filter.MayContain(key)
+}
+
+// Get looks up key. A bloom-filter miss costs nothing; otherwise one data
+// block is read from flash (through the page cache). Returns (rec, true) if
+// found — including tombstones, which callers must check.
+func (t *Table) Get(clk *simdev.Clock, key []byte) (Record, bool, error) {
+	if !t.filter.MayContain(key) {
+		return Record{}, false, nil
+	}
+	// Binary search for the first block whose lastKey ≥ key.
+	lo, hi := 0, len(t.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(t.index[mid].lastKey, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(t.index) {
+		return Record{}, false, nil
+	}
+	blk, err := t.readBlock(clk, t.index[lo])
+	if err != nil {
+		return Record{}, false, err
+	}
+	for len(blk) > 0 {
+		rec, rest, err := decodeRecord(blk)
+		if err != nil {
+			return Record{}, false, err
+		}
+		switch bytes.Compare(rec.Key, key) {
+		case 0:
+			return rec, true, nil
+		case 1:
+			return Record{}, false, nil
+		}
+		blk = rest
+	}
+	return Record{}, false, nil
+}
+
+// readBlock fetches a data block, charging flash I/O for page-cache misses.
+func (t *Table) readBlock(clk *simdev.Clock, h blockHandle) ([]byte, error) {
+	buf := make([]byte, h.len)
+	if err := t.file.ReadAt(buf, h.off); err != nil {
+		return nil, err
+	}
+	if clk != nil {
+		miss := int64(1 + (h.len-1)/simdev.PageSize)
+		if t.cache != nil {
+			miss = t.cache.Touch(t.file.Name(), h.off, h.len)
+		}
+		if miss > 0 {
+			if t.tierCache != nil && t.tierDev != nil {
+				// Pages absent from DRAM may still sit in the L2 tier.
+				tierMiss := t.tierCache.Touch(t.file.Name(), h.off, h.len)
+				if tierHits := miss - tierMiss; tierHits > 0 {
+					t.tierDev.AccessClk(clk, simdev.OpRead, tierHits*simdev.PageSize)
+				}
+				if tierMiss > 0 {
+					t.dev.AccessClk(clk, simdev.OpRead, tierMiss*simdev.PageSize)
+					// Filling the L2 cache costs a tier write.
+					t.tierDev.AccessClk(clk, simdev.OpWrite, tierMiss*simdev.PageSize)
+				}
+			} else {
+				t.dev.AccessClk(clk, simdev.OpRead, miss*simdev.PageSize)
+			}
+		}
+	}
+	return buf, nil
+}
+
+// ReadAll streams every record to fn in key order, charging one sequential
+// read of the data section. Compactions use this to merge tables.
+func (t *Table) ReadAll(clk *simdev.Clock, fn func(Record) error) error {
+	if clk != nil {
+		var dataLen int64
+		for _, h := range t.index {
+			dataLen += h.len
+		}
+		t.dev.AccessClk(clk, simdev.OpRead, dataLen)
+	}
+	for _, h := range t.index {
+		buf := make([]byte, h.len)
+		if err := t.file.ReadAt(buf, h.off); err != nil {
+			return err
+		}
+		for len(buf) > 0 {
+			rec, rest, err := decodeRecord(buf)
+			if err != nil {
+				return err
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+			buf = rest
+		}
+	}
+	return nil
+}
+
+// Iter returns an iterator positioned at the first key ≥ start (nil = min).
+// Block reads are charged lazily as the iterator crosses block boundaries;
+// with prefetch enabled, sequential block reads are batched (modeling
+// RocksDB's readahead, which PrismDB lacks — §7.2).
+func (t *Table) Iter(clk *simdev.Clock, start []byte, prefetch bool) *Iter {
+	it := &Iter{t: t, clk: clk, prefetch: prefetch, blockIdx: -1}
+	it.seek(start)
+	return it
+}
+
+// Iter iterates a table in key order.
+type Iter struct {
+	t        *Table
+	clk      *simdev.Clock
+	prefetch bool
+
+	blockIdx int
+	recs     []Record
+	pos      int
+	err      error
+}
+
+func (it *Iter) seek(start []byte) {
+	idx := 0
+	if start != nil {
+		lo, hi := 0, len(it.t.index)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if bytes.Compare(it.t.index[mid].lastKey, start) < 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		idx = lo
+	}
+	it.loadBlock(idx)
+	if start != nil {
+		for it.pos < len(it.recs) && bytes.Compare(it.recs[it.pos].Key, start) < 0 {
+			it.pos++
+		}
+		if it.pos == len(it.recs) {
+			it.loadBlock(it.blockIdx + 1)
+		}
+	}
+}
+
+func (it *Iter) loadBlock(idx int) {
+	it.recs = it.recs[:0]
+	it.pos = 0
+	it.blockIdx = idx
+	if idx >= len(it.t.index) {
+		return
+	}
+	n := 1
+	if it.prefetch {
+		// Model readahead: fetch up to 8 blocks in one device request.
+		if n = len(it.t.index) - idx; n > 8 {
+			n = 8
+		}
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		h := it.t.index[idx+i]
+		buf := make([]byte, h.len)
+		if err := it.t.file.ReadAt(buf, h.off); err != nil {
+			it.err = err
+			return
+		}
+		if it.t.cache != nil {
+			it.t.cache.Touch(it.t.file.Name(), h.off, h.len)
+		}
+		total += h.len
+		for len(buf) > 0 {
+			rec, rest, err := decodeRecord(buf)
+			if err != nil {
+				it.err = err
+				return
+			}
+			it.recs = append(it.recs, rec)
+			buf = rest
+		}
+	}
+	it.blockIdx = idx + n - 1
+	if it.clk != nil && total > 0 {
+		it.t.dev.AccessClk(it.clk, simdev.OpRead, total)
+	}
+}
+
+// Valid reports whether the iterator is positioned at a record.
+func (it *Iter) Valid() bool { return it.err == nil && it.pos < len(it.recs) }
+
+// Record returns the current record; only valid when Valid().
+func (it *Iter) Record() Record { return it.recs[it.pos] }
+
+// Next advances the iterator.
+func (it *Iter) Next() {
+	it.pos++
+	if it.pos >= len(it.recs) && it.err == nil {
+		it.loadBlock(it.blockIdx + 1)
+	}
+}
+
+// Err returns any I/O error encountered.
+func (it *Iter) Err() error { return it.err }

@@ -1,0 +1,222 @@
+// Package prismdb is a key-value store for two-tier NVMe storage, a Go
+// reproduction of "Efficient Compactions Between Storage Tiers with
+// PrismDB" (Raina, Lu, Cidon, Freedman — ASPLOS 2023).
+//
+// PrismDB keeps hot objects in slab files on a fast NVM tier (fast random
+// writes, in-place updates) and cold objects in a sorted log of SST files
+// on a cheap dense-flash tier (large sequential writes). A clock-based
+// tracker estimates object popularity, a mapper enforces a pinning
+// threshold over the tracker's clock-value distribution, and the
+// multi-tiered storage compaction (MSC) metric — benefit (coldness demoted)
+// over cost (flash I/O per migrated byte) — selects which key ranges to
+// compact between tiers. Under read-heavy workloads, read-triggered
+// compactions promote hot flash objects back to NVM.
+//
+// The storage tiers are simulated NVMe devices (package simdev) with the
+// latency, bandwidth, endurance, and cost parameters of the paper's Intel
+// Optane P5800X and Intel 660p QLC drives; all engine time runs on virtual
+// clocks, so throughput and latency results are reproducible and fast to
+// generate while preserving every queueing and contention effect the paper
+// depends on.
+//
+// Quickstart:
+//
+//	cfg := prismdb.RecommendedConfig(prismdb.TierSpec{
+//		TotalBytes:  1 << 30, // 1 GiB database
+//		NVMFraction: 0.11,    // ~10% NVM, 90% QLC — the paper's het10
+//	})
+//	db, err := prismdb.Open(cfg)
+//	...
+//	db.Put([]byte("user42"), []byte("v1"))
+//	v, tier, lat, err := db.Get([]byte("user42"))
+package prismdb
+
+import (
+	"time"
+
+	"github.com/prismdb/prismdb/internal/core"
+	"github.com/prismdb/prismdb/internal/msc"
+	"github.com/prismdb/prismdb/internal/simdev"
+	"github.com/prismdb/prismdb/internal/tracker"
+)
+
+// Re-exported option and result types.
+type (
+	// Options configure a DB; see core.Options for field semantics.
+	Options = core.Options
+	// Stats are cumulative engine counters.
+	Stats = core.Stats
+	// Tier identifies the level of the storage hierarchy that served a
+	// read: DRAM (page cache), NVM, flash, or a miss.
+	Tier = core.Tier
+	// KV is a scan result element.
+	KV = core.KV
+	// CPUCosts is the engine's CPU cost model.
+	CPUCosts = core.CPUCosts
+	// ReadTriggerOptions configure read-triggered compactions.
+	ReadTriggerOptions = core.ReadTriggerOptions
+	// Device is a simulated NVMe device.
+	Device = simdev.Device
+	// DeviceParams describe a simulated device.
+	DeviceParams = simdev.Params
+	// PageCache models the OS page cache.
+	PageCache = simdev.PageCache
+	// CompactionPolicy selects MSC scoring (approx, precise, random).
+	CompactionPolicy = msc.Policy
+)
+
+// Tiers a read can be served from.
+const (
+	TierDRAM  = core.TierDRAM
+	TierNVM   = core.TierNVM
+	TierFlash = core.TierFlash
+	TierMiss  = core.TierMiss
+)
+
+// Compaction policies (Fig 6).
+const (
+	ApproxMSC  = msc.Approx
+	PreciseMSC = msc.Precise
+	RandomSel  = msc.Random
+)
+
+// Device constructors with the paper's Table-1 parameters.
+var (
+	// NVMDevice models an Intel Optane SSD P5800X of the given capacity.
+	NVMDevice = func(capacity int64) *Device { return simdev.New(simdev.NVMParams(capacity)) }
+	// QLCDevice models an Intel 660p QLC drive.
+	QLCDevice = func(capacity int64) *Device { return simdev.New(simdev.QLCParams(capacity)) }
+	// TLCDevice models an Intel 760p TLC drive.
+	TLCDevice = func(capacity int64) *Device { return simdev.New(simdev.TLCParams(capacity)) }
+	// NewPageCache models an OS page cache of the given size.
+	NewPageCache = simdev.NewPageCache
+)
+
+// DB is a PrismDB instance.
+type DB struct {
+	inner *core.DB
+}
+
+// Open creates or recovers a database. Options.NVM and Options.Flash are
+// required; reopening with devices that already hold PrismDB state recovers
+// from the slabs and manifests (PrismDB has no WAL — slab writes are
+// synchronous and versioned).
+func Open(opts Options) (*DB, error) {
+	inner, err := core.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// TierSpec sizes a two-tier deployment.
+type TierSpec struct {
+	// TotalBytes is the database capacity across both tiers.
+	TotalBytes int64
+	// NVMFraction is the share of capacity on NVM (the paper evaluates
+	// 0.05–0.5; het10 ≈ 0.11 matches TLC flash cost).
+	NVMFraction float64
+	// DatasetKeys sizes the tracker, key-index domain, and read-trigger
+	// epochs. Defaults to TotalBytes / 1 KiB.
+	DatasetKeys int
+	// Partitions defaults to 8.
+	Partitions int
+	// DRAMBytes sizes the OS page cache (defaults to TotalBytes / 10,
+	// the paper's 1:10 DRAM:storage ratio).
+	DRAMBytes int64
+}
+
+// RecommendedConfig builds Options matching the paper's evaluation setup:
+// NVM:flash split per the spec, tracker = 20% of keys, pinning threshold
+// 0.7, approx-MSC with power-of-8 candidate selection, promotions plus
+// read-triggered compactions enabled.
+func RecommendedConfig(spec TierSpec) Options {
+	if spec.TotalBytes <= 0 {
+		spec.TotalBytes = 1 << 30
+	}
+	if spec.NVMFraction <= 0 || spec.NVMFraction >= 1 {
+		spec.NVMFraction = 0.11
+	}
+	if spec.DatasetKeys <= 0 {
+		spec.DatasetKeys = int(spec.TotalBytes / 1024)
+	}
+	if spec.Partitions <= 0 {
+		spec.Partitions = 8
+	}
+	if spec.DRAMBytes <= 0 {
+		spec.DRAMBytes = spec.TotalBytes / 10
+	}
+	nvmBytes := int64(float64(spec.TotalBytes) * spec.NVMFraction)
+	flashBytes := spec.TotalBytes - nvmBytes
+	nvmDev := nvmBytes * 4 // headroom: slab extents round up per partition and class
+	if nvmDev < 8<<20 {
+		nvmDev = 8 << 20
+	}
+	return Options{
+		Partitions:       spec.Partitions,
+		NVM:              NVMDevice(nvmDev),
+		Flash:            QLCDevice(flashBytes * 4),
+		Cache:            NewPageCache(spec.DRAMBytes),
+		NVMBudget:        nvmBytes,
+		TrackerCapacity:  spec.DatasetKeys / 5,
+		PinningThreshold: 0.7,
+		KeySpace:         uint64(spec.DatasetKeys) * 2,
+		Promotions:       true,
+		ReadTrigger:      core.DefaultReadTrigger(spec.DatasetKeys),
+	}
+}
+
+// Put writes key=value, returning the simulated operation latency.
+func (db *DB) Put(key, value []byte) (time.Duration, error) {
+	return db.inner.Put(key, value)
+}
+
+// Get returns the newest value for key, the tier that served the read, and
+// the simulated latency. Missing keys return (nil, TierMiss, lat, nil).
+func (db *DB) Get(key []byte) ([]byte, Tier, time.Duration, error) {
+	return db.inner.Get(key)
+}
+
+// Delete removes key.
+func (db *DB) Delete(key []byte) (time.Duration, error) {
+	return db.inner.Delete(key)
+}
+
+// Scan returns up to n live objects with keys ≥ start in global key order.
+func (db *DB) Scan(start []byte, n int) ([]KV, time.Duration, error) {
+	return db.inner.Scan(start, n)
+}
+
+// Stats returns cumulative engine counters.
+func (db *DB) Stats() Stats { return db.inner.Stats() }
+
+// ResetStats zeroes counters (e.g. after a warm-up phase).
+func (db *DB) ResetStats() { db.inner.ResetStats() }
+
+// Elapsed returns the virtual wall-clock time consumed so far.
+func (db *DB) Elapsed() time.Duration { return db.inner.Elapsed() }
+
+// AdvanceAll aligns all partition clocks to the global maximum (call
+// between experiment phases).
+func (db *DB) AdvanceAll() { db.inner.AdvanceAll() }
+
+// ClockDistribution returns the tracker's clock-value histogram (Fig 5).
+func (db *DB) ClockDistribution() [tracker.MaxClock + 1]int {
+	return db.inner.ClockDistribution()
+}
+
+// NVMUsage returns current NVM consumption and the configured budget.
+func (db *DB) NVMUsage() (used, budget int64) { return db.inner.NVMUsage() }
+
+// Partitions returns the partition count.
+func (db *DB) Partitions() int { return db.inner.Partitions() }
+
+// Close flushes nothing (writes are synchronous) and releases nothing (the
+// simulation owns no OS resources); it exists for API symmetry.
+func (db *DB) Close() error { return db.inner.Close() }
+
+// DefaultReadTrigger returns the paper's read-trigger defaults scaled to a
+// dataset size.
+func DefaultReadTrigger(datasetKeys int) ReadTriggerOptions {
+	return core.DefaultReadTrigger(datasetKeys)
+}

@@ -1,0 +1,248 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind is a request type.
+type OpKind int
+
+const (
+	// OpRead is a point lookup.
+	OpRead OpKind = iota
+	// OpUpdate overwrites an existing key.
+	OpUpdate
+	// OpInsert writes a brand-new key.
+	OpInsert
+	// OpScan is a range query.
+	OpScan
+	// OpRMW is a read-modify-write (YCSB-F).
+	OpRMW
+)
+
+// String names the op.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpScan:
+		return "scan"
+	case OpRMW:
+		return "rmw"
+	}
+	return "unknown"
+}
+
+// Op is one generated request.
+type Op struct {
+	Kind    OpKind
+	Key     []byte
+	Value   []byte // for updates/inserts/RMW
+	ScanLen int    // for scans
+}
+
+// Mix is the operation proportions of a workload.
+type Mix struct {
+	Read, Update, Insert, Scan, RMW float64
+}
+
+// Distribution selects the key popularity model.
+type Distribution int
+
+const (
+	// DistZipfian is scrambled zipfian (YCSB default, θ = 0.99).
+	DistZipfian Distribution = iota
+	// DistUniform is uniform.
+	DistUniform
+	// DistLatest skews to recently inserted keys (YCSB-D).
+	DistLatest
+)
+
+// Config fully describes a workload.
+type Config struct {
+	Name  string
+	Keys  int // initial dataset size
+	Mix   Mix
+	Dist  Distribution
+	Theta float64 // zipfian parameter
+	// ValueSize is the object size; if ValueSizeSigma > 0, sizes are
+	// log-normal-ish around ValueSize (Twitter traces).
+	ValueSize      int
+	ValueSizeSigma float64
+	MaxScanLen     int
+	Seed           int64
+}
+
+// YCSB returns the standard workload configs of Table 4. w is 'A'..'F'.
+// theta is the zipfian parameter (pass 0 for the YCSB default 0.99).
+func YCSB(w byte, keys, valueSize int, theta float64, seed int64) (Config, error) {
+	if theta == 0 {
+		theta = 0.99
+	}
+	c := Config{
+		Name:       fmt.Sprintf("ycsb-%c", w),
+		Keys:       keys,
+		Dist:       DistZipfian,
+		Theta:      theta,
+		ValueSize:  valueSize,
+		MaxScanLen: 100,
+		Seed:       seed,
+	}
+	switch w {
+	case 'A', 'a':
+		c.Mix = Mix{Read: 0.5, Update: 0.5}
+	case 'B', 'b':
+		c.Mix = Mix{Read: 0.95, Update: 0.05}
+	case 'C', 'c':
+		c.Mix = Mix{Read: 1.0}
+	case 'D', 'd':
+		c.Mix = Mix{Read: 0.95, Insert: 0.05}
+		c.Dist = DistLatest
+	case 'E', 'e':
+		c.Mix = Mix{Scan: 0.95, Insert: 0.05}
+	case 'F', 'f':
+		c.Mix = Mix{Read: 0.5, RMW: 0.5}
+	default:
+		return c, fmt.Errorf("workload: unknown YCSB workload %q", w)
+	}
+	return c, nil
+}
+
+// Twitter returns a synthetic equivalent of one of the paper's three
+// production traces (Table 5 / Yang et al. OSDI'20). name is "cluster39"
+// (write-heavy, uniform writes), "cluster19" (mixed, zipf reads + uniform
+// writes, tiny 102 B objects), or "cluster51" (read-heavy, zipfian, 370 B).
+func Twitter(name string, keys int, seed int64) (Config, error) {
+	c := Config{Name: name, Keys: keys, Seed: seed, MaxScanLen: 0}
+	switch name {
+	case "cluster39":
+		c.Mix = Mix{Read: 0.06, Update: 0.94}
+		c.Dist = DistUniform
+		c.ValueSize = 230
+		c.ValueSizeSigma = 0.3
+	case "cluster19":
+		c.Mix = Mix{Read: 0.75, Update: 0.25}
+		c.Dist = DistZipfian
+		c.Theta = 0.9
+		c.ValueSize = 102
+		c.ValueSizeSigma = 0.2
+	case "cluster51":
+		c.Mix = Mix{Read: 0.90, Update: 0.10}
+		c.Dist = DistZipfian
+		c.Theta = 1.2
+		c.ValueSize = 370
+		c.ValueSizeSigma = 0.3
+	default:
+		return c, fmt.Errorf("workload: unknown Twitter trace %q", name)
+	}
+	return c, nil
+}
+
+// Generator produces an operation stream from a Config.
+type Generator struct {
+	cfg      Config
+	rng      *rand.Rand
+	zipf     *Zipfian
+	uni      *Uniform
+	latest   *Latest
+	inserted int
+}
+
+// NewGenerator builds a generator. The caller should first load the initial
+// dataset via LoadKey/LoadValue for i in [0, cfg.Keys).
+func NewGenerator(cfg Config) *Generator {
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	theta := cfg.Theta
+	if theta == 0 {
+		theta = 0.99
+	}
+	switch cfg.Dist {
+	case DistUniform:
+		g.uni = NewUniform(cfg.Keys)
+	case DistLatest:
+		g.latest = NewLatest(cfg.Keys, theta, func() int { return g.cfg.Keys + g.inserted })
+	default:
+		g.zipf = NewZipfian(cfg.Keys, theta, true)
+	}
+	return g
+}
+
+// Keys returns the current dataset size (initial + inserts).
+func (g *Generator) Keys() int { return g.cfg.Keys + g.inserted }
+
+// LoadKey returns the i-th key for the load phase.
+func (g *Generator) LoadKey(i int) []byte { return KeyOf(i) }
+
+// LoadValue returns a deterministic value for the i-th key.
+func (g *Generator) LoadValue(i int) []byte {
+	return g.valueFor(rand.New(rand.NewSource(g.cfg.Seed ^ int64(i))))
+}
+
+func (g *Generator) valueFor(rng *rand.Rand) []byte {
+	size := g.cfg.ValueSize
+	if size <= 0 {
+		size = 1024
+	}
+	if g.cfg.ValueSizeSigma > 0 {
+		f := 1 + g.cfg.ValueSizeSigma*rng.NormFloat64()
+		if f < 0.3 {
+			f = 0.3
+		}
+		if f > 3 {
+			f = 3
+		}
+		size = int(float64(size) * f)
+		if size < 16 {
+			size = 16
+		}
+	}
+	v := make([]byte, size)
+	for i := range v {
+		v[i] = byte('a' + rng.Intn(26))
+	}
+	return v
+}
+
+// nextKeyIdx draws a key index per the distribution.
+func (g *Generator) nextKeyIdx() int {
+	switch {
+	case g.uni != nil:
+		return g.uni.Next(g.rng)
+	case g.latest != nil:
+		return g.latest.Next(g.rng)
+	default:
+		return g.zipf.Next(g.rng)
+	}
+}
+
+// Next produces the next operation.
+func (g *Generator) Next() Op {
+	r := g.rng.Float64()
+	m := g.cfg.Mix
+	switch {
+	case r < m.Read:
+		return Op{Kind: OpRead, Key: KeyOf(g.nextKeyIdx())}
+	case r < m.Read+m.Update:
+		return Op{Kind: OpUpdate, Key: KeyOf(g.nextKeyIdx()), Value: g.valueFor(g.rng)}
+	case r < m.Read+m.Update+m.Insert:
+		idx := g.cfg.Keys + g.inserted
+		g.inserted++
+		return Op{Kind: OpInsert, Key: KeyOf(idx), Value: g.valueFor(g.rng)}
+	case r < m.Read+m.Update+m.Insert+m.Scan:
+		ln := 1
+		if g.cfg.MaxScanLen > 1 {
+			ln = 1 + g.rng.Intn(g.cfg.MaxScanLen)
+		}
+		return Op{Kind: OpScan, Key: KeyOf(g.nextKeyIdx()), ScanLen: ln}
+	default:
+		return Op{Kind: OpRMW, Key: KeyOf(g.nextKeyIdx()), Value: g.valueFor(g.rng)}
+	}
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
