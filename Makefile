@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with lock-free or multi-goroutine
+# paths (manifest snapshots, parallel partition driver, shared devices).
+race:
+	$(GO) test -race ./internal/core/ ./internal/sst/ ./internal/simdev/ ./bench/
+
+# Runs the harness benchmarks and emits BENCH_<date>.json so the perf
+# trajectory is tracked per PR. See scripts/bench.sh for knobs.
+bench:
+	./scripts/bench.sh

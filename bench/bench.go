@@ -118,6 +118,14 @@ type Setup struct {
 	// TrackerFraction overrides the tracker's share of the key space
 	// (paper default 0.2).
 	TrackerFraction float64
+	// ParallelDriver drives PrismDB's shared-nothing partitions with one
+	// worker goroutine each instead of the serial lockstep scheduler.
+	// Per-partition op order (and thus each partition's virtual-time
+	// causality) is preserved; cross-partition device queueing becomes
+	// scheduling-dependent, so virtual-time results may vary slightly
+	// between runs. Use it for wall-clock throughput; use the serial
+	// driver for bit-reproducible virtual-time experiments.
+	ParallelDriver bool
 }
 
 // Result is one experiment row.
@@ -127,6 +135,12 @@ type Result struct {
 	Elapsed        time.Duration
 	ThroughputKops float64
 	MeanLatency    time.Duration
+
+	// HostElapsed is the real (host) wall-clock time of the measured
+	// phase, and HostKops the host ops/sec — the harness's own speed, as
+	// opposed to the simulated throughput above.
+	HostElapsed time.Duration
+	HostKops    float64
 
 	ReadHist   *metrics.Histogram
 	UpdateHist *metrics.Histogram
@@ -183,21 +197,31 @@ type kvEngine interface {
 	AdvanceAll()
 }
 
-type prismEngine struct{ db *core.DB }
+// prismEngine adapts core.DB to the harness interface. Each engine owns a
+// reused value buffer so the measured Get loop rides the DB's
+// allocation-free read path; workers of the parallel driver therefore each
+// get their own prismEngine (see driveOpsParallel).
+type prismEngine struct {
+	db  *core.DB
+	buf []byte
+}
 
-func (e prismEngine) Put(k, v []byte) (time.Duration, error) { return e.db.Put(k, v) }
-func (e prismEngine) Get(k []byte) (bool, time.Duration, error) {
-	_, tier, lat, err := e.db.Get(k)
+func (e *prismEngine) Put(k, v []byte) (time.Duration, error) { return e.db.Put(k, v) }
+func (e *prismEngine) Get(k []byte) (bool, time.Duration, error) {
+	v, tier, lat, err := e.db.GetBuf(k, e.buf)
+	if cap(v) > cap(e.buf) {
+		e.buf = v[:0]
+	}
 	return tier != core.TierMiss, lat, err
 }
-func (e prismEngine) Scan(start []byte, n int) (time.Duration, error) {
+func (e *prismEngine) Scan(start []byte, n int) (time.Duration, error) {
 	_, lat, err := e.db.Scan(start, n)
 	return lat, err
 }
-func (e prismEngine) Delete(k []byte) (time.Duration, error) { return e.db.Delete(k) }
-func (e prismEngine) Elapsed() time.Duration                 { return e.db.Elapsed() }
-func (e prismEngine) ResetStats()                            { e.db.ResetStats() }
-func (e prismEngine) AdvanceAll()                            { e.db.AdvanceAll() }
+func (e *prismEngine) Delete(k []byte) (time.Duration, error) { return e.db.Delete(k) }
+func (e *prismEngine) Elapsed() time.Duration                 { return e.db.Elapsed() }
+func (e *prismEngine) ResetStats()                            { e.db.ResetStats() }
+func (e *prismEngine) AdvanceAll()                            { e.db.AdvanceAll() }
 
 type lsmEngine struct{ db *lsm.DB }
 
@@ -215,6 +239,12 @@ func (e lsmEngine) Elapsed() time.Duration                 { return e.db.Elapsed
 func (e lsmEngine) ResetStats()                            { e.db.ResetStats() }
 func (e lsmEngine) AdvanceAll()                            { e.db.AdvanceAll() }
 
+// UseParallelDriver, when true, drives PrismDB in every experiment with
+// the parallel partition driver (one worker goroutine per partition)
+// unless the Setup already chose one. cmd/prismbench sets it from its
+// -parallel flag.
+var UseParallelDriver bool
+
 // rig is a fully built experiment instance.
 type rig struct {
 	setup Setup
@@ -227,6 +257,9 @@ type rig struct {
 
 // build constructs devices and an engine for a setup at a scale.
 func build(setup Setup, sc Scale, wl workload.Config) (*rig, error) {
+	if UseParallelDriver {
+		setup.ParallelDriver = true
+	}
 	datasetBytes := int64(sc.Keys) * int64(sc.ValueSize+64)
 	dram := datasetBytes / 10
 	if dram < 1<<20 {
@@ -323,7 +356,7 @@ func build(setup Setup, sc Scale, wl workload.Config) (*rig, error) {
 			return nil, err
 		}
 		r.prism = db
-		r.eng = prismEngine{db}
+		r.eng = &prismEngine{db: db}
 	default:
 		cfg := lsm.Config{
 			Clients: 8,
@@ -464,8 +497,13 @@ func Run(setup Setup, sc Scale, wl workload.Config, label string) (*Result, erro
 		ScanHist:   metrics.NewHistogram(),
 		CostPerGB:  costPerGB(setup),
 	}
+	hostStart := time.Now()
 	if err := r.driveOps(gen, sc.Ops, res.ReadHist, res.UpdateHist, res.ScanHist); err != nil {
 		return nil, fmt.Errorf("bench: measure: %w", err)
+	}
+	res.HostElapsed = time.Since(hostStart)
+	if res.HostElapsed > 0 {
+		res.HostKops = float64(sc.Ops) / res.HostElapsed.Seconds() / 1000
 	}
 	res.Ops = sc.Ops
 	res.Elapsed = r.eng.Elapsed() - startElapsed
@@ -499,12 +537,14 @@ func Run(setup Setup, sc Scale, wl workload.Config, label string) (*Result, erro
 	return res, nil
 }
 
-// driveOps executes n generated operations. For PrismDB the driver routes
-// ops to per-partition queues and always executes the next op of the
+// driveOps executes n generated operations. For PrismDB the serial driver
+// routes ops to per-partition queues and always executes the next op of the
 // partition whose clock is furthest behind — discrete-event-style lockstep
 // that keeps shared-device and shared-CPU queueing causally consistent.
 // (The LSM engine does the equivalent internally by issuing each request on
-// its furthest-behind client clock.)
+// its furthest-behind client clock.) With Setup.ParallelDriver the
+// per-partition queues are consumed by concurrent workers instead; see
+// driveOpsParallel.
 func (r *rig) driveOps(gen *workload.Generator, n int, rh, uh, sh *metrics.Histogram) error {
 	if r.prism == nil {
 		for i := 0; i < n; i++ {
@@ -514,13 +554,11 @@ func (r *rig) driveOps(gen *workload.Generator, n int, rh, uh, sh *metrics.Histo
 		}
 		return nil
 	}
-	parts := r.prism.Partitions()
-	queues := make([][]workload.Op, parts)
-	for i := 0; i < n; i++ {
-		op := gen.Next()
-		pi := r.prism.PartitionOf(op.Key)
-		queues[pi] = append(queues[pi], op)
+	if r.setup.ParallelDriver {
+		return r.driveOpsParallel(gen, n, rh, uh, sh)
 	}
+	parts := r.prism.Partitions()
+	queues := workload.Shard(gen, n, parts, r.prism.PartitionOf)
 	clocks := make([]time.Duration, parts)
 	for i := 0; i < parts; i++ {
 		clocks[i] = r.prism.PartitionClock(i)

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/prismdb/prismdb/workload"
+)
+
+// perfScale is the workload used for the driver benchmarks: large enough
+// that steady-state op cost dominates setup, small enough for CI.
+func perfScale() Scale {
+	return Scale{Keys: 20000, Ops: 30000, WarmupOps: 10000, ValueSize: 1024}
+}
+
+// BenchmarkYCSBBSerial drives the read-heavy YCSB-B mix through the serial
+// lockstep driver on 8 partitions. ns/op covers one full Run (load +
+// warm-up + measure), so before/after comparisons divide the same work.
+func BenchmarkYCSBBSerial(b *testing.B) {
+	benchmarkYCSBB(b, Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8})
+}
+
+// BenchmarkYCSBBParallel is the same workload through the parallel
+// partition driver: one worker goroutine per partition.
+func BenchmarkYCSBBParallel(b *testing.B) {
+	benchmarkYCSBB(b, Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8, ParallelDriver: true})
+}
+
+func benchmarkYCSBB(b *testing.B, setup Setup) {
+	sc := perfScale()
+	wl, err := workload.YCSB('B', sc.Keys, sc.ValueSize, 0.99, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var hostKops float64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(setup, sc, wl, "ycsb-b")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ThroughputKops <= 0 {
+			b.Fatal("no throughput")
+		}
+		hostKops += res.HostKops
+	}
+	// Host ops/sec of the measured phase alone (excludes load/warm-up).
+	b.ReportMetric(hostKops/float64(b.N)*1000, "wall-ops/s")
+}
+
+// TestParallelDriverMatchesSerial checks the parallel driver produces the
+// same logical work as the serial lockstep driver: identical op counts and
+// per-kind histogram totals, and a virtual elapsed time in the same
+// neighborhood (cross-partition queueing interleaves differently, so exact
+// equality is not expected).
+func TestParallelDriverMatchesSerial(t *testing.T) {
+	sc := Scale{Keys: 4000, Ops: 6000, WarmupOps: 2000, ValueSize: 512}
+	wl, err := workload.YCSB('B', sc.Keys, sc.ValueSize, 0.99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Run(Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8}, sc, wl, "serial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8, ParallelDriver: true}, sc, wl, "parallel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.ReadHist.Count(), par.ReadHist.Count(); s != p {
+		t.Fatalf("read ops: serial %d, parallel %d", s, p)
+	}
+	if s, p := serial.UpdateHist.Count(), par.UpdateHist.Count(); s != p {
+		t.Fatalf("update ops: serial %d, parallel %d", s, p)
+	}
+	if s, p := serial.Prism.Gets, par.Prism.Gets; s != p {
+		t.Fatalf("engine Gets: serial %d, parallel %d", s, p)
+	}
+	if s, p := serial.Prism.Puts, par.Prism.Puts; s != p {
+		t.Fatalf("engine Puts: serial %d, parallel %d", s, p)
+	}
+	ratio := par.Elapsed.Seconds() / serial.Elapsed.Seconds()
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("virtual elapsed diverged: serial %v, parallel %v (ratio %.2f)",
+			serial.Elapsed, par.Elapsed, ratio)
+	}
+}

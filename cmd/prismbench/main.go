@@ -25,7 +25,9 @@ func main() {
 	keys := flag.Int("keys", 0, "override dataset keys")
 	ops := flag.Int("ops", 0, "override measured ops")
 	valueSize := flag.Int("value", 0, "override object size in bytes")
+	parallel := flag.Bool("parallel", false, "drive PrismDB partitions with one worker goroutine each (wall-clock speed; virtual-time results vary slightly run to run)")
 	flag.Parse()
+	bench.UseParallelDriver = *parallel
 
 	sc := bench.DefaultScale().Mul(*scale)
 	if *keys > 0 {

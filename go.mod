@@ -1,0 +1,3 @@
+module github.com/prismdb/prismdb
+
+go 1.24.0

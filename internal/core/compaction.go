@@ -130,9 +130,9 @@ func (p *partition) selectRange(compClk *simdev.Clock) candRange {
 	defer func() {
 		p.stats.SelectionTime += time.Duration(compClk.Now() - selStart)
 	}()
-	snap := p.man.Current()
-	defer p.man.Release(snap)
-	ranges := p.buildRanges(snap)
+	snap := p.man.Acquire()
+	defer snap.Release()
+	ranges := p.buildRanges(snap.Tables())
 	if len(ranges) == 1 {
 		return p.retainRange(ranges[0])
 	}
@@ -258,23 +258,42 @@ func (p *partition) compactRange(compClk *simdev.Clock, r candRange, allowDemote
 	// Read the records being demoted from the slabs. The reads are
 	// independent random NVM pages (the tiny-object pain point of §7.3),
 	// so the job issues them concurrently: the round advances to the
-	// completion of the slowest read, not their sum.
-	demoteRecs := make([]sst.Record, 0, len(demoteObjs))
+	// completion of the slowest read, not their sum. Record bytes land in
+	// the partition's reusable arena (one flat buffer) instead of two
+	// allocations per record; the views are built after the arena stops
+	// growing.
+	type demoteRef struct {
+		keyOff, keyLen, valLen int
+		version                uint64
+		tomb                   bool
+	}
+	arena := p.compArena[:0]
+	refs := make([]demoteRef, 0, len(demoteObjs))
 	readStart := compClk.Now()
 	maxEnd := readStart
 	for _, o := range demoteObjs {
 		tmp := simdev.NewBGClock()
 		tmp.AdvanceTo(readStart)
-		rec, err := p.slabs.Get(tmp, o.loc)
+		rec, err := p.slabs.GetScratch(tmp, o.loc)
 		if tmp.Now() > maxEnd {
 			maxEnd = tmp.Now()
 		}
 		if err != nil {
 			continue // slot raced free; skip
 		}
-		demoteRecs = append(demoteRecs, sst.Record{
-			Key: rec.Key, Value: rec.Value, Version: rec.Version, Tombstone: rec.Tombstone,
-		})
+		refs = append(refs, demoteRef{len(arena), len(rec.Key), len(rec.Value), rec.Version, rec.Tombstone})
+		arena = append(arena, rec.Key...)
+		arena = append(arena, rec.Value...)
+	}
+	p.compArena = arena
+	demoteRecs := make([]sst.Record, len(refs))
+	for i, rf := range refs {
+		demoteRecs[i] = sst.Record{
+			Key:       arena[rf.keyOff : rf.keyOff+rf.keyLen : rf.keyOff+rf.keyLen],
+			Value:     arena[rf.keyOff+rf.keyLen : rf.keyOff+rf.keyLen+rf.valLen : rf.keyOff+rf.keyLen+rf.valLen],
+			Version:   rf.version,
+			Tombstone: rf.tomb,
+		}
 	}
 	compClk.AdvanceTo(maxEnd)
 
@@ -283,6 +302,8 @@ func (p *partition) compactRange(compClk *simdev.Clock, r candRange, allowDemote
 	for _, t := range r.tables {
 		p.stats.FlashBytesRead += t.Size()
 		t.ReadAll(compClk, func(rec sst.Record) error {
+			// The views pin their per-block buffers for the merge's
+			// lifetime — no per-record copies.
 			flashRecs = append(flashRecs, rec)
 			return nil
 		})
@@ -298,7 +319,7 @@ func (p *partition) compactRange(compClk *simdev.Clock, r candRange, allowDemote
 			if decider.ShouldPin(clock, tracked, p.rng) && p.nvmHasRoom(rec, promoteWM) {
 				if p.promoteToNVM(compClk, rec) {
 					ci := p.slabs.ClassOf(len(rec.Key), len(rec.Value))
-					p.spaceCredit -= int64(p.slabs.Classes()[ci])
+					p.spaceCredit -= int64(p.slabs.ClassSize(ci))
 					p.bkt.OnPromote(idx)
 					p.trk.SetLocation(rec.Key, tracker.NVM)
 					promoted++
@@ -403,7 +424,7 @@ func (p *partition) nvmHasRoom(rec sst.Record, watermark float64) bool {
 	if ci < 0 {
 		return false
 	}
-	slotSize := int64(p.slabs.Classes()[ci])
+	slotSize := int64(p.slabs.ClassSize(ci))
 	return p.usage()+slotSize < int64(float64(p.nvmBudget)*watermark)
 }
 
@@ -462,7 +483,7 @@ func newSSTSplitter(p *partition, compClk *simdev.Clock) *sstSplitter {
 func (s *sstSplitter) add(rec sst.Record) {
 	if s.w == nil {
 		name := s.p.opts.Flash.NextFileName(fmt.Sprintf("p%d-sst", s.p.id))
-		s.w = sst.NewWriter(s.p.opts.Flash, s.p.opts.Cache, name, s.p.opts.BlockSize)
+		s.w = sst.NewWriterSize(s.p.opts.Flash, s.p.opts.Cache, name, s.p.opts.BlockSize, int(s.p.opts.TargetSSTBytes))
 	}
 	if err := s.w.Add(rec); err != nil {
 		panic(fmt.Sprintf("core: sst writer: %v", err)) // merge emits sorted unique keys
@@ -498,10 +519,10 @@ func (p *partition) runPromotionCompaction() {
 	start := compClk.Now()
 
 	compClk.AdvanceTo(p.compEndAt) // serial with the demotion job
-	snap := p.man.Current()
-	ranges := p.buildRanges(snap)
-	if len(snap) == 0 {
-		p.man.Release(snap)
+	snap := p.man.Acquire()
+	ranges := p.buildRanges(snap.Tables())
+	if snap.Len() == 0 {
+		snap.Release()
 		return
 	}
 	cand := msc.PickCandidates(len(ranges), p.opts.PowerK, p.rng)
@@ -516,11 +537,11 @@ func (p *partition) runPromotionCompaction() {
 		}
 	}
 	if bestIdx < 0 {
-		p.man.Release(snap)
+		snap.Release()
 		return
 	}
 	r := p.retainRange(ranges[bestIdx])
-	p.man.Release(snap)
+	snap.Release()
 	_, promoted := p.compactRange(compClk, r, false, true, false)
 	p.stats.Compactions++
 	p.stats.ReadTriggeredComps++

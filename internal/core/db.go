@@ -2,8 +2,8 @@ package core
 
 import (
 	"bytes"
+	"container/heap"
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/prismdb/prismdb/internal/tracker"
@@ -41,13 +41,13 @@ func Open(opts Options) (*DB, error) {
 	return db, nil
 }
 
-// partitionOf routes a key: range partitioning splits the key-index domain
-// evenly; hash partitioning uses an FNV hash (for skewed/load-imbalanced
-// workloads, §4.1).
-func (db *DB) partitionOf(key []byte) *partition {
+// partitionIndex routes a key to its partition index: range partitioning
+// splits the key-index domain evenly; hash partitioning uses an FNV hash
+// (for skewed/load-imbalanced workloads, §4.1).
+func (db *DB) partitionIndex(key []byte) int {
 	n := uint64(len(db.parts))
 	if n == 1 {
-		return db.parts[0]
+		return 0
 	}
 	if db.opts.RangePartitioning {
 		idx := db.opts.KeyIndex(key)
@@ -55,14 +55,18 @@ func (db *DB) partitionOf(key []byte) *partition {
 		if p >= n {
 			p = n - 1
 		}
-		return db.parts[p]
+		return int(p)
 	}
 	var h uint64 = 14695981039346656037
 	for _, b := range key {
 		h ^= uint64(b)
 		h *= 1099511628211
 	}
-	return db.parts[h%n]
+	return int(h % n)
+}
+
+func (db *DB) partitionOf(key []byte) *partition {
+	return db.parts[db.partitionIndex(key)]
 }
 
 // Put writes key=value and returns the simulated operation latency.
@@ -73,7 +77,15 @@ func (db *DB) Put(key, value []byte) (time.Duration, error) {
 // Get returns the value for key, the tier that served the read, and the
 // simulated latency. A missing key returns (nil, TierMiss, lat, nil).
 func (db *DB) Get(key []byte) ([]byte, Tier, time.Duration, error) {
-	return db.partitionOf(key).get(key)
+	return db.partitionOf(key).get(key, nil)
+}
+
+// GetBuf is Get with a caller-provided value buffer: the value is appended
+// to buf[:0] and the resulting slice returned (it aliases buf when buf has
+// capacity). Callers that reuse buf across calls make the NVM-hit read path
+// allocation-free.
+func (db *DB) GetBuf(key, buf []byte) ([]byte, Tier, time.Duration, error) {
+	return db.partitionOf(key).get(key, buf)
 }
 
 // Delete removes key, writing a flash tombstone when needed (§6).
@@ -109,22 +121,58 @@ func (db *DB) Scan(start []byte, n int) ([]KV, time.Duration, error) {
 		}
 		return out, total, nil
 	}
-	// Hash partitioning: gather n from each partition, merge, take n.
-	var all []KV
+	// Hash partitioning: every partition contributes its first n matches
+	// (each already key-sorted); a k-way heap merge takes the global first
+	// n in O(total + n log P) instead of re-sorting the whole gather.
+	cursors := make([]kvCursor, 0, len(db.parts))
 	var total time.Duration
 	for _, p := range db.parts {
 		kvs, lat, err := p.scan(start, n)
 		if err != nil {
 			return nil, 0, err
 		}
-		all = append(all, kvs...)
 		total += lat
+		if len(kvs) > 0 {
+			cursors = append(cursors, kvCursor{kvs: kvs})
+		}
 	}
-	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].Key, all[j].Key) < 0 })
-	if len(all) > n {
-		all = all[:n]
+	h := cursorHeap(cursors)
+	heap.Init(&h)
+	out := make([]KV, 0, n)
+	for len(out) < n && h.Len() > 0 {
+		c := &h[0]
+		out = append(out, c.kvs[c.i])
+		c.i++
+		if c.i == len(c.kvs) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
 	}
-	return all, total, nil
+	return out, total, nil
+}
+
+// kvCursor walks one partition's sorted scan result.
+type kvCursor struct {
+	kvs []KV
+	i   int
+}
+
+// cursorHeap is a min-heap of cursors ordered by their current key.
+type cursorHeap []kvCursor
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	return bytes.Compare(h[i].kvs[h[i].i].Key, h[j].kvs[h[j].i].Key) < 0
+}
+func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(kvCursor)) }
+func (h *cursorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
 }
 
 // Stats aggregates all partitions' counters plus live object counts.
@@ -191,16 +239,11 @@ func (db *DB) AdvanceAll() {
 }
 
 // PartitionOf returns the index of the partition serving key. Harnesses
-// use it to drive partitions in virtual-time order (discrete-event style),
-// which keeps shared-resource queueing causally consistent.
+// use it to route operations to per-partition streams (for the parallel
+// driver) or to drive partitions in virtual-time order (discrete-event
+// style, which keeps shared-resource queueing causally consistent).
 func (db *DB) PartitionOf(key []byte) int {
-	p := db.partitionOf(key)
-	for i := range db.parts {
-		if db.parts[i] == p {
-			return i
-		}
-	}
-	return 0
+	return db.partitionIndex(key)
 }
 
 // PartitionClock returns partition i's current worker clock.

@@ -50,6 +50,12 @@ type partition struct {
 
 	rt readTriggerState
 
+	// scanQ is the scan path's reusable NVM-cursor scratch and compArena
+	// the compactor's reusable demote-record buffer (both guarded by mu,
+	// like everything else on the partition).
+	scanQ     []nvmEntry
+	compArena []byte
+
 	// Hill-climbing threshold tuner state (§7.4 future work).
 	pinThreshold float64
 	tuneOps      int
@@ -172,9 +178,9 @@ func (p *partition) recover() error {
 	}
 	p.spaceCredit = p.nvmBudget - p.usage()
 	// Rebuild flash bucket bits from the SST log.
-	snap := p.man.Current()
-	defer p.man.Release(snap)
-	for _, t := range snap {
+	snap := p.man.Acquire()
+	defer snap.Release()
+	for _, t := range snap.Tables() {
 		err := t.ReadAll(p.clk, func(r sst.Record) error {
 			p.bkt.OnDemote(p.opts.KeyIndex(r.Key))
 			// OnDemote would clear the NVM bit; restore it if the key is
@@ -263,7 +269,7 @@ func (p *partition) put(key, value []byte, tomb bool) (time.Duration, error) {
 		} else {
 			// Changed size class: delete + fresh insert (§6). The old
 			// slot's space returns to the admission credit immediately.
-			p.admitWrite(int64(p.slabs.Classes()[ci]))
+			p.admitWrite(int64(p.slabs.ClassSize(ci)))
 			oldSlot := int64(p.slabs.SlotSize(loc))
 			if err := p.slabs.Delete(p.clk, loc); err != nil {
 				return 0, err
@@ -277,7 +283,7 @@ func (p *partition) put(key, value []byte, tomb bool) (time.Duration, error) {
 			p.stats.SlabMoves++
 		}
 	} else {
-		p.admitWrite(int64(p.slabs.Classes()[ci]))
+		p.admitWrite(int64(p.slabs.ClassSize(ci)))
 		loc, err := p.slabs.Put(p.clk, rec)
 		if err != nil {
 			return 0, err
@@ -293,16 +299,22 @@ func (p *partition) put(key, value []byte, tomb bool) (time.Duration, error) {
 	return time.Duration(p.clk.Now() - start), nil
 }
 
-// touch updates the tracker and popularity bitmap for an access.
+// touch updates the tracker and popularity bitmap for an access. The
+// tracker stores the key's index and returns the evicted entry's stored
+// index, so no key bytes are re-derived (or allocated) on eviction.
 func (p *partition) touch(key []byte, idx uint64, loc tracker.Location) {
-	if evicted, did := p.trk.Touch(key, loc); did {
-		p.bkt.OnCold(p.opts.KeyIndex([]byte(evicted)))
+	if evictedIdx, did := p.trk.Touch(key, idx, loc); did {
+		p.bkt.OnCold(evictedIdx)
 	}
 	p.bkt.OnHot(idx)
 }
 
-// get returns the newest version of key and the tier that served it.
-func (p *partition) get(key []byte) ([]byte, Tier, time.Duration, error) {
+// get returns the newest version of key and the tier that served it. The
+// value is appended to dst (which may be nil): callers that pass a reused
+// buffer get an allocation-free NVM read path — the slab read lands in the
+// manager's scratch, the manifest snapshot load is lock- and copy-free, and
+// the tracker touch allocates only when it first meets an untracked key.
+func (p *partition) get(key, dst []byte) ([]byte, Tier, time.Duration, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	start := p.clk.Now()
@@ -313,7 +325,7 @@ func (p *partition) get(key []byte) ([]byte, Tier, time.Duration, error) {
 
 	if v, ok := p.index.Get(key); ok {
 		before := p.clk.Now()
-		rec, err := p.slabs.Get(p.clk, slab.Loc(v))
+		rec, err := p.slabs.GetScratch(p.clk, slab.Loc(v))
 		if err != nil {
 			return nil, TierMiss, 0, err
 		}
@@ -326,43 +338,39 @@ func (p *partition) get(key []byte) ([]byte, Tier, time.Duration, error) {
 			p.rt.onOp(p, true)
 			return nil, TierMiss, time.Duration(p.clk.Now() - start), nil
 		}
+		// Materialize the value before anything (promotion compactions in
+		// rt.onOp, a later op) reuses the slab scratch under rec.
+		value := append(dst[:0], rec.Value...)
 		p.recordGet(src)
 		p.touch(key, idx, tracker.NVM)
 		p.rt.onOp(p, true)
-		return rec.Value, src, time.Duration(p.clk.Now() - start), nil
+		return value, src, time.Duration(p.clk.Now() - start), nil
 	}
 
-	// Flash lookup through the SST log (disjoint ranges ⇒ at most one
-	// table holds the key, but check every overlapping table).
-	snap := p.man.Current()
-	defer p.man.Release(snap)
-	for _, t := range snap {
-		if !t.Overlaps(key, key) {
-			continue
-		}
+	// Flash lookup through the SST log: tables are disjoint and sorted by
+	// smallest key, so a binary search finds the single candidate table.
+	snap := p.man.Acquire()
+	defer snap.Release()
+	if t := snap.Find(key); t != nil {
 		p.chargeCPU(p.clk, cpu.BloomCheck)
-		if !t.MayContain(key) {
-			continue
+		if t.MayContain(key) {
+			before := p.clk.Now()
+			rec, found, err := t.Get(p.clk, key)
+			if err != nil {
+				return nil, TierMiss, 0, err
+			}
+			if found && !rec.Tombstone {
+				src := TierFlash
+				if p.clk.Now() == before {
+					src = TierDRAM
+				}
+				value := append(dst[:0], rec.Value...)
+				p.recordGet(src)
+				p.touch(key, idx, tracker.Flash)
+				p.rt.onOp(p, true)
+				return value, src, time.Duration(p.clk.Now() - start), nil
+			}
 		}
-		before := p.clk.Now()
-		rec, found, err := t.Get(p.clk, key)
-		if err != nil {
-			return nil, TierMiss, 0, err
-		}
-		if !found {
-			continue
-		}
-		if rec.Tombstone {
-			break
-		}
-		src := TierFlash
-		if p.clk.Now() == before {
-			src = TierDRAM
-		}
-		p.recordGet(src)
-		p.touch(key, idx, tracker.Flash)
-		p.rt.onOp(p, true)
-		return rec.Value, src, time.Duration(p.clk.Now() - start), nil
 	}
 	p.recordGet(TierMiss)
 	p.rt.onOp(p, true)
@@ -405,19 +413,15 @@ func (p *partition) del(key []byte) (time.Duration, error) {
 		p.bkt.OnNVMDelete(idx)
 		p.spaceCredit += oldSlot
 	}
-	// Does flash possibly hold an older version?
+	// Does flash possibly hold an older version? (Disjoint sorted tables:
+	// binary-search the one candidate.)
 	flashMay := false
-	snap := p.man.Current()
-	for _, t := range snap {
-		if t.Overlaps(key, key) {
-			p.chargeCPU(p.clk, cpu.BloomCheck)
-			if t.MayContain(key) {
-				flashMay = true
-				break
-			}
-		}
+	snap := p.man.Acquire()
+	if t := snap.Find(key); t != nil {
+		p.chargeCPU(p.clk, cpu.BloomCheck)
+		flashMay = t.MayContain(key)
 	}
-	p.man.Release(snap)
+	snap.Release()
 	p.trk.Forget(key)
 	p.bkt.OnCold(idx)
 	p.stats.Deletes++
@@ -447,6 +451,12 @@ type KV struct {
 	Value []byte
 }
 
+// nvmEntry is one NVM-cursor element of the scan path.
+type nvmEntry struct {
+	key []byte
+	loc slab.Loc
+}
+
 // scan returns up to n live objects with keys ≥ start, in key order, via
 // the two-level iterator of §6: one cursor over the NVM index and one over
 // the flash SST log, always advancing the smaller key; the NVM version
@@ -459,37 +469,34 @@ func (p *partition) scan(start []byte, n int) ([]KV, time.Duration, error) {
 	p.chargeCPU(p.clk, cpu.OpBase)
 	p.stats.Scans++
 
-	// NVM side: collect up to n index entries (B-tree is sorted).
-	type nvmEntry struct {
-		key []byte
-		loc slab.Loc
-	}
-	var nvmQ []nvmEntry
+	// NVM side: collect up to n index entries (B-tree is sorted) into the
+	// partition's reusable scratch queue.
+	nvmQ := p.scanQ[:0]
 	p.index.AscendFrom(start, func(it btree.Item) bool {
 		nvmQ = append(nvmQ, nvmEntry{it.Key, slab.Loc(it.Val)})
 		return len(nvmQ) < n
 	})
+	p.scanQ = nvmQ
 	p.chargeCPU(p.clk, time.Duration(len(nvmQ))*cpu.IndexOp)
 
-	snap := p.man.Current()
-	defer p.man.Release(snap)
-	// Flash side: chain iterators over tables in key order (disjoint).
-	tblIdx := 0
+	snap := p.man.Acquire()
+	defer snap.Release()
+	tables := snap.Tables()
+	// Flash side: chain iterators over tables in key order (disjoint),
+	// starting at the first table that can hold a key ≥ start.
+	tblIdx := snap.SearchFrom(start)
 	var fIt *sst.Iter
 	advanceFlash := func() {
 		for {
 			if fIt != nil && fIt.Valid() {
 				return
 			}
-			if tblIdx >= len(snap) {
+			if tblIdx >= len(tables) {
 				fIt = nil
 				return
 			}
-			t := snap[tblIdx]
+			t := tables[tblIdx]
 			tblIdx++
-			if start != nil && bytes.Compare(t.Largest(), start) < 0 {
-				continue
-			}
 			fIt = t.Iter(p.clk, start, p.opts.ScanPrefetch)
 		}
 	}
@@ -528,7 +535,10 @@ func (p *partition) scan(start []byte, n int) ([]KV, time.Duration, error) {
 			}
 		} else {
 			if !flashRec.Tombstone {
-				out = append(out, KV{flashRec.Key, flashRec.Value})
+				// Iterator records are views into block buffers; copy
+				// what the caller keeps.
+				c := flashRec.Clone()
+				out = append(out, KV{c.Key, c.Value})
 			}
 			fIt.Next()
 			advanceFlash()

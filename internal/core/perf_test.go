@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/prismdb/prismdb/internal/simdev"
+)
+
+// TestGetNVMHitZeroAlloc pins the tentpole property: an NVM/DRAM-hit GetBuf
+// with a reused value buffer performs zero heap allocations — the manifest
+// snapshot load is lock- and copy-free, the slab read lands in the
+// manager's scratch, and the tracker touch of an already-tracked key
+// allocates nothing.
+func TestGetNVMHitZeroAlloc(t *testing.T) {
+	o := testOptions()
+	o.NVMBudget = 64 << 20 // everything stays NVM-resident: no compactions
+	o.Cache = simdev.NewPageCache(32 << 20)
+	o.TrackerCapacity = 4096 // all keys tracked: no CLOCK evictions
+	db, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 512
+	keys := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = key(i)
+		if _, err := db.Put(keys[i], val(i, 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm everything: tracker entries, bucket bitsets, page cache, value
+	// buffer capacity.
+	buf := make([]byte, 0, 1024)
+	for _, k := range keys {
+		v, tier, _, err := db.GetBuf(k, buf)
+		if err != nil || tier == TierMiss {
+			t.Fatalf("warm get: tier=%v err=%v", tier, err)
+		}
+		buf = v[:0]
+	}
+
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		v, tier, _, err := db.GetBuf(keys[i%n], buf)
+		if err != nil || tier == TierMiss {
+			t.Fatalf("get: tier=%v err=%v", tier, err)
+		}
+		buf = v[:0]
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("NVM-hit GetBuf allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentOpsAcrossPartitions drives concurrent Get/Put/Delete/Scan
+// workers against a multi-partition DB sized to compact continuously, the
+// pattern the parallel bench driver produces. Run with -race: it guards
+// the lock-free manifest snapshots, shared devices, page cache, and CPU
+// pool against unsynchronized access.
+func TestConcurrentOpsAcrossPartitions(t *testing.T) {
+	o := testOptions()
+	o.Partitions = 4
+	o.NVMBudget = 1 << 20 // tight: writes keep triggering demotions
+	o.CPUPool = simdev.NewCPUPool(4)
+	o.Promotions = true
+	o.ReadTrigger = DefaultReadTrigger(2000)
+	db, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		if _, err := db.Put(key(i), val(i, 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 8
+	const opsPerWorker = 1500
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			buf := make([]byte, 0, 1024)
+			rng := uint64(seed)*2654435761 + 1
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			for i := 0; i < opsPerWorker; i++ {
+				k := key(next(keys))
+				switch next(10) {
+				case 0, 1, 2:
+					if _, err := db.Put(k, val(i, 512)); err != nil {
+						errCh <- err
+						return
+					}
+				case 3:
+					if i%100 == 0 {
+						if _, _, err := db.Scan(k, 10); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				case 4:
+					if i%50 == 0 {
+						if _, err := db.Delete(k); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				default:
+					v, tier, _, err := db.GetBuf(k, buf)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if tier != TierMiss {
+						buf = v[:0]
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("workload never compacted; concurrency test lost its bite")
+	}
+	if st.NVMObjects+st.FlashObjects == 0 {
+		t.Fatal("no live objects after concurrent run")
+	}
+}
+
+// TestPartitionOfMatchesRouting pins the O(1) PartitionOf satellite: the
+// reported index must be the partition that actually serves the key, under
+// both hash and range partitioning.
+func TestPartitionOfMatchesRouting(t *testing.T) {
+	for _, rangePart := range []bool{false, true} {
+		o := testOptions()
+		o.Partitions = 8
+		o.RangePartitioning = rangePart
+		db, err := Open(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			k := key(i)
+			idx := db.PartitionOf(k)
+			if idx < 0 || idx >= db.Partitions() {
+				t.Fatalf("PartitionOf(%q) = %d out of range", k, idx)
+			}
+			if db.parts[idx] != db.partitionOf(k) {
+				t.Fatalf("PartitionOf(%q) = %d does not match routing (range=%v)", k, idx, rangePart)
+			}
+		}
+	}
+}

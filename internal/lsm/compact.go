@@ -164,6 +164,7 @@ func (db *DB) compactLevel(compClk *simdev.Clock, level int) {
 		}
 		for _, f := range seq {
 			f.t.ReadAll(compClk, func(r sst.Record) error {
+				// Views pin their block buffers until the merge finishes.
 				if _, ok := newest[string(r.Key)]; !ok {
 					newest[string(r.Key)] = r
 					order = append(order, string(r.Key))
@@ -306,7 +307,7 @@ func (lw *levelWriter) add(rec sst.Record) {
 		}
 		lw.curDev = dev
 		name := dev.NextFileName(fmt.Sprintf("lsm-l%d", lw.level))
-		lw.w = sst.NewWriter(dev, lw.db.blockCache, name, lw.db.cfg.BlockSize)
+		lw.w = sst.NewWriterSize(dev, lw.db.blockCache, name, lw.db.cfg.BlockSize, int(lw.db.cfg.TargetSSTBytes))
 	}
 	if err := lw.w.Add(rec); err != nil {
 		panic(fmt.Sprintf("lsm: compaction writer: %v", err))

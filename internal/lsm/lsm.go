@@ -440,7 +440,7 @@ func (db *DB) Get(key []byte) ([]byte, bool, time.Duration, error) {
 	db.chargeCPU(clk, db.cfg.OpBase)
 	db.stats.Gets++
 	db.opsCount++
-	db.trk.Touch(key, tracker.NVM)
+	db.trk.Touch(key, 0, tracker.NVM)
 	db.backgroundMutant(clk)
 
 	if e, ok := db.mem.get(key); ok {

@@ -201,24 +201,35 @@ func (h *Histogram) String() string {
 }
 
 // Sample keeps raw values for small exact distributions (used in tests to
-// validate Histogram accuracy).
+// validate Histogram accuracy). Values are sorted lazily: the first
+// Quantile after a Record sorts in place, and subsequent Quantiles are
+// O(1), instead of re-copying and re-sorting every call.
 type Sample struct {
-	vals []time.Duration
+	vals   []time.Duration
+	sorted bool
 }
 
-// Record adds an observation.
-func (s *Sample) Record(d time.Duration) { s.vals = append(s.vals, d) }
+// Record adds an observation, invalidating the sorted order.
+func (s *Sample) Record(d time.Duration) {
+	s.vals = append(s.vals, d)
+	s.sorted = false
+}
+
+// Count returns the number of observations.
+func (s *Sample) Count() int { return len(s.vals) }
 
 // Quantile returns the exact q-quantile.
 func (s *Sample) Quantile(q float64) time.Duration {
 	if len(s.vals) == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), s.vals...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(q * float64(len(sorted)))
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if !s.sorted {
+		sort.Slice(s.vals, func(i, j int) bool { return s.vals[i] < s.vals[j] })
+		s.sorted = true
 	}
-	return sorted[idx]
+	idx := int(q * float64(len(s.vals)))
+	if idx >= len(s.vals) {
+		idx = len(s.vals) - 1
+	}
+	return s.vals[idx]
 }

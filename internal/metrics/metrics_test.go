@@ -143,3 +143,30 @@ func TestMeanAndString(t *testing.T) {
 		t.Fatal("empty String()")
 	}
 }
+
+func TestSampleLazySortInvalidation(t *testing.T) {
+	s := &Sample{}
+	if s.Quantile(0.5) != 0 {
+		t.Fatal("empty sample quantile")
+	}
+	s.Record(30)
+	s.Record(10)
+	s.Record(20)
+	if got := s.Quantile(0); got != 10 {
+		t.Fatalf("q0 = %v, want 10", got)
+	}
+	if got := s.Quantile(1); got != 30 {
+		t.Fatalf("q1 = %v, want 30", got)
+	}
+	// A Record after a Quantile must invalidate the sorted order.
+	s.Record(5)
+	if got := s.Quantile(0); got != 5 {
+		t.Fatalf("q0 after insert = %v, want 5", got)
+	}
+	if got := s.Quantile(1); got != 30 {
+		t.Fatalf("q1 after insert = %v, want 30", got)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}

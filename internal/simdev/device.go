@@ -128,8 +128,8 @@ type Device struct {
 	// background job that runs ahead in virtual time must not reserve
 	// the lanes a foreground request issued "earlier" will need (real
 	// devices prioritize foreground I/O over compaction traffic).
-	channels   []int64
-	bgChannels []int64
+	channels   laneSet
+	bgChannels laneSet
 	stats      Stats
 	wearB      int64 // lifetime bytes written (never reset)
 	files      map[string]*File
@@ -144,10 +144,114 @@ func New(p Params) *Device {
 	}
 	return &Device{
 		params:     p,
-		channels:   make([]int64, p.Channels),
-		bgChannels: make([]int64, p.Channels),
+		channels:   newLaneSet(p.Channels),
+		bgChannels: newLaneSet(p.Channels),
 		files:      make(map[string]*File),
 	}
+}
+
+// maxLaneGaps bounds the idle intervals each lane remembers for
+// backfilling. A few slots recover most of the capacity a bursty arrival
+// pattern fragments; the arrays stay fixed-size so scheduling never
+// allocates.
+const maxLaneGaps = 8
+
+// gap is one remembered idle interval [s, e) behind a lane's frontier.
+type gap struct{ s, e int64 }
+
+// lane is one service channel of a device or CPU pool: the time it next
+// falls idle, plus recent idle gaps left behind its reservations. Gaps
+// enable backfilling when requests arrive with out-of-order logical
+// timestamps: a request arriving "in the past" relative to the lane's
+// frontier may occupy idle time the frontier reservation skipped over,
+// instead of queueing behind work that is logically later. Two arrival
+// patterns produce such timestamps — concurrent partition workers (the
+// parallel bench driver), and background compaction jobs, whose clocks
+// start at their own partition's time even under the serial driver.
+// Serial FOREGROUND arrivals have nondecreasing timestamps, for which
+// gaps are provably never feasible (a gap ends at the arrival time of the
+// request that created it), so lockstep foreground schedules are
+// unchanged; background-lane schedules gain idle-time utilization they
+// previously lost to false queueing, which shifts compaction-heavy
+// simulated results slightly versus the pre-backfill model.
+type lane struct {
+	freeAt int64
+	gaps   [maxLaneGaps]gap
+}
+
+// laneSet is a set of lanes plus an upper bound on any live gap's end, so
+// the common case — a request arriving after every remembered gap closed,
+// which is every request of a serial lockstep driver — skips the backfill
+// scan with one comparison.
+type laneSet struct {
+	lanes   []lane
+	maxGapE int64
+}
+
+func newLaneSet(n int) laneSet { return laneSet{lanes: make([]lane, n)} }
+
+// schedule places a request of duration svc arriving at logical time now
+// on the lane set and returns its start time.
+func schedule(ls *laneSet, now, svc int64) (start int64) {
+	lanes := ls.lanes
+	// Backfill pass: the earliest-starting gap that fits the request.
+	// Skipped entirely when every remembered gap closed before now — the
+	// invariant of serial lockstep arrivals.
+	gl, gi := -1, -1
+	var giStart int64
+	if now < ls.maxGapE {
+		for i := range lanes {
+			for j := range lanes[i].gaps {
+				g := lanes[i].gaps[j]
+				if g.e <= g.s {
+					continue
+				}
+				s := now
+				if g.s > s {
+					s = g.s
+				}
+				if s+svc <= g.e && (gl < 0 || s < giStart) {
+					gl, gi, giStart = i, j, s
+				}
+			}
+		}
+	}
+	// Frontier pass: the lane that frees up earliest.
+	fi := 0
+	for i := 1; i < len(lanes); i++ {
+		if lanes[i].freeAt < lanes[fi].freeAt {
+			fi = i
+		}
+	}
+	fStart := now
+	if lanes[fi].freeAt > fStart {
+		fStart = lanes[fi].freeAt
+	}
+	if gl >= 0 && giStart <= fStart {
+		// Consume the gap's front; keep the tail for later arrivals
+		// (timestamps are roughly increasing within the driver's window).
+		lanes[gl].gaps[gi].s = giStart + svc
+		return giStart
+	}
+	l := &lanes[fi]
+	if fStart > l.freeAt {
+		// Arrived at an idle lane: remember the skipped idle interval in
+		// the slot holding the smallest gap, if this one is larger.
+		small := 0
+		for j := 1; j < maxLaneGaps; j++ {
+			if l.gaps[j].e-l.gaps[j].s < l.gaps[small].e-l.gaps[small].s {
+				small = j
+			}
+		}
+		if fStart-l.freeAt > l.gaps[small].e-l.gaps[small].s {
+			l.gaps[small] = gap{l.freeAt, fStart}
+			if fStart > ls.maxGapE {
+				ls.maxGapE = fStart
+			}
+		}
+	}
+	l.freeAt = fStart + svc
+	return fStart
 }
 
 // Params returns the device's configuration.
@@ -227,23 +331,12 @@ func (d *Device) AccessBG(now int64, kind OpKind, n int64) (completion int64) {
 func (d *Device) access(now int64, kind OpKind, n int64, bg bool) (completion int64) {
 	svc := int64(d.serviceTime(kind, n))
 	d.mu.Lock()
-	lanes := d.channels
+	lanes := &d.channels
 	if bg {
-		lanes = d.bgChannels
+		lanes = &d.bgChannels
 	}
-	// Pick the channel that frees up earliest.
-	best := 0
-	for i := 1; i < len(lanes); i++ {
-		if lanes[i] < lanes[best] {
-			best = i
-		}
-	}
-	start := now
-	if lanes[best] > start {
-		start = lanes[best]
-	}
+	start := schedule(lanes, now, svc)
 	completion = start + svc
-	lanes[best] = completion
 	d.stats.BusyTime += time.Duration(svc)
 	d.stats.QueueTime += time.Duration(start - now)
 	if kind == OpRead {
@@ -280,10 +373,9 @@ func (d *Device) AccessAsync(now int64, kind OpKind, n int64) int64 {
 // paper's 10-core cgroup bottleneck (§7) where foreground requests and
 // background compactions contend for the same cores.
 type CPUPool struct {
-	mu      sync.Mutex
-	cores   []int64 // foreground cores
-	bgCores []int64 // cores background jobs (compactions) run on
-	busy    time.Duration
+	mu    sync.Mutex
+	cores laneSet // foreground cores
+	busy  time.Duration
 }
 
 // NewCPUPool creates a pool with the given core count. Foreground requests
@@ -295,7 +387,7 @@ func NewCPUPool(cores int) *CPUPool {
 	if cores < 1 {
 		cores = 1
 	}
-	return &CPUPool{cores: make([]int64, cores)}
+	return &CPUPool{cores: newLaneSet(cores)}
 }
 
 // Occupy schedules dur of CPU work starting no earlier than now and returns
@@ -321,19 +413,8 @@ func (c *CPUPool) occupy(now int64, dur time.Duration, bg bool) int64 {
 		return now + int64(dur)
 	}
 	c.mu.Lock()
-	lanes := c.cores
-	best := 0
-	for i := 1; i < len(lanes); i++ {
-		if lanes[i] < lanes[best] {
-			best = i
-		}
-	}
-	start := now
-	if lanes[best] > start {
-		start = lanes[best]
-	}
+	start := schedule(&c.cores, now, int64(dur))
 	done := start + int64(dur)
-	lanes[best] = done
 	c.busy += dur
 	c.mu.Unlock()
 	return done

@@ -1,7 +1,6 @@
 package simdev
 
 import (
-	"container/list"
 	"sync"
 )
 
@@ -13,13 +12,25 @@ import (
 //
 // Only cache residency is tracked, not page contents: the backing store in
 // File always holds current data, so a hit simply skips the device charge.
+//
+// The LRU is an intrusive doubly-linked list over a slab of nodes indexed
+// by int32, so steady-state hits and evict+insert cycles allocate nothing —
+// this structure sits on the engine's per-op read path.
 type PageCache struct {
 	mu       sync.Mutex
 	capacity int // pages
-	lru      *list.List
-	entries  map[pageKey]*list.Element
+	nodes    []pcNode
+	entries  map[pageKey]int32
+	head     int32 // most recently used, -1 when empty
+	tail     int32 // least recently used, -1 when empty
+	free     int32 // free-list head (linked through next), -1 when exhausted
 	hits     int64
 	misses   int64
+}
+
+type pcNode struct {
+	key        pageKey
+	prev, next int32
 }
 
 type pageKey struct {
@@ -27,15 +38,59 @@ type pageKey struct {
 	page int64
 }
 
+const pcNil = int32(-1)
+
 // NewPageCache creates a cache holding capacityBytes worth of pages.
 // A non-positive capacity yields a cache that always misses.
 func NewPageCache(capacityBytes int64) *PageCache {
 	pages := int(capacityBytes / PageSize)
 	return &PageCache{
 		capacity: pages,
-		lru:      list.New(),
-		entries:  make(map[pageKey]*list.Element),
+		entries:  make(map[pageKey]int32),
+		head:     pcNil,
+		tail:     pcNil,
+		free:     pcNil,
 	}
+}
+
+// unlink removes node i from the LRU list. Caller holds c.mu.
+func (c *PageCache) unlink(i int32) {
+	n := &c.nodes[i]
+	if n.prev != pcNil {
+		c.nodes[n.prev].next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != pcNil {
+		c.nodes[n.next].prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+}
+
+// pushFront links node i at the MRU end. Caller holds c.mu.
+func (c *PageCache) pushFront(i int32) {
+	n := &c.nodes[i]
+	n.prev, n.next = pcNil, c.head
+	if c.head != pcNil {
+		c.nodes[c.head].prev = i
+	}
+	c.head = i
+	if c.tail == pcNil {
+		c.tail = i
+	}
+}
+
+// alloc returns a node index from the free list, growing the slab while
+// below capacity. Caller holds c.mu and guarantees room (evicts first).
+func (c *PageCache) alloc() int32 {
+	if c.free != pcNil {
+		i := c.free
+		c.free = c.nodes[i].next
+		return i
+	}
+	c.nodes = append(c.nodes, pcNode{})
+	return int32(len(c.nodes) - 1)
 }
 
 // Touch records an access to the page range [off, off+n) of file. It
@@ -51,8 +106,11 @@ func (c *PageCache) Touch(file string, off, n int64) (missPages int64) {
 	defer c.mu.Unlock()
 	for p := first; p <= last; p++ {
 		k := pageKey{file, p}
-		if el, ok := c.entries[k]; ok {
-			c.lru.MoveToFront(el)
+		if i, ok := c.entries[k]; ok {
+			if c.head != i {
+				c.unlink(i)
+				c.pushFront(i)
+			}
 			c.hits++
 			continue
 		}
@@ -61,12 +119,17 @@ func (c *PageCache) Touch(file string, off, n int64) (missPages int64) {
 		if c.capacity <= 0 {
 			continue
 		}
-		for c.lru.Len() >= c.capacity {
-			back := c.lru.Back()
-			c.lru.Remove(back)
-			delete(c.entries, back.Value.(pageKey))
+		for len(c.entries) >= c.capacity {
+			lru := c.tail
+			c.unlink(lru)
+			delete(c.entries, c.nodes[lru].key)
+			c.nodes[lru].next = c.free
+			c.free = lru
 		}
-		c.entries[k] = c.lru.PushFront(k)
+		i := c.alloc()
+		c.nodes[i].key = k
+		c.pushFront(i)
+		c.entries[k] = i
 	}
 	return missPages
 }
@@ -85,13 +148,15 @@ func (c *PageCache) Contains(file string, off int64) bool {
 func (c *PageCache) InvalidateFile(file string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for el := c.lru.Front(); el != nil; {
-		next := el.Next()
-		if el.Value.(pageKey).file == file {
-			c.lru.Remove(el)
-			delete(c.entries, el.Value.(pageKey))
+	for i := c.head; i != pcNil; {
+		next := c.nodes[i].next
+		if c.nodes[i].key.file == file {
+			c.unlink(i)
+			delete(c.entries, c.nodes[i].key)
+			c.nodes[i].next = c.free
+			c.free = i
 		}
-		el = next
+		i = next
 	}
 }
 
@@ -117,5 +182,5 @@ func (c *PageCache) Stats() (hits, misses int64) {
 func (c *PageCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.lru.Len()
+	return len(c.entries)
 }

@@ -105,6 +105,20 @@ type Manager struct {
 	name    string // file-name prefix, e.g. "p3-slab"
 
 	liveBytes int64 // sum of slot sizes currently in use
+
+	// scratch is the reused slot I/O buffer. The Manager is single-owner
+	// (partition-lock discipline), so one buffer serves every read and
+	// write; records returned by GetScratch alias it and are valid only
+	// until the next Manager call.
+	scratch []byte
+}
+
+// buf returns the scratch buffer sized to n bytes.
+func (m *Manager) buf(n int) []byte {
+	if cap(m.scratch) < n {
+		m.scratch = make([]byte, n)
+	}
+	return m.scratch[:n]
 }
 
 // NewManager creates (or reopens) the slab files for a partition. The cache
@@ -189,8 +203,9 @@ func encode(buf []byte, rec Record) {
 	copy(buf[headerSize+len(rec.Key):], rec.Value)
 }
 
-// decode parses a slot buffer. A zero version means the slot is free.
-func decode(buf []byte) (Record, error) {
+// decodeView parses a slot buffer into a record whose Key and Value alias
+// buf. A zero version means the slot is free.
+func decodeView(buf []byte) (Record, error) {
 	version := binary.LittleEndian.Uint64(buf[0:])
 	if version == 0 {
 		return Record{}, ErrSlotFree
@@ -201,11 +216,22 @@ func decode(buf []byte) (Record, error) {
 		return Record{}, fmt.Errorf("slab: corrupt slot header kl=%d vl=%d slot=%d", kl, vl, len(buf))
 	}
 	rec := Record{
-		Key:       append([]byte(nil), buf[headerSize:headerSize+kl]...),
-		Value:     append([]byte(nil), buf[headerSize+kl:headerSize+kl+vl]...),
+		Key:       buf[headerSize : headerSize+kl],
+		Value:     buf[headerSize+kl : headerSize+kl+vl],
 		Version:   version,
 		Tombstone: buf[12]&flagTombstone != 0,
 	}
+	return rec, nil
+}
+
+// decode parses a slot buffer into an owning record (fresh copies).
+func decode(buf []byte) (Record, error) {
+	rec, err := decodeView(buf)
+	if err != nil {
+		return rec, err
+	}
+	rec.Key = append([]byte(nil), rec.Key...)
+	rec.Value = append([]byte(nil), rec.Value...)
 	return rec, nil
 }
 
@@ -257,7 +283,9 @@ func (m *Manager) Update(clk *simdev.Clock, loc Loc, rec Record) error {
 }
 
 func (m *Manager) writeSlot(clk *simdev.Clock, sf *slabFile, slot uint32, rec Record) error {
-	buf := make([]byte, sf.slotSize)
+	// The scratch tail past the record is stale bytes from earlier ops;
+	// decode never reads past keyLen+valLen, so they are harmless.
+	buf := m.buf(sf.slotSize)
 	encode(buf, rec)
 	off := int64(slot) * int64(sf.slotSize)
 	if err := sf.file.WriteAt(buf, off); err != nil {
@@ -273,20 +301,34 @@ func (m *Manager) writeSlot(clk *simdev.Clock, sf *slabFile, slot uint32, rec Re
 	return nil
 }
 
-// Get reads the record at loc. Reads hit the OS page cache when resident;
-// otherwise they cost one NVM page read per missed page.
+// Get reads the record at loc, returning owning copies of its key and
+// value. Reads hit the OS page cache when resident; otherwise they cost one
+// NVM page read per missed page.
 func (m *Manager) Get(clk *simdev.Clock, loc Loc) (Record, error) {
+	rec, err := m.GetScratch(clk, loc)
+	if err != nil {
+		return Record{}, err
+	}
+	rec.Key = append([]byte(nil), rec.Key...)
+	rec.Value = append([]byte(nil), rec.Value...)
+	return rec, nil
+}
+
+// GetScratch reads the record at loc without allocating: the returned
+// record's Key and Value alias the Manager's scratch buffer and are valid
+// only until the next Manager call. It is the engine's hot read path.
+func (m *Manager) GetScratch(clk *simdev.Clock, loc Loc) (Record, error) {
 	sf, err := m.slab(loc)
 	if err != nil {
 		return Record{}, err
 	}
 	off := int64(loc.Slot()) * int64(sf.slotSize)
-	buf := make([]byte, sf.slotSize)
+	buf := m.buf(sf.slotSize)
 	if err := sf.file.ReadAt(buf, off); err != nil {
 		return Record{}, err
 	}
 	m.chargeRead(clk, sf, off, int64(sf.slotSize))
-	return decode(buf)
+	return decodeView(buf)
 }
 
 func (m *Manager) chargeRead(clk *simdev.Clock, sf *slabFile, off, n int64) {
@@ -310,8 +352,8 @@ func (m *Manager) Delete(clk *simdev.Clock, loc Loc) error {
 		return err
 	}
 	off := int64(loc.Slot()) * int64(sf.slotSize)
-	hdr := make([]byte, headerSize)
-	if err := sf.file.WriteAt(hdr, off); err != nil {
+	var hdr [headerSize]byte
+	if err := sf.file.WriteAt(hdr[:], off); err != nil {
 		return err
 	}
 	if clk != nil {
@@ -407,3 +449,12 @@ func (m *Manager) SlotSize(loc Loc) int {
 
 // Classes returns the configured class sizes.
 func (m *Manager) Classes() []int { return append([]int(nil), m.classes...) }
+
+// ClassSize returns the slot size of class ci (0 when out of range),
+// without the defensive copy Classes makes — for per-op call sites.
+func (m *Manager) ClassSize(ci int) int {
+	if ci < 0 || ci >= len(m.classes) {
+		return 0
+	}
+	return m.classes[ci]
+}

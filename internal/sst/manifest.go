@@ -6,25 +6,67 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/prismdb/prismdb/internal/simdev"
 )
 
 // Manifest tracks the live SST files of one partition's flash log, in the
 // style of RocksDB's live-file tracking (§6): an on-device manifest file
-// records the current file set for recovery, and in-memory reference counts
-// guarantee a compaction never deletes an SST still in use by a concurrent
-// Get or Scan iterator.
+// records the current file set for recovery, and reference counts guarantee
+// a compaction never deletes an SST still in use by a concurrent Get or
+// Scan iterator.
 //
-// Tables are kept sorted by smallest key; within a single-level log the key
-// ranges are disjoint.
+// The live file set is published as an immutable copy-on-write Snapshot
+// behind an atomic pointer. Readers acquire the current snapshot with two
+// atomic operations and no allocation; only Apply (rare: one call per
+// compaction commit) takes the mutex and builds a new snapshot. Reference
+// counting is per-snapshot rather than per-table-per-read: a snapshot holds
+// one reference on each of its tables for its whole lifetime, so the
+// foreground read path never touches table refcounts at all.
 type Manifest struct {
 	dev   *simdev.Device
 	cache *simdev.PageCache
 	name  string
 
-	mu     sync.Mutex
+	// mu serializes Apply/persist and table refcount transitions. The
+	// foreground read path never takes it.
+	mu  sync.Mutex
+	cur atomic.Pointer[Snapshot]
+}
+
+// Snapshot is an immutable view of a manifest's live tables, sorted by
+// smallest key with disjoint ranges. Aggregate sizes are precomputed so the
+// engine's per-op accounting (NVM usage, object counts) is O(1) and
+// lock-free. Callers must Release every snapshot they Acquire.
+type Snapshot struct {
+	m      *Manifest
 	tables []*Table
+
+	totalBytes int64
+	totalCount int
+	metaBytes  int64
+
+	// refs counts the manifest's own reference (until the snapshot is
+	// superseded by Apply) plus one per outstanding Acquire. freed latches
+	// the drop-to-zero transition so a racing Acquire that resurrects and
+	// re-releases a dying snapshot cannot double-unref its tables.
+	refs  atomic.Int64
+	freed atomic.Bool
+}
+
+// newSnapshot builds a snapshot over tables (already sorted), taking one
+// table reference each. Caller holds m.mu.
+func (m *Manifest) newSnapshot(tables []*Table) *Snapshot {
+	s := &Snapshot{m: m, tables: tables}
+	for _, t := range tables {
+		t.refs++
+		s.totalBytes += t.size
+		s.totalCount += t.count
+		s.metaBytes += t.MetaBytes()
+	}
+	s.refs.Store(1) // the manifest's reference
+	return s
 }
 
 // NewManifest creates an empty manifest backed by the named device file.
@@ -33,7 +75,8 @@ func NewManifest(dev *simdev.Device, cache *simdev.PageCache, name string) (*Man
 	if _, err := dev.CreateFile(name); err != nil {
 		return nil, err
 	}
-	if err := m.persist(); err != nil {
+	m.cur.Store(m.newSnapshot(nil))
+	if err := m.persist(nil); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -59,6 +102,7 @@ func LoadManifest(dev *simdev.Device, cache *simdev.PageCache, name string, clk 
 	n := int(binary.LittleEndian.Uint32(data))
 	data = data[4:]
 	m := &Manifest{dev: dev, cache: cache, name: name}
+	var tables []*Table
 	for i := 0; i < n; i++ {
 		if len(data) < 2 {
 			return nil, fmt.Errorf("sst: manifest %s truncated entry", name)
@@ -74,26 +118,26 @@ func LoadManifest(dev *simdev.Device, cache *simdev.PageCache, name string, clk 
 		if err != nil {
 			return nil, fmt.Errorf("sst: manifest %s references %s: %v", name, fname, err)
 		}
-		t.refs = 1 // the manifest's own reference
-		m.tables = append(m.tables, t)
+		tables = append(tables, t)
 	}
-	m.sortTables()
+	sortTables(tables)
+	m.cur.Store(m.newSnapshot(tables))
 	return m, nil
 }
 
-func (m *Manifest) sortTables() {
-	sort.Slice(m.tables, func(i, j int) bool {
-		return bytes.Compare(m.tables[i].smallest, m.tables[j].smallest) < 0
+func sortTables(tables []*Table) {
+	sort.Slice(tables, func(i, j int) bool {
+		return bytes.Compare(tables[i].smallest, tables[j].smallest) < 0
 	})
 }
 
 // persist rewrites the manifest file. Caller holds m.mu (or is initialising).
-func (m *Manifest) persist() error {
+func (m *Manifest) persist(tables []*Table) error {
 	var buf []byte
 	var cnt [4]byte
-	binary.LittleEndian.PutUint32(cnt[:], uint32(len(m.tables)))
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(tables)))
 	buf = append(buf, cnt[:]...)
-	for _, t := range m.tables {
+	for _, t := range tables {
 		var nl [2]byte
 		binary.LittleEndian.PutUint16(nl[:], uint16(len(t.Name())))
 		buf = append(buf, nl[:]...)
@@ -111,58 +155,109 @@ func (m *Manifest) persist() error {
 }
 
 // Apply atomically installs added tables and removes old ones, persisting
-// the new file set. Removed tables keep their files on the device until the
-// last reader releases them. Added tables must already be finished.
+// the new file set and publishing a fresh snapshot. Removed tables keep
+// their files on the device until the last snapshot referencing them is
+// released. Added tables must already be finished.
 func (m *Manifest) Apply(add, remove []*Table) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	old := m.cur.Load()
 	rm := make(map[*Table]bool, len(remove))
 	for _, t := range remove {
 		rm[t] = true
 	}
-	kept := m.tables[:0]
-	for _, t := range m.tables {
+	tables := make([]*Table, 0, len(old.tables)-len(remove)+len(add))
+	for _, t := range old.tables {
 		if rm[t] {
 			continue
 		}
-		kept = append(kept, t)
+		tables = append(tables, t)
 	}
-	m.tables = kept
-	for _, t := range add {
-		t.refs++ // the manifest's reference
-		m.tables = append(m.tables, t)
-	}
-	m.sortTables()
-	if err := m.persist(); err != nil {
+	tables = append(tables, add...)
+	sortTables(tables)
+	next := m.newSnapshot(tables)
+	if err := m.persist(tables); err != nil {
+		// Roll back the new snapshot's table references.
+		for _, t := range tables {
+			m.unrefLocked(t)
+		}
+		m.mu.Unlock()
 		return err
 	}
-	for _, t := range remove {
-		m.unrefLocked(t)
-	}
+	m.cur.Store(next)
+	m.mu.Unlock()
+	old.Release() // drop the manifest's reference on the superseded snapshot
 	return nil
 }
 
-// Current returns a snapshot of the live tables, sorted by smallest key,
-// with a reference taken on each. Callers must Release the snapshot.
-func (m *Manifest) Current() []*Table {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	snap := make([]*Table, len(m.tables))
-	copy(snap, m.tables)
-	for _, t := range snap {
-		t.refs++
+// Acquire returns the current snapshot with a reference taken. It is
+// lock-free and allocation-free; callers must Release the snapshot.
+func (m *Manifest) Acquire() *Snapshot {
+	for {
+		s := m.cur.Load()
+		s.refs.Add(1)
+		// Validate after incrementing: if the snapshot is still current,
+		// the manifest's own reference was included in the count we
+		// incremented from, so the snapshot is alive and ours. Otherwise
+		// it may already be draining — undo and retry on the new one.
+		if m.cur.Load() == s {
+			return s
+		}
+		s.Release()
 	}
-	return snap
 }
 
-// Release drops the references taken by Current, deleting any table that
-// was removed from the manifest while the snapshot was held.
-func (m *Manifest) Release(snap []*Table) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, t := range snap {
-		m.unrefLocked(t)
+// Release drops one reference. When the last reference goes, every table
+// the snapshot pinned is unreferenced, deleting tables that are no longer
+// in any snapshot.
+func (s *Snapshot) Release() {
+	if s.refs.Add(-1) > 0 {
+		return
 	}
+	// A concurrent Acquire may briefly resurrect the count and release it
+	// again; only the first drop-to-zero frees the tables.
+	if !s.freed.CompareAndSwap(false, true) {
+		return
+	}
+	s.m.mu.Lock()
+	for _, t := range s.tables {
+		s.m.unrefLocked(t)
+	}
+	s.m.mu.Unlock()
+}
+
+// Tables returns the snapshot's live tables, sorted by smallest key.
+// Callers must not modify the returned slice.
+func (s *Snapshot) Tables() []*Table { return s.tables }
+
+// Len returns the number of live tables in the snapshot.
+func (s *Snapshot) Len() int { return len(s.tables) }
+
+// Find returns the table whose key range may contain key, or nil. Ranges
+// are disjoint and sorted by smallest key, so at most one table qualifies
+// and a binary search locates it.
+func (s *Snapshot) Find(key []byte) *Table {
+	i := sort.Search(len(s.tables), func(i int) bool {
+		return bytes.Compare(s.tables[i].smallest, key) > 0
+	})
+	if i == 0 {
+		return nil
+	}
+	t := s.tables[i-1]
+	if bytes.Compare(t.largest, key) < 0 {
+		return nil
+	}
+	return t
+}
+
+// SearchFrom returns the index of the first table whose largest key is ≥
+// start (all tables for nil start): the scan cursor's starting table.
+func (s *Snapshot) SearchFrom(start []byte) int {
+	if start == nil {
+		return 0
+	}
+	return sort.Search(len(s.tables), func(i int) bool {
+		return bytes.Compare(s.tables[i].largest, start) >= 0
+	})
 }
 
 func (m *Manifest) unrefLocked(t *Table) {
@@ -176,45 +271,17 @@ func (m *Manifest) unrefLocked(t *Table) {
 }
 
 // Tables returns the number of live tables.
-func (m *Manifest) Tables() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.tables)
-}
+func (m *Manifest) Tables() int { return len(m.cur.Load().tables) }
 
 // TotalBytes returns the summed size of live tables.
-func (m *Manifest) TotalBytes() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var n int64
-	for _, t := range m.tables {
-		n += t.size
-	}
-	return n
-}
+func (m *Manifest) TotalBytes() int64 { return m.cur.Load().totalBytes }
 
 // TotalCount returns the summed record count of live tables.
-func (m *Manifest) TotalCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var n int
-	for _, t := range m.tables {
-		n += t.count
-	}
-	return n
-}
+func (m *Manifest) TotalCount() int { return m.cur.Load().totalCount }
 
 // MetaBytes returns the summed NVM footprint of all tables' indices and
 // filters.
-func (m *Manifest) MetaBytes() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var n int64
-	for _, t := range m.tables {
-		n += t.MetaBytes()
-	}
-	return n
-}
+func (m *Manifest) MetaBytes() int64 { return m.cur.Load().metaBytes }
 
 // refsOf reports a table's current reference count (testing hook).
 func (m *Manifest) refsOf(t *Table) int {
@@ -222,3 +289,6 @@ func (m *Manifest) refsOf(t *Table) int {
 	defer m.mu.Unlock()
 	return t.refs
 }
+
+// snapshotRefs reports a snapshot's current reference count (testing hook).
+func (s *Snapshot) snapshotRefs() int64 { return s.refs.Load() }

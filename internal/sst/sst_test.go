@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -341,9 +343,9 @@ func TestManifestRefcountProtectsReaders(t *testing.T) {
 	t1 := buildTable(t, dev, cache, "sst-1", 50)
 	m.Apply([]*Table{t1}, nil)
 
-	snap := m.Current()
-	if len(snap) != 1 {
-		t.Fatalf("snapshot size %d", len(snap))
+	snap := m.Acquire()
+	if snap.Len() != 1 {
+		t.Fatalf("snapshot size %d", snap.Len())
 	}
 	// Compaction removes t1 while the snapshot is live.
 	if err := m.Apply(nil, []*Table{t1}); err != nil {
@@ -353,10 +355,10 @@ func TestManifestRefcountProtectsReaders(t *testing.T) {
 	if _, err := dev.OpenFile("sst-1"); err != nil {
 		t.Fatal("file deleted while referenced by a reader")
 	}
-	if _, ok, err := snap[0].Get(nil, []byte("key-000010")); err != nil || !ok {
+	if _, ok, err := snap.Tables()[0].Get(nil, []byte("key-000010")); err != nil || !ok {
 		t.Fatalf("read through snapshot failed: ok=%v err=%v", ok, err)
 	}
-	m.Release(snap)
+	snap.Release()
 	if _, err := dev.OpenFile("sst-1"); err == nil {
 		t.Fatal("file not deleted after last reference released")
 	}
@@ -373,10 +375,134 @@ func TestManifestTablesSortedDisjoint(t *testing.T) {
 	w2.Add(Record{Key: []byte("a"), Version: 1})
 	ta, _ := w2.Finish(nil)
 	m.Apply([]*Table{tb, ta}, nil)
-	snap := m.Current()
-	defer m.Release(snap)
-	if string(snap[0].Smallest()) != "a" || string(snap[1].Smallest()) != "m" {
-		t.Fatalf("not sorted: %q, %q", snap[0].Smallest(), snap[1].Smallest())
+	snap := m.Acquire()
+	defer snap.Release()
+	tabs := snap.Tables()
+	if string(tabs[0].Smallest()) != "a" || string(tabs[1].Smallest()) != "m" {
+		t.Fatalf("not sorted: %q, %q", tabs[0].Smallest(), tabs[1].Smallest())
+	}
+}
+
+func TestSnapshotFind(t *testing.T) {
+	dev, cache := testDev()
+	m, _ := NewManifest(dev, cache, "MANIFEST")
+	// Three disjoint tables: [b..d], [f..h], [m..p].
+	mk := func(name string, keys ...string) *Table {
+		w := NewWriter(dev, cache, name, 0)
+		for i, k := range keys {
+			if err := w.Add(Record{Key: []byte(k), Version: uint64(i + 1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tb, err := w.Finish(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	m.Apply([]*Table{mk("sst-1", "b", "c", "d"), mk("sst-2", "f", "g", "h"), mk("sst-3", "m", "p")}, nil)
+	snap := m.Acquire()
+	defer snap.Release()
+	for _, tc := range []struct {
+		key  string
+		want string // smallest key of the table expected, "" = no table
+	}{
+		{"a", ""}, {"b", "b"}, {"c", "b"}, {"d", "b"}, {"e", ""},
+		{"f", "f"}, {"h", "f"}, {"i", ""}, {"m", "m"}, {"n", "m"},
+		{"p", "m"}, {"q", ""},
+	} {
+		got := snap.Find([]byte(tc.key))
+		switch {
+		case tc.want == "" && got != nil:
+			t.Fatalf("Find(%q) = table %q, want none", tc.key, got.Smallest())
+		case tc.want != "" && got == nil:
+			t.Fatalf("Find(%q) = none, want table %q", tc.key, tc.want)
+		case tc.want != "" && string(got.Smallest()) != tc.want:
+			t.Fatalf("Find(%q) = table %q, want %q", tc.key, got.Smallest(), tc.want)
+		}
+	}
+	if got := snap.SearchFrom([]byte("e")); got != 1 {
+		t.Fatalf("SearchFrom(e) = %d, want 1", got)
+	}
+	if got := snap.SearchFrom(nil); got != 0 {
+		t.Fatalf("SearchFrom(nil) = %d, want 0", got)
+	}
+	if got := snap.SearchFrom([]byte("z")); got != 3 {
+		t.Fatalf("SearchFrom(z) = %d, want 3", got)
+	}
+}
+
+// TestSnapshotRefcountConcurrentApply hammers Acquire/Release against
+// concurrent Apply calls: every superseded snapshot must drain to zero
+// references exactly once, every removed table's file must be deleted when
+// its last snapshot goes, and readers must never observe a deleted file.
+// Run with -race.
+func TestSnapshotRefcountConcurrentApply(t *testing.T) {
+	dev, cache := testDev()
+	m, _ := NewManifest(dev, cache, "MANIFEST")
+	t0 := buildTable(t, dev, cache, "sst-gen0", 50)
+	if err := m.Apply([]*Table{t0}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var readerErr atomic.Value
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := m.Acquire()
+				for _, tb := range snap.Tables() {
+					if _, _, err := tb.Get(nil, []byte("key-000010")); err != nil {
+						readerErr.Store(err)
+						snap.Release()
+						return
+					}
+				}
+				snap.Release()
+			}
+		}()
+	}
+
+	// Writer: repeatedly replace the whole table set.
+	cur := t0
+	for gen := 1; gen <= 60; gen++ {
+		next := buildTable(t, dev, cache, fmt.Sprintf("sst-gen%d", gen), 50)
+		if err := m.Apply([]*Table{next}, []*Table{cur}); err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	close(done)
+	wg.Wait()
+	if err := readerErr.Load(); err != nil {
+		t.Fatalf("reader observed error: %v", err)
+	}
+
+	// Quiescent: only the final table remains, with exactly the current
+	// snapshot's single reference; all superseded files are gone.
+	if m.Tables() != 1 {
+		t.Fatalf("live tables = %d, want 1", m.Tables())
+	}
+	if refs := m.refsOf(cur); refs != 1 {
+		t.Fatalf("final table refs = %d, want 1", refs)
+	}
+	snap := m.Acquire()
+	if got := snap.snapshotRefs(); got != 2 {
+		t.Fatalf("acquired snapshot refs = %d, want 2", got)
+	}
+	snap.Release()
+	for gen := 0; gen < 60; gen++ {
+		if _, err := dev.OpenFile(fmt.Sprintf("sst-gen%d", gen)); err == nil {
+			t.Fatalf("superseded file sst-gen%d not deleted", gen)
+		}
 	}
 }
 

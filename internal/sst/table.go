@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/prismdb/prismdb/internal/bloom"
 	"github.com/prismdb/prismdb/internal/simdev"
@@ -128,8 +129,9 @@ func appendRecord(buf []byte, r Record) []byte {
 	return buf
 }
 
-// decodeRecord parses one record from data, returning it and the remaining
-// bytes.
+// decodeRecord parses one record from data, returning a view whose Key and
+// Value alias data, plus the remaining bytes. Callers that retain the
+// record beyond the block buffer's lifetime must Clone it.
 func decodeRecord(data []byte) (Record, []byte, error) {
 	if len(data) < 15 {
 		return Record{}, nil, errors.New("sst: truncated record header")
@@ -143,12 +145,19 @@ func decodeRecord(data []byte) (Record, []byte, error) {
 		return Record{}, nil, errors.New("sst: truncated record body")
 	}
 	rec := Record{
-		Key:       append([]byte(nil), data[:kl]...),
-		Value:     append([]byte(nil), data[kl:kl+vl]...),
+		Key:       data[:kl:kl],
+		Value:     data[kl : kl+vl : kl+vl],
 		Version:   version,
 		Tombstone: tomb,
 	}
 	return rec, data[kl+vl:], nil
+}
+
+// Clone returns a record owning fresh copies of its key and value.
+func (r Record) Clone() Record {
+	r.Key = append([]byte(nil), r.Key...)
+	r.Value = append([]byte(nil), r.Value...)
+	return r
 }
 
 // Writer builds an SST file. Records must be added in strictly increasing
@@ -160,11 +169,14 @@ type Writer struct {
 	name      string
 	blockSize int
 
-	buf      []byte // current block
-	blocks   []blockHandle
-	data     []byte // all finished blocks
-	filter   *bloom.Filter
-	keys     [][]byte // collected for the filter
+	buf    []byte // current block
+	blocks []blockHandle
+	data   []byte // all finished blocks
+	filter *bloom.Filter
+	// Keys are collected for the filter in one flat buffer (offsets into
+	// keyBuf) instead of one allocation per key.
+	keyBuf   []byte
+	keyOffs  []int
 	firstKey []byte
 	lastKey  []byte
 	count    int
@@ -172,10 +184,23 @@ type Writer struct {
 
 // NewWriter starts building a table in the named file on dev.
 func NewWriter(dev *simdev.Device, cache *simdev.PageCache, name string, blockSize int) *Writer {
+	return NewWriterSize(dev, cache, name, blockSize, 0)
+}
+
+// NewWriterSize is NewWriter with a hint of the output's data size, so the
+// data buffer is allocated once instead of growing through doubling —
+// compactions stream entire tables through writers, making that churn the
+// largest allocation source in the engine.
+func NewWriterSize(dev *simdev.Device, cache *simdev.PageCache, name string, blockSize, sizeHint int) *Writer {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
-	return &Writer{dev: dev, cache: cache, name: name, blockSize: blockSize}
+	w := &Writer{dev: dev, cache: cache, name: name, blockSize: blockSize}
+	if sizeHint > 0 {
+		w.data = make([]byte, 0, sizeHint+blockSize)
+		w.keyBuf = make([]byte, 0, sizeHint/32)
+	}
+	return w
 }
 
 // Add appends a record. Keys must arrive in strictly increasing order.
@@ -188,7 +213,8 @@ func (w *Writer) Add(r Record) error {
 	}
 	w.lastKey = append(w.lastKey[:0], r.Key...)
 	w.buf = appendRecord(w.buf, r)
-	w.keys = append(w.keys, append([]byte(nil), r.Key...))
+	w.keyOffs = append(w.keyOffs, len(w.keyBuf))
+	w.keyBuf = append(w.keyBuf, r.Key...)
 	w.count++
 	if len(w.buf) >= w.blockSize {
 		w.flushBlock()
@@ -244,19 +270,21 @@ func (w *Writer) Finish(clk *simdev.Clock) (*Table, error) {
 	idx = append(idx, w.firstKey...)
 
 	// Bloom filter block.
-	w.filter = bloom.New(len(w.keys), 0.01)
-	for _, k := range w.keys {
-		w.filter.Add(k)
+	w.filter = bloom.New(len(w.keyOffs), 0.01)
+	for i, off := range w.keyOffs {
+		end := len(w.keyBuf)
+		if i+1 < len(w.keyOffs) {
+			end = w.keyOffs[i+1]
+		}
+		w.filter.Add(w.keyBuf[off:end])
 	}
 	fb := w.filter.Bytes()
 
-	// Assemble: data | index | filter | footer.
-	out := make([]byte, 0, len(w.data)+len(idx)+len(fb)+48)
-	out = append(out, w.data...)
-	idxOff := int64(len(out))
-	out = append(out, idx...)
-	fOff := int64(len(out))
-	out = append(out, fb...)
+	// Layout: data | index | filter | footer. Sections are appended to the
+	// file directly (no intermediate assembly buffer); the device write is
+	// still charged as one large sequential request below.
+	idxOff := int64(len(w.data))
+	fOff := idxOff + int64(len(idx))
 	var footer [48]byte
 	binary.LittleEndian.PutUint64(footer[0:], uint64(idxOff))
 	binary.LittleEndian.PutUint64(footer[8:], uint64(len(idx)))
@@ -264,18 +292,20 @@ func (w *Writer) Finish(clk *simdev.Clock) (*Table, error) {
 	binary.LittleEndian.PutUint64(footer[24:], uint64(len(fb)))
 	binary.LittleEndian.PutUint64(footer[32:], uint64(w.count))
 	binary.LittleEndian.PutUint64(footer[40:], footerMagic)
-	out = append(out, footer[:]...)
+	total := fOff + int64(len(fb)) + 48
 
 	f, err := w.dev.CreateFile(w.name)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := f.Append(out); err != nil {
-		w.dev.RemoveFile(w.name)
-		return nil, err
+	for _, part := range [][]byte{w.data, idx, fb, footer[:]} {
+		if _, err := f.Append(part); err != nil {
+			w.dev.RemoveFile(w.name)
+			return nil, err
+		}
 	}
 	if clk != nil {
-		w.dev.AccessClk(clk, simdev.OpWrite, int64(len(out)))
+		w.dev.AccessClk(clk, simdev.OpWrite, total)
 	}
 	return &Table{
 		file:     f,
@@ -286,7 +316,7 @@ func (w *Writer) Finish(clk *simdev.Clock) (*Table, error) {
 		smallest: w.firstKey,
 		largest:  append([]byte(nil), w.lastKey...),
 		count:    w.count,
-		size:     int64(len(out)),
+		size:     total,
 	}, nil
 }
 
@@ -387,6 +417,15 @@ func (t *Table) MayContain(key []byte) bool {
 	return t.filter.MayContain(key)
 }
 
+// blockBufPool recycles point-read block buffers: a Table.Get scans one
+// block and materializes at most the hit, so the buffer never escapes.
+var blockBufPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, DefaultBlockSize)
+		return &b
+	},
+}
+
 // Get looks up key. A bloom-filter miss costs nothing; otherwise one data
 // block is read from flash (through the page cache). Returns (rec, true) if
 // found — including tombstones, which callers must check.
@@ -407,7 +446,9 @@ func (t *Table) Get(clk *simdev.Clock, key []byte) (Record, bool, error) {
 	if lo == len(t.index) {
 		return Record{}, false, nil
 	}
-	blk, err := t.readBlock(clk, t.index[lo])
+	bp := blockBufPool.Get().(*[]byte)
+	defer blockBufPool.Put(bp)
+	blk, err := t.readBlockInto(clk, t.index[lo], bp)
 	if err != nil {
 		return Record{}, false, err
 	}
@@ -418,6 +459,13 @@ func (t *Table) Get(clk *simdev.Clock, key []byte) (Record, bool, error) {
 		}
 		switch bytes.Compare(rec.Key, key) {
 		case 0:
+			// Decode scans are views into the pooled buffer; only the hit
+			// is materialized, into a single backing allocation.
+			out := make([]byte, len(rec.Key)+len(rec.Value))
+			copy(out, rec.Key)
+			copy(out[len(rec.Key):], rec.Value)
+			rec.Key = out[:len(rec.Key):len(rec.Key)]
+			rec.Value = out[len(rec.Key):]
 			return rec, true, nil
 		case 1:
 			return Record{}, false, nil
@@ -429,7 +477,21 @@ func (t *Table) Get(clk *simdev.Clock, key []byte) (Record, bool, error) {
 
 // readBlock fetches a data block, charging flash I/O for page-cache misses.
 func (t *Table) readBlock(clk *simdev.Clock, h blockHandle) ([]byte, error) {
-	buf := make([]byte, h.len)
+	return t.readBlockInto(clk, h, nil)
+}
+
+// readBlockInto is readBlock reading into *bp's backing array when
+// provided (growing it as needed).
+func (t *Table) readBlockInto(clk *simdev.Clock, h blockHandle, bp *[]byte) ([]byte, error) {
+	var buf []byte
+	if bp != nil {
+		if int64(cap(*bp)) < h.len {
+			*bp = make([]byte, h.len)
+		}
+		buf = (*bp)[:h.len]
+	} else {
+		buf = make([]byte, h.len)
+	}
 	if err := t.file.ReadAt(buf, h.off); err != nil {
 		return nil, err
 	}
@@ -459,7 +521,10 @@ func (t *Table) readBlock(clk *simdev.Clock, h blockHandle) ([]byte, error) {
 }
 
 // ReadAll streams every record to fn in key order, charging one sequential
-// read of the data section. Compactions use this to merge tables.
+// read of the data section. Compactions use this to merge tables. The
+// records passed to fn are views into per-block buffers; retaining one
+// keeps its whole block reachable (fine for merge-lifetime retention —
+// Clone to hold a record longer than the table's data is worth pinning).
 func (t *Table) ReadAll(clk *simdev.Clock, fn func(Record) error) error {
 	if clk != nil {
 		var dataLen int64

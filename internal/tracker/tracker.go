@@ -24,6 +24,7 @@ const MaxClock = 3
 
 type entry struct {
 	key   string
+	idx   uint64 // caller-supplied key index, returned on eviction
 	clock uint8
 	loc   Location
 	used  bool
@@ -74,24 +75,28 @@ func (t *Tracker) FlashFraction() float64 {
 	return float64(t.flashCnt) / float64(t.size)
 }
 
-// Touch records an access to key, which currently resides at loc. Already
-// tracked keys jump to the maximum clock value (§6); new keys are inserted
-// with clock 0, evicting via the CLOCK algorithm when full. It returns the
-// key evicted to make room, if any.
-func (t *Tracker) Touch(key []byte, loc Location) (evicted string, didEvict bool) {
+// Touch records an access to key, which currently resides at loc. idx is an
+// opaque caller-supplied key index stored with the entry and handed back on
+// eviction, so callers never have to re-derive it from the evicted key (the
+// hot read path stays allocation-free). Already tracked keys jump to the
+// maximum clock value (§6); new keys are inserted with clock 0, evicting via
+// the CLOCK algorithm when full. It returns the index of the key evicted to
+// make room, if any.
+func (t *Tracker) Touch(key []byte, idx uint64, loc Location) (evictedIdx uint64, didEvict bool) {
 	if i, ok := t.index[string(key)]; ok {
 		e := &t.entries[i]
 		t.dist[e.clock]--
 		e.clock = MaxClock
 		t.dist[MaxClock]++
+		e.idx = idx
 		t.setLoc(e, loc)
-		return "", false
+		return 0, false
 	}
-	return t.insert(string(key), loc)
+	return t.insert(string(key), idx, loc)
 }
 
 // insert places a new key with clock 0, running the clock hand if full.
-func (t *Tracker) insert(key string, loc Location) (evicted string, didEvict bool) {
+func (t *Tracker) insert(key string, idx uint64, loc Location) (evictedIdx uint64, didEvict bool) {
 	slot := -1
 	if t.size < t.capacity {
 		// Find the next unused slot from the hand.
@@ -115,7 +120,7 @@ func (t *Tracker) insert(key string, loc Location) (evicted string, didEvict boo
 			t.advance()
 		}
 		victim := &t.entries[slot]
-		evicted, didEvict = victim.key, true
+		evictedIdx, didEvict = victim.idx, true
 		delete(t.index, victim.key)
 		t.dist[victim.clock]--
 		if victim.loc == Flash {
@@ -124,14 +129,14 @@ func (t *Tracker) insert(key string, loc Location) (evicted string, didEvict boo
 		t.size--
 	}
 	e := &t.entries[slot]
-	*e = entry{key: key, clock: 0, loc: loc, used: true}
+	*e = entry{key: key, idx: idx, clock: 0, loc: loc, used: true}
 	t.index[key] = slot
 	t.dist[0]++
 	if loc == Flash {
 		t.flashCnt++
 	}
 	t.size++
-	return evicted, didEvict
+	return evictedIdx, didEvict
 }
 
 func (t *Tracker) advance() {

@@ -10,11 +10,11 @@ func k(i int) []byte { return []byte(fmt.Sprintf("key-%05d", i)) }
 
 func TestInsertAndTouch(t *testing.T) {
 	tr := New(10)
-	tr.Touch(k(1), NVM)
+	tr.Touch(k(1), 1, NVM)
 	if c, ok := tr.Clock(k(1)); !ok || c != 0 {
 		t.Fatalf("fresh insert clock = %d,%v want 0,true", c, ok)
 	}
-	tr.Touch(k(1), NVM)
+	tr.Touch(k(1), 1, NVM)
 	if c, _ := tr.Clock(k(1)); c != MaxClock {
 		t.Fatalf("re-access clock = %d, want %d", c, MaxClock)
 	}
@@ -29,14 +29,14 @@ func TestInsertAndTouch(t *testing.T) {
 func TestDistributionMaintained(t *testing.T) {
 	tr := New(100)
 	for i := 0; i < 10; i++ {
-		tr.Touch(k(i), NVM) // all clock 0
+		tr.Touch(k(i), uint64(i), NVM) // all clock 0
 	}
 	d := tr.Distribution()
 	if d[0] != 10 || d[3] != 0 {
 		t.Fatalf("dist = %v", d)
 	}
 	for i := 0; i < 4; i++ {
-		tr.Touch(k(i), NVM) // 4 keys jump to clock 3
+		tr.Touch(k(i), uint64(i), NVM) // 4 keys jump to clock 3
 	}
 	d = tr.Distribution()
 	if d[0] != 6 || d[3] != 4 {
@@ -54,19 +54,19 @@ func TestDistributionMaintained(t *testing.T) {
 func TestClockEviction(t *testing.T) {
 	tr := New(4)
 	for i := 0; i < 4; i++ {
-		tr.Touch(k(i), NVM)
+		tr.Touch(k(i), uint64(i), NVM)
 	}
 	// Heat up keys 0 and 1.
-	tr.Touch(k(0), NVM)
-	tr.Touch(k(1), NVM)
+	tr.Touch(k(0), 0, NVM)
+	tr.Touch(k(1), 1, NVM)
 	// Inserting a 5th key must evict one of the cold keys (2 or 3),
 	// never the hot ones.
-	evicted, did := tr.Touch(k(9), NVM)
+	evicted, did := tr.Touch(k(9), 9, NVM)
 	if !did {
 		t.Fatal("no eviction at capacity")
 	}
-	if evicted != string(k(2)) && evicted != string(k(3)) {
-		t.Fatalf("evicted hot key %q", evicted)
+	if evicted != 2 && evicted != 3 {
+		t.Fatalf("evicted hot key idx %d", evicted)
 	}
 	if _, ok := tr.Clock(k(0)); !ok {
 		t.Fatal("hot key 0 lost")
@@ -78,12 +78,12 @@ func TestClockEviction(t *testing.T) {
 
 func TestEvictionDecrementsClocks(t *testing.T) {
 	tr := New(2)
-	tr.Touch(k(0), NVM)
-	tr.Touch(k(0), NVM) // clock 3
-	tr.Touch(k(1), NVM)
-	tr.Touch(k(1), NVM) // clock 3
+	tr.Touch(k(0), 0, NVM)
+	tr.Touch(k(0), 0, NVM) // clock 3
+	tr.Touch(k(1), 1, NVM)
+	tr.Touch(k(1), 1, NVM) // clock 3
 	// Insert forces the hand to decrement both hot keys until one hits 0.
-	tr.Touch(k(2), NVM)
+	tr.Touch(k(2), 2, NVM)
 	if tr.Len() != 2 {
 		t.Fatalf("Len = %d", tr.Len())
 	}
@@ -104,8 +104,8 @@ func TestEvictionDecrementsClocks(t *testing.T) {
 
 func TestLocationTracking(t *testing.T) {
 	tr := New(10)
-	tr.Touch(k(0), NVM)
-	tr.Touch(k(1), Flash)
+	tr.Touch(k(0), 0, NVM)
+	tr.Touch(k(1), 1, Flash)
 	if f := tr.FlashFraction(); f != 0.5 {
 		t.Fatalf("FlashFraction = %f", f)
 	}
@@ -127,7 +127,7 @@ func TestLocationTracking(t *testing.T) {
 
 func TestForget(t *testing.T) {
 	tr := New(10)
-	tr.Touch(k(0), Flash)
+	tr.Touch(k(0), 0, Flash)
 	tr.Forget(k(0))
 	if tr.Len() != 0 || tr.FlashFraction() != 0 {
 		t.Fatalf("len=%d flash=%f after forget", tr.Len(), tr.FlashFraction())
@@ -139,7 +139,7 @@ func TestForget(t *testing.T) {
 	tr.Forget(k(1)) // no-op
 	// Slot must be reusable.
 	for i := 0; i < 10; i++ {
-		tr.Touch(k(i), NVM)
+		tr.Touch(k(i), uint64(i), NVM)
 	}
 	if tr.Len() != 10 {
 		t.Fatalf("Len = %d", tr.Len())
@@ -151,11 +151,11 @@ func TestColdness(t *testing.T) {
 	if c := tr.Coldness(k(0)); c != 1.0 {
 		t.Fatalf("untracked coldness = %f, want 1", c)
 	}
-	tr.Touch(k(0), NVM) // clock 0
+	tr.Touch(k(0), 0, NVM) // clock 0
 	if c := tr.Coldness(k(0)); c != 1.0 {
 		t.Fatalf("clock-0 coldness = %f, want 1", c)
 	}
-	tr.Touch(k(0), NVM) // clock 3
+	tr.Touch(k(0), 0, NVM) // clock 3
 	if c := tr.Coldness(k(0)); c != 0.25 {
 		t.Fatalf("clock-3 coldness = %f, want 0.25", c)
 	}
@@ -173,7 +173,7 @@ func TestQuickInvariants(t *testing.T) {
 			if op%2 == 0 {
 				loc = Flash
 			}
-			tr.Touch(key, loc)
+			tr.Touch(key, uint64(op)%64, loc)
 		}
 		if tr.Len() > tr.Capacity() {
 			return false
@@ -202,11 +202,11 @@ func TestCapacityOne(t *testing.T) {
 	if tr.Capacity() != 1 {
 		t.Fatalf("capacity = %d", tr.Capacity())
 	}
-	tr.Touch(k(0), NVM)
-	tr.Touch(k(0), NVM) // clock 3
-	evicted, did := tr.Touch(k(1), NVM)
-	if !did || evicted != string(k(0)) {
-		t.Fatalf("evicted %q,%v", evicted, did)
+	tr.Touch(k(0), 7, NVM)
+	tr.Touch(k(0), 7, NVM) // clock 3
+	evicted, did := tr.Touch(k(1), 1, NVM)
+	if !did || evicted != 7 {
+		t.Fatalf("evicted %d,%v", evicted, did)
 	}
 	if tr.Len() != 1 {
 		t.Fatalf("Len = %d", tr.Len())

@@ -29,6 +29,39 @@
 //	...
 //	db.Put([]byte("user42"), []byte("v1"))
 //	v, tier, lat, err := db.Get([]byte("user42"))
+//
+// # Performance
+//
+// The foreground read path is allocation-free and sublinear. Each
+// partition's manifest publishes its live SST file set as an immutable
+// copy-on-write snapshot behind an atomic pointer, refcounted once per
+// snapshot: a Get acquires the snapshot with two atomic operations, no
+// lock, and no per-table refcount traffic, and the disjoint sorted tables
+// are probed with a single binary search instead of a linear overlap scan.
+// NVM slab reads land in a per-partition scratch buffer; GetBuf lets the
+// caller supply the value buffer, making an NVM- or page-cache-hit read
+// perform zero heap allocations (a testing.AllocsPerOp guard in
+// internal/core pins this at 0 allocs/op). Get is GetBuf with a nil
+// buffer: one allocation for the returned value.
+//
+// Partitions are shared-nothing, so harnesses can drive them in parallel:
+// the bench package's parallel driver runs one worker goroutine per
+// partition over sharded op streams (routed via PartitionOf) and merges
+// per-worker latency histograms at the end. Per-partition virtual-time
+// causality is exact; cross-partition device and CPU queueing interleaves
+// within a small bounded time window (the simulated devices backfill idle
+// lane time for slightly out-of-order arrivals, so simulated results stay
+// within a few percent of the serial lockstep driver's). Use the serial
+// driver (the default) for bit-reproducible virtual-time experiments and
+// the parallel driver (`prismbench -parallel`, or Setup.ParallelDriver)
+// for wall-clock throughput.
+//
+// To reproduce the benchmark numbers: `make bench` (or
+// `go test -run '^$' -bench . -benchmem ./bench/...`) runs the harness
+// benchmarks, including BenchmarkYCSBBSerial/BenchmarkYCSBBParallel —
+// the YCSB-B read-heavy mix on 8 partitions through each driver — and
+// records the results in BENCH_<date>.json for the repo's perf
+// trajectory.
 package prismdb
 
 import (
@@ -175,6 +208,14 @@ func (db *DB) Put(key, value []byte) (time.Duration, error) {
 // the simulated latency. Missing keys return (nil, TierMiss, lat, nil).
 func (db *DB) Get(key []byte) ([]byte, Tier, time.Duration, error) {
 	return db.inner.Get(key)
+}
+
+// GetBuf is Get with a caller-provided value buffer: the value is appended
+// to buf[:0] and the resulting slice returned (it aliases buf when buf has
+// capacity). Reusing buf across calls makes NVM- and page-cache-hit reads
+// allocation-free.
+func (db *DB) GetBuf(key, buf []byte) ([]byte, Tier, time.Duration, error) {
+	return db.inner.GetBuf(key, buf)
 }
 
 // Delete removes key.

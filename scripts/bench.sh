@@ -1,0 +1,41 @@
+#!/bin/sh
+# Runs the harness benchmarks with -benchmem and records the results as
+# BENCH_<date>.json in the repo root, so the perf trajectory is tracked
+# per PR. Knobs:
+#
+#   BENCH_PATTERN  -bench pattern (default ".")
+#   BENCH_TIME     -benchtime (default "1x")
+#
+#   BENCH_PATTERN=BenchmarkYCSBB BENCH_TIME=5x ./scripts/bench.sh
+set -e
+cd "$(dirname "$0")/.."
+
+out="BENCH_$(date +%Y-%m-%d).json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# The driver benchmarks live in ./bench, the per-figure harness
+# benchmarks in the root package. (|| status=$? keeps set -e from
+# discarding the captured output on failure.)
+status=0
+go test -run '^$' -bench "${BENCH_PATTERN:-.}" -benchmem \
+	-benchtime "${BENCH_TIME:-1x}" . ./bench/... > "$tmp" || status=$?
+cat "$tmp"
+[ "$status" -eq 0 ] || exit "$status"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { printf "{\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", date; n = 0 }
+/^Benchmark/ && NF >= 3 {
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iters\": %s", $1, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/"/, "", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { if (n) printf "\n"; print "  ]\n}" }
+' "$tmp" > "$out"
+
+echo "wrote $out"

@@ -6,7 +6,6 @@
 package workload
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 )
@@ -121,8 +120,18 @@ func (l *Latest) Next(rng *rand.Rand) int {
 
 // KeyOf formats key index i as the canonical fixed-width key. Fixed-width
 // decimal keys make lexicographic and numeric order coincide, which the
-// engine's bucket statistics rely on.
-func KeyOf(i int) []byte { return []byte(fmt.Sprintf("user%012d", i)) }
+// engine's bucket statistics rely on. Formatted by hand: the generator
+// emits one key per operation, and fmt.Sprintf was the single largest
+// allocation site in the whole harness.
+func KeyOf(i int) []byte {
+	b := make([]byte, 16)
+	b[0], b[1], b[2], b[3] = 'u', 's', 'e', 'r'
+	for j := 15; j >= 4; j-- {
+		b[j] = byte('0' + i%10)
+		i /= 10
+	}
+	return b
+}
 
 // IndexOf inverts KeyOf (for tests).
 func IndexOf(key []byte) int {
