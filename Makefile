@@ -1,19 +1,28 @@
 GO ?= go
 
-.PHONY: build test race bench
+.PHONY: build vet test race bench
 
 build:
 	$(GO) build ./...
 
-test:
+vet:
+	$(GO) vet ./...
+
+# vet + unit tests + a -race pass over the scan-stress and parallel-driver
+# tests (the paths with cross-goroutine iterators, epoch pins, and shared
+# devices).
+test: vet
 	$(GO) test ./...
+	$(GO) test -race -run 'ConcurrentScansUnderWrites|ConcurrentOpsAcrossPartitions|ParallelScanAccounting' ./internal/core/ ./bench/
 
 # Race-detector pass over the packages with lock-free or multi-goroutine
-# paths (manifest snapshots, parallel partition driver, shared devices).
+# paths (manifest snapshots, iterator epoch pins, parallel partition
+# driver, shared devices).
 race:
 	$(GO) test -race ./internal/core/ ./internal/sst/ ./internal/simdev/ ./bench/
 
-# Runs the harness benchmarks and emits BENCH_<date>.json so the perf
+# Runs the harness benchmarks (YCSB-B read-heavy and YCSB-E scan-heavy,
+# serial and parallel drivers) and emits BENCH_<date>.json so the perf
 # trajectory is tracked per PR. See scripts/bench.sh for knobs.
 bench:
 	./scripts/bench.sh

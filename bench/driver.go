@@ -72,13 +72,18 @@ func (p *clockPacer) min() int64 {
 // once at the end, so the measurement path adds no locks to the op loop.
 //
 // Per-partition virtual-time causality is exact — a partition's ops run in
-// issue order on its own clock. Cross-partition interactions (shared
-// device channels, the shared CPU pool, multi-partition scans) interleave
-// within the pacer window, so simulated latencies can vary slightly run to
-// run; wall-clock throughput is the point of this driver.
+// issue order on its own clock, and a scan (however many partitions' data
+// it reads through its iterator) charges only the issuing worker's clock.
+// Cross-partition interactions (shared device channels, the shared CPU
+// pool) interleave within the pacer window, so simulated latencies can
+// vary slightly run to run; wall-clock throughput is the point of this
+// driver.
 func (r *rig) driveOpsParallel(gen *workload.Generator, n int, rh, uh, sh *metrics.Histogram) error {
 	parts := r.prism.Partitions()
-	queues := workload.Shard(gen, n, parts, r.prism.PartitionOf)
+	queues, err := workload.Shard(gen, n, parts, r.prism.PartitionOf)
+	if err != nil {
+		return err
+	}
 
 	pacer := newClockPacer(parts, paceWindow)
 	for pi := 0; pi < parts; pi++ {

@@ -567,5 +567,40 @@ func Table5(w io.Writer, sc Scale) (map[string]map[string]*Result, error) {
 	return out, nil
 }
 
+// YCSBE runs the scan-heavy YCSB-E mix on PrismDB through both drivers and
+// the LSM baselines through their client scheduler: the focused view of the
+// workload this repo's iterator subsystem exists for. The serial/parallel
+// PrismDB pair doubles as a live check of scan clock ownership — the two
+// rows' simulated throughput must agree within a few percent, since scans
+// charge only their issuing partition's clock.
+func YCSBE(w io.Writer, sc Scale) (map[string]*Result, error) {
+	fmt.Fprintln(w, "YCSB-E: scan-heavy mix (95% scans, max scan length 100)")
+	wl, _ := workload.YCSB('E', sc.Keys, sc.ValueSize, 0.99, 1)
+	out := map[string]*Result{}
+	rows := [][]string{}
+	for _, sys := range []struct {
+		label string
+		setup Setup
+	}{
+		{"rocksdb", Setup{System: SysRocks, NVMFraction: 1.0 / 6}},
+		{"rocksdb-l2c", Setup{System: SysRocksL2C, NVMFraction: 1.0 / 6}},
+		{"prismdb", Setup{System: SysPrism, NVMFraction: 1.0 / 6}},
+		{"prismdb-parallel", Setup{System: SysPrism, NVMFraction: 1.0 / 6, ParallelDriver: true}},
+	} {
+		res, err := Run(sys.setup, sc, wl, sys.label+"/ycsb-e")
+		if err != nil {
+			return nil, fmt.Errorf("%s ycsb-e: %w", sys.label, err)
+		}
+		out[sys.label] = res
+		rows = append(rows, []string{
+			sys.label, f1(res.ThroughputKops),
+			us(res.ScanHist.Quantile(0.5)), us(res.ScanHist.Quantile(0.99)),
+			f1(res.HostKops),
+		})
+	}
+	table(w, []string{"system", "tput(Kops/s)", "scan-p50", "scan-p99", "host-kops/s"}, rows)
+	return out, nil
+}
+
 // unused keeps core import stable across refactors.
 var _ = core.TierDRAM

@@ -47,6 +47,77 @@ func benchmarkYCSBB(b *testing.B, setup Setup) {
 	b.ReportMetric(hostKops/float64(b.N)*1000, "wall-ops/s")
 }
 
+// BenchmarkYCSBESerial drives the scan-heavy YCSB-E mix (95% scans) through
+// the serial lockstep driver, so scan throughput joins the tracked perf
+// trajectory in BENCH_<date>.json.
+func BenchmarkYCSBESerial(b *testing.B) {
+	benchmarkYCSBE(b, Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8})
+}
+
+// BenchmarkYCSBEParallel is YCSB-E through the parallel partition driver:
+// scans stream through snapshot-pinned iterators that charge only the
+// issuing worker's clock, so one worker per partition stays sound.
+func BenchmarkYCSBEParallel(b *testing.B) {
+	benchmarkYCSBE(b, Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8, ParallelDriver: true})
+}
+
+func benchmarkYCSBE(b *testing.B, setup Setup) {
+	sc := Scale{Keys: 20000, Ops: 8000, WarmupOps: 2000, ValueSize: 1024}
+	wl, err := workload.YCSB('E', sc.Keys, sc.ValueSize, 0.99, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var hostKops float64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(setup, sc, wl, "ycsb-e")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ThroughputKops <= 0 {
+			b.Fatal("no throughput")
+		}
+		hostKops += res.HostKops
+	}
+	b.ReportMetric(hostKops/float64(b.N)*1000, "wall-ops/s")
+}
+
+// TestParallelScanAccountingMatchesSerial is the regression test for the
+// parallel-driver scan bug this PR fixes structurally: scans used to
+// advance foreign partitions' clocks from the issuing worker's goroutine,
+// so scan-heavy parallel runs reported untrustworthy virtual time. With
+// iterator-owned clocks, serial and parallel YCSB-E must agree on the
+// logical work exactly and on simulated throughput within ~10%.
+func TestParallelScanAccountingMatchesSerial(t *testing.T) {
+	sc := Scale{Keys: 4000, Ops: 3000, WarmupOps: 1000, ValueSize: 512}
+	wl, err := workload.YCSB('E', sc.Keys, sc.ValueSize, 0.99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Run(Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8}, sc, wl, "serial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8, ParallelDriver: true}, sc, wl, "parallel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.ScanHist.Count(), par.ScanHist.Count(); s != p {
+		t.Fatalf("scan ops: serial %d, parallel %d", s, p)
+	}
+	if s, p := serial.Prism.Scans, par.Prism.Scans; s != p {
+		t.Fatalf("engine Scans: serial %d, parallel %d", s, p)
+	}
+	if s, p := serial.Prism.Puts, par.Prism.Puts; s != p {
+		t.Fatalf("engine Puts: serial %d, parallel %d", s, p)
+	}
+	ratio := par.ThroughputKops / serial.ThroughputKops
+	if ratio < 0.90 || ratio > 1.10 {
+		t.Fatalf("scan-heavy throughput diverged beyond ~10%%: serial %.1f kops, parallel %.1f kops (ratio %.3f)",
+			serial.ThroughputKops, par.ThroughputKops, ratio)
+	}
+}
+
 // TestParallelDriverMatchesSerial checks the parallel driver produces the
 // same logical work as the serial lockstep driver: identical op counts and
 // per-kind histogram totals, and a virtual elapsed time in the same

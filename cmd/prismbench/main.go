@@ -8,7 +8,7 @@
 //	prismbench -exp fig10 -scale 4    # 4× the default dataset/ops
 //
 // Experiments: table1 table2 fig2 fig5 fig6 fig9 fig10 fig11 fig12 fig13
-// fig14a fig14b fig14c fig14d table5 all
+// fig14a fig14b fig14c fig14d table5 ycsbe all
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1|table2|fig2|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14a|fig14b|fig14c|fig14d|table5|all)")
+	exp := flag.String("exp", "all", "experiment id (table1|table2|fig2|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14a|fig14b|fig14c|fig14d|table5|ycsbe|all)")
 	scale := flag.Float64("scale", 1, "dataset/ops multiplier over the CI-friendly default (paper scale ≈ 5000)")
 	keys := flag.Int("keys", 0, "override dataset keys")
 	ops := flag.Int("ops", 0, "override measured ops")
@@ -89,6 +89,9 @@ func main() {
 		case "table5":
 			_, err := bench.Table5(w, sc)
 			return err
+		case "ycsbe":
+			_, err := bench.YCSBE(w, sc)
+			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -97,7 +100,7 @@ func main() {
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = []string{"table1", "table2", "fig2", "fig5", "fig6", "fig9", "fig10",
-			"fig11", "fig12", "fig13", "fig14a", "fig14b", "fig14c", "fig14d", "table5"}
+			"fig11", "fig12", "fig13", "fig14a", "fig14b", "fig14c", "fig14d", "table5", "ycsbe"}
 	}
 	for _, id := range ids {
 		if err := run(id); err != nil {

@@ -1,0 +1,90 @@
+// Scanrange: stream a key range through PrismDB's snapshot-consistent
+// iterator on a range-partitioned database, and show the two properties the
+// iterator exists for — the view is frozen at creation (concurrent deletes
+// and overwrites don't leak into an open scan), and all the scan's virtual
+// time lands on the issuing partition's clock.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/prismdb/prismdb"
+)
+
+func main() {
+	cfg := prismdb.RecommendedConfig(prismdb.TierSpec{
+		TotalBytes:  32 << 20,
+		NVMFraction: 0.16,
+		DatasetKeys: 20_000,
+		Partitions:  4,
+	})
+	// Range partitioning keeps each partition a contiguous key span —
+	// the recommended layout for scan-heavy workloads (§4.1).
+	cfg.RangePartitioning = true
+	db, err := prismdb.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	key := func(i int) string { return fmt.Sprintf("user%08d", i) }
+	pad := make([]byte, 600) // big enough that the NVM tier overflows
+	for i := 0; i < 10_000; i++ {
+		if _, err := db.Put([]byte(key(i)), append([]byte(fmt.Sprintf("v1-%d-", i)), pad...)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	fmt.Printf("loaded 10000 keys: %d on NVM, %d on flash\n", st.NVMObjects, st.FlashObjects)
+
+	// Open an iterator mid-range. "user00004999x" is not a canonical key:
+	// the iterator positions from each partition's actual data, so odd
+	// start bytes can't skip partitions.
+	it := db.NewIterator([]byte("user00004999x"), 0)
+
+	// Mutate the range while the scan is open: the pinned snapshot keeps
+	// the iterator's view frozen at creation time.
+	for i := 5000; i < 5200; i += 2 {
+		if _, err := db.Delete([]byte(key(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 5001; i < 5200; i += 2 {
+		if _, err := db.Put([]byte(key(i)), []byte("v2-overwritten")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	count, overwrites := 0, 0
+	first, last := "", ""
+	for ; it.Valid() && count < 200; it.Next() {
+		if first == "" {
+			first = string(it.Key())
+		}
+		last = string(it.Key())
+		if string(it.Value()) == "v2-overwritten" { // impossible: snapshot predates it
+			overwrites++
+		}
+		count++
+	}
+	lat := it.Latency()
+	if err := it.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scanned %d keys [%s .. %s] in %v (virtual)\n", count, first, last, lat)
+	fmt.Printf("deleted-mid-scan keys seen: all (snapshot), overwritten values seen: %d (want 0)\n", overwrites)
+
+	// The same range scanned after Close sees the mutations.
+	kvs, _, err := db.Scan([]byte(key(5000)), 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fresh := 0
+	for _, kv := range kvs {
+		if string(kv.Value) == "v2-overwritten" {
+			fresh++
+		}
+	}
+	fmt.Printf("after close, Scan over the same range sees %d overwritten values\n", fresh)
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"bytes"
-	"container/heap"
 	"fmt"
 	"time"
 
@@ -71,7 +69,7 @@ func (db *DB) partitionOf(key []byte) *partition {
 
 // Put writes key=value and returns the simulated operation latency.
 func (db *DB) Put(key, value []byte) (time.Duration, error) {
-	return db.partitionOf(key).put(key, value, false)
+	return db.partitionOf(key).put(key, value, false, true)
 }
 
 // Get returns the value for key, the tier that served the read, and the
@@ -93,86 +91,30 @@ func (db *DB) Delete(key []byte) (time.Duration, error) {
 	return db.partitionOf(key).del(key)
 }
 
-// Scan returns up to n live objects with keys ≥ start in global key order.
-// With range partitioning, partitions are visited in key order; with hash
-// partitioning every partition contributes candidates which are then
-// merged (range queries lock one partition at a time, §6).
+// Scan returns up to n live objects with keys ≥ start in global key order:
+// a thin wrapper draining an Iterator (which see for the consistency and
+// clock-ownership model). The start partition is never guessed from
+// KeyIndex — every partition's cursor positions itself from its actual
+// data, so non-canonical start keys (arbitrary bytes, no embedded index)
+// cannot skip partitions under range partitioning.
 func (db *DB) Scan(start []byte, n int) ([]KV, time.Duration, error) {
 	if n <= 0 {
 		return nil, 0, nil
 	}
-	if len(db.parts) == 1 {
-		return db.parts[0].scan(start, n)
-	}
-	if db.opts.RangePartitioning {
-		var out []KV
-		var total time.Duration
-		startIdx := int(uint64(len(db.parts)) * db.opts.KeyIndex(start) / db.opts.KeySpace)
-		if startIdx >= len(db.parts) {
-			startIdx = len(db.parts) - 1
-		}
-		for i := startIdx; i < len(db.parts) && len(out) < n; i++ {
-			kvs, lat, err := db.parts[i].scan(start, n-len(out))
-			if err != nil {
-				return nil, 0, err
-			}
-			out = append(out, kvs...)
-			total += lat
-		}
-		return out, total, nil
-	}
-	// Hash partitioning: every partition contributes its first n matches
-	// (each already key-sorted); a k-way heap merge takes the global first
-	// n in O(total + n log P) instead of re-sorting the whole gather.
-	cursors := make([]kvCursor, 0, len(db.parts))
-	var total time.Duration
-	for _, p := range db.parts {
-		kvs, lat, err := p.scan(start, n)
-		if err != nil {
-			return nil, 0, err
-		}
-		total += lat
-		if len(kvs) > 0 {
-			cursors = append(cursors, kvCursor{kvs: kvs})
-		}
-	}
-	h := cursorHeap(cursors)
-	heap.Init(&h)
+	it := db.NewIterator(start, n)
 	out := make([]KV, 0, n)
-	for len(out) < n && h.Len() > 0 {
-		c := &h[0]
-		out = append(out, c.kvs[c.i])
-		c.i++
-		if c.i == len(c.kvs) {
-			heap.Pop(&h)
-		} else {
-			heap.Fix(&h, 0)
-		}
+	for it.Valid() && len(out) < n {
+		out = append(out, KV{
+			Key:   append([]byte(nil), it.Key()...),
+			Value: append([]byte(nil), it.Value()...),
+		})
+		it.Next()
 	}
-	return out, total, nil
-}
-
-// kvCursor walks one partition's sorted scan result.
-type kvCursor struct {
-	kvs []KV
-	i   int
-}
-
-// cursorHeap is a min-heap of cursors ordered by their current key.
-type cursorHeap []kvCursor
-
-func (h cursorHeap) Len() int { return len(h) }
-func (h cursorHeap) Less(i, j int) bool {
-	return bytes.Compare(h[i].kvs[h[i].i].Key, h[j].kvs[h[j].i].Key) < 0
-}
-func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(kvCursor)) }
-func (h *cursorHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	err := it.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, it.Latency(), nil
 }
 
 // Stats aggregates all partitions' counters plus live object counts.

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -50,10 +49,11 @@ type partition struct {
 
 	rt readTriggerState
 
-	// scanQ is the scan path's reusable NVM-cursor scratch and compArena
-	// the compactor's reusable demote-record buffer (both guarded by mu,
-	// like everything else on the partition).
-	scanQ     []nvmEntry
+	// scanBufs is a small free list of NVM-cursor entry buffers recycled
+	// across iterators, and compArena the compactor's reusable
+	// demote-record buffer (both guarded by mu, like everything else on
+	// the partition).
+	scanBufs  [][]nvmEntry
 	compArena []byte
 
 	// Hill-climbing threshold tuner state (§7.4 future work).
@@ -67,16 +67,20 @@ type partition struct {
 }
 
 // chargeCPU charges CPU work to clk, through the shared core pool when one
-// is configured.
-func (p *partition) chargeCPU(clk *simdev.Clock, d time.Duration) {
+// is configured. Partition workers and DB-level iterators share it.
+func chargeCPU(pool *simdev.CPUPool, clk *simdev.Clock, d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	if p.opts.CPUPool != nil {
-		p.opts.CPUPool.Charge(clk, d)
+	if pool != nil {
+		pool.Charge(clk, d)
 	} else {
 		clk.Advance(d)
 	}
+}
+
+func (p *partition) chargeCPU(clk *simdev.Clock, d time.Duration) {
+	chargeCPU(p.opts.CPUPool, clk, d)
 }
 
 // readTriggerState is the detection → invocation → monitoring machine of
@@ -243,7 +247,10 @@ func (p *partition) stallTo(t int64) {
 }
 
 // put writes key=value (or a tombstone when value is nil and tomb is set).
-func (p *partition) put(key, value []byte, tomb bool) (time.Duration, error) {
+// clientOp distinguishes client Puts from internal writes (the tombstone a
+// Delete routes through this path), so the Puts counter counts exactly the
+// client operations issued.
+func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	start := p.clk.Now()
@@ -259,9 +266,11 @@ func (p *partition) put(key, value []byte, tomb bool) (time.Duration, error) {
 	idx := p.opts.KeyIndex(key)
 	if v, ok := p.index.Get(key); ok {
 		loc := slab.Loc(v)
-		if loc.Class() == ci {
+		if loc.Class() == ci && !p.slabs.Pinned() {
 			// In-place updates reuse their slot: no new NVM space is
-			// consumed, so they are never rate-limited (§4.1).
+			// consumed, so they are never rate-limited (§4.1). With an
+			// open scan epoch the update instead goes copy-on-write
+			// below, so pinned iterators keep their snapshot value.
 			if err := p.slabs.Update(p.clk, loc, rec); err != nil {
 				return 0, err
 			}
@@ -293,7 +302,9 @@ func (p *partition) put(key, value []byte, tomb bool) (time.Duration, error) {
 		p.stats.FreshInserts++
 	}
 	p.touch(key, idx, tracker.NVM)
-	p.stats.Puts++
+	if clientOp {
+		p.stats.Puts++
+	}
 	p.maybeCompact()
 	p.rt.onOp(p, false)
 	return time.Duration(p.clk.Now() - start), nil
@@ -429,12 +440,13 @@ func (p *partition) del(key []byte) (time.Duration, error) {
 
 	if flashMay {
 		// Fresh tombstone insert (goes through the normal put path,
-		// including watermark checks).
-		if _, err := p.put(key, nil, true); err != nil {
+		// including watermark checks, but as an internal write: it is
+		// part of the delete, not a client put, so it never touches the
+		// Puts counter).
+		if _, err := p.put(key, nil, true, false); err != nil {
 			return 0, err
 		}
 		p.mu.Lock()
-		p.stats.Puts-- // the tombstone is part of the delete, not a client put
 		lat := time.Duration(p.clk.Now() - start)
 		p.mu.Unlock()
 		return lat, nil
@@ -451,104 +463,30 @@ type KV struct {
 	Value []byte
 }
 
-// nvmEntry is one NVM-cursor element of the scan path.
+// nvmEntry is one NVM-cursor element of the iterator's index snapshot.
 type nvmEntry struct {
 	key []byte
 	loc slab.Loc
 }
 
-// scan returns up to n live objects with keys ≥ start, in key order, via
-// the two-level iterator of §6: one cursor over the NVM index and one over
-// the flash SST log, always advancing the smaller key; the NVM version
-// shadows flash on ties.
-func (p *partition) scan(start []byte, n int) ([]KV, time.Duration, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	startT := p.clk.Now()
-	cpu := p.opts.CPU
-	p.chargeCPU(p.clk, cpu.OpBase)
-	p.stats.Scans++
-
-	// NVM side: collect up to n index entries (B-tree is sorted) into the
-	// partition's reusable scratch queue.
-	nvmQ := p.scanQ[:0]
-	p.index.AscendFrom(start, func(it btree.Item) bool {
-		nvmQ = append(nvmQ, nvmEntry{it.Key, slab.Loc(it.Val)})
-		return len(nvmQ) < n
-	})
-	p.scanQ = nvmQ
-	p.chargeCPU(p.clk, time.Duration(len(nvmQ))*cpu.IndexOp)
-
-	snap := p.man.Acquire()
-	defer snap.Release()
-	tables := snap.Tables()
-	// Flash side: chain iterators over tables in key order (disjoint),
-	// starting at the first table that can hold a key ≥ start.
-	tblIdx := snap.SearchFrom(start)
-	var fIt *sst.Iter
-	advanceFlash := func() {
-		for {
-			if fIt != nil && fIt.Valid() {
-				return
-			}
-			if tblIdx >= len(tables) {
-				fIt = nil
-				return
-			}
-			t := tables[tblIdx]
-			tblIdx++
-			fIt = t.Iter(p.clk, start, p.opts.ScanPrefetch)
-		}
+// takeScanBufLocked hands out a recycled NVM-cursor entry buffer (caller
+// holds mu).
+func (p *partition) takeScanBufLocked() []nvmEntry {
+	if n := len(p.scanBufs); n > 0 {
+		b := p.scanBufs[n-1]
+		p.scanBufs = p.scanBufs[:n-1]
+		return b[:0]
 	}
-	advanceFlash()
+	return make([]nvmEntry, 0, 64)
+}
 
-	var out []KV
-	ni := 0
-	for len(out) < n {
-		var nvmKey []byte
-		if ni < len(nvmQ) {
-			nvmKey = nvmQ[ni].key
-		}
-		var flashRec *sst.Record
-		if fIt != nil && fIt.Valid() {
-			r := fIt.Record()
-			flashRec = &r
-		}
-		if nvmKey == nil && flashRec == nil {
-			break
-		}
-		useNVM := flashRec == nil ||
-			(nvmKey != nil && bytes.Compare(nvmKey, flashRec.Key) <= 0)
-		if useNVM {
-			// NVM shadows an equal flash key.
-			if flashRec != nil && bytes.Equal(nvmKey, flashRec.Key) {
-				fIt.Next()
-				advanceFlash()
-			}
-			rec, err := p.slabs.Get(p.clk, nvmQ[ni].loc)
-			ni++
-			if err != nil {
-				return nil, 0, err
-			}
-			if !rec.Tombstone {
-				out = append(out, KV{rec.Key, rec.Value})
-			}
-		} else {
-			if !flashRec.Tombstone {
-				// Iterator records are views into block buffers; copy
-				// what the caller keeps.
-				c := flashRec.Clone()
-				out = append(out, KV{c.Key, c.Value})
-			}
-			fIt.Next()
-			advanceFlash()
-		}
-		p.chargeCPU(p.clk, cpu.MergePerKey)
+// putScanBufLocked returns an entry buffer to the free list (caller holds
+// mu). The list is small: steady-state scan traffic reuses a handful of
+// buffers, and anything beyond that is left to the GC.
+func (p *partition) putScanBufLocked(b []nvmEntry) {
+	if cap(b) > 0 && len(p.scanBufs) < 8 {
+		p.scanBufs = append(p.scanBufs, b[:0])
 	}
-	if fIt != nil && fIt.Err() != nil {
-		return nil, 0, fIt.Err()
-	}
-	return out, time.Duration(p.clk.Now() - startT), nil
 }
 
 // objectCounts reports live objects per tier.

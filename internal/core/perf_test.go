@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -51,6 +53,127 @@ func TestGetNVMHitZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("NVM-hit GetBuf allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestIteratorNextZeroAlloc pins the scan tentpole's perf property: once an
+// iterator is warm, Next over NVM-resident data performs zero heap
+// allocations — keys alias the B-tree snapshot, values land in the
+// iterator's reused buffer, the slab read uses the manager scratch, and the
+// cursor heap holds pointers (no interface boxing).
+func TestIteratorNextZeroAlloc(t *testing.T) {
+	o := testOptions()
+	o.Partitions = 4
+	o.NVMBudget = 64 << 20 // everything NVM-resident: no compactions
+	o.Cache = simdev.NewPageCache(32 << 20)
+	db, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1024
+	for i := 0; i < n; i++ {
+		if _, err := db.Put(key(i), val(i, 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it := db.NewIterator(nil, 0)
+	defer it.Close()
+	// Warm one full pass: buffer capacities, page cache.
+	for it.Valid() {
+		it.Next()
+	}
+	it.Seek(nil)
+	allocs := testing.AllocsPerRun(4000, func() {
+		if !it.Valid() {
+			if !it.Seek(nil) {
+				t.Fatal("seek to start found nothing")
+			}
+		}
+		if len(it.Key()) == 0 || len(it.Value()) == 0 {
+			t.Fatal("empty entry")
+		}
+		it.Next()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Iterator.Next allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentScansUnderWrites is the scan-heavy -race stress: iterators
+// (bounded and unbounded) stream across all partitions while every
+// partition's data is concurrently written, deleted, and compacted. It
+// guards the epoch-pinning, snapshot refcounting, and the rule that scans
+// only ever lock one foreign partition at a time.
+func TestConcurrentScansUnderWrites(t *testing.T) {
+	o := testOptions()
+	o.Partitions = 4
+	o.NVMBudget = 1 << 20 // tight: writes keep triggering demotions
+	o.CPUPool = simdev.NewCPUPool(4)
+	db, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		if _, err := db.Put(key(i), val(i, 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 4; w++ { // writers
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := key((seed*811 + i*13) % keys)
+				var err error
+				if i%19 == 0 {
+					_, err = db.Delete(k)
+				} else {
+					_, err = db.Put(k, val(i, 512))
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ { // scanners
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				limit := 0
+				if i%2 == 0 {
+					limit = 50
+				}
+				it := db.NewIterator(key((seed*577+i*101)%keys), limit)
+				var last []byte
+				for cnt := 0; it.Valid() && cnt < 200; cnt++ {
+					if last != nil && bytes.Compare(last, it.Key()) >= 0 {
+						errCh <- fmt.Errorf("scan order violated: %q after %q", it.Key(), last)
+						it.Close()
+						return
+					}
+					last = append(last[:0], it.Key()...)
+					it.Next()
+				}
+				if err := it.Close(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if db.Stats().Compactions == 0 {
+		t.Fatal("workload never compacted; scan stress lost its bite")
 	}
 }
 

@@ -106,12 +106,57 @@ type Manager struct {
 
 	liveBytes int64 // sum of slot sizes currently in use
 
+	// Epoch pinning (scan snapshots): while pins > 0, freed slots keep
+	// their contents readable and are not reused — they queue on deferred
+	// and are physically zeroed and recycled when the last pin releases.
+	// The device write a free implies is still charged at free time (the
+	// deferral stands in for the epoch-based reclamation a real engine
+	// would use), so time accounting is identical with and without pins.
+	pins     int
+	deferred []Loc
+
 	// scratch is the reused slot I/O buffer. The Manager is single-owner
 	// (partition-lock discipline), so one buffer serves every read and
 	// write; records returned by GetScratch alias it and are valid only
 	// until the next Manager call.
 	scratch []byte
 }
+
+// PinEpoch opens a reclamation epoch: until the matching UnpinEpoch, slots
+// freed by Delete/FreeSlot stay readable at their old locations and are not
+// handed back to Put. Iterators pin an epoch so a snapshot of (key, Loc)
+// pairs taken under the partition lock stays dereferenceable for the whole
+// scan, across concurrent deletes and compaction demotions. Pins nest.
+func (m *Manager) PinEpoch() { m.pins++ }
+
+// UnpinEpoch closes an epoch. When the last pin releases, every deferred
+// slot is zeroed (crash safety: a recovery scan must not resurrect it) and
+// returned to its class's free heap. The zero writes were already charged
+// when the frees happened.
+func (m *Manager) UnpinEpoch() {
+	m.pins--
+	if m.pins > 0 {
+		return
+	}
+	if m.pins < 0 {
+		panic("slab: UnpinEpoch without matching PinEpoch")
+	}
+	var hdr [headerSize]byte
+	for _, loc := range m.deferred {
+		sf := m.slabs[loc.Class()]
+		off := int64(loc.Slot()) * int64(sf.slotSize)
+		if err := sf.file.WriteAt(hdr[:], off); err != nil {
+			panic(fmt.Sprintf("slab: deferred free of slot %d: %v", loc.Slot(), err))
+		}
+		heap.Push(&sf.free, loc.Slot())
+	}
+	m.deferred = m.deferred[:0]
+}
+
+// Pinned reports whether a reclamation epoch is open. The engine's write
+// path consults it to turn in-place updates into copy-on-write ones, so a
+// pinned reader never observes a value written after its snapshot.
+func (m *Manager) Pinned() bool { return m.pins > 0 }
 
 // buf returns the scratch buffer sized to n bytes.
 func (m *Manager) buf(n int) []byte {
@@ -345,21 +390,28 @@ func (m *Manager) chargeRead(clk *simdev.Clock, sf *slabFile, off, n int64) {
 }
 
 // Delete frees the slot at loc. The header is zeroed with a synchronous
-// page write so a crash cannot resurrect the object.
+// page write so a crash cannot resurrect the object. Inside a pinned epoch
+// the zeroing and reuse are deferred (see PinEpoch) but the write is
+// charged now, so pinned readers keep a consistent view at no accounting
+// difference.
 func (m *Manager) Delete(clk *simdev.Clock, loc Loc) error {
 	sf, err := m.slab(loc)
 	if err != nil {
 		return err
 	}
-	off := int64(loc.Slot()) * int64(sf.slotSize)
-	var hdr [headerSize]byte
-	if err := sf.file.WriteAt(hdr[:], off); err != nil {
-		return err
-	}
 	if clk != nil {
 		m.dev.AccessClk(clk, simdev.OpWrite, simdev.PageSize)
 	}
-	heap.Push(&sf.free, loc.Slot())
+	if m.pins > 0 {
+		m.deferred = append(m.deferred, loc)
+	} else {
+		off := int64(loc.Slot()) * int64(sf.slotSize)
+		var hdr [headerSize]byte
+		if err := sf.file.WriteAt(hdr[:], off); err != nil {
+			return err
+		}
+		heap.Push(&sf.free, loc.Slot())
+	}
 	sf.live--
 	m.liveBytes -= int64(sf.slotSize)
 	return nil

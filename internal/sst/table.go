@@ -556,10 +556,32 @@ func (t *Table) ReadAll(clk *simdev.Clock, fn func(Record) error) error {
 // Block reads are charged lazily as the iterator crosses block boundaries;
 // with prefetch enabled, sequential block reads are batched (modeling
 // RocksDB's readahead, which PrismDB lacks — §7.2).
+//
+// Record views returned by an Iter built this way stay valid for the
+// iterator's lifetime (each block batch gets a fresh buffer); callers that
+// copy records out before advancing can use Reset instead to recycle the
+// buffers.
 func (t *Table) Iter(clk *simdev.Clock, start []byte, prefetch bool) *Iter {
-	it := &Iter{t: t, clk: clk, prefetch: prefetch, blockIdx: -1}
-	it.seek(start)
+	it := &Iter{}
+	it.init(t, clk, start, prefetch, false)
 	return it
+}
+
+// Reset repositions it onto table t at the first key ≥ start, reusing the
+// iterator's block and record buffers (zero steady-state allocation for
+// cursors that chain across a partition's disjoint tables). In exchange,
+// advancing past a block batch — or Resetting again — invalidates every
+// previously returned Record view; callers must copy out what they keep
+// before calling Next. A zero-value Iter may be Reset directly.
+func (it *Iter) Reset(t *Table, clk *simdev.Clock, start []byte, prefetch bool) {
+	it.init(t, clk, start, prefetch, true)
+}
+
+func (it *Iter) init(t *Table, clk *simdev.Clock, start []byte, prefetch, reuse bool) {
+	it.t, it.clk, it.prefetch, it.reuse = t, clk, prefetch, reuse
+	it.blockIdx = -1
+	it.err = nil
+	it.seek(start)
 }
 
 // Iter iterates a table in key order.
@@ -567,8 +589,10 @@ type Iter struct {
 	t        *Table
 	clk      *simdev.Clock
 	prefetch bool
+	reuse    bool // recycle buf/recs across block loads (see Reset)
 
 	blockIdx int
+	buf      []byte // current block batch (reuse mode only)
 	recs     []Record
 	pos      int
 	err      error
@@ -615,25 +639,37 @@ func (it *Iter) loadBlock(idx int) {
 	}
 	var total int64
 	for i := 0; i < n; i++ {
+		total += it.t.index[idx+i].len
+	}
+	var buf []byte
+	if it.reuse {
+		if int64(cap(it.buf)) < total {
+			it.buf = make([]byte, total)
+		}
+		buf = it.buf[:total]
+	} else {
+		buf = make([]byte, total)
+	}
+	var off int64
+	for i := 0; i < n; i++ {
 		h := it.t.index[idx+i]
-		buf := make([]byte, h.len)
-		if err := it.t.file.ReadAt(buf, h.off); err != nil {
+		if err := it.t.file.ReadAt(buf[off:off+h.len], h.off); err != nil {
 			it.err = err
 			return
 		}
 		if it.t.cache != nil {
 			it.t.cache.Touch(it.t.file.Name(), h.off, h.len)
 		}
-		total += h.len
-		for len(buf) > 0 {
-			rec, rest, err := decodeRecord(buf)
-			if err != nil {
-				it.err = err
-				return
-			}
-			it.recs = append(it.recs, rec)
-			buf = rest
+		off += h.len
+	}
+	for len(buf) > 0 {
+		rec, rest, err := decodeRecord(buf)
+		if err != nil {
+			it.err = err
+			return
 		}
+		it.recs = append(it.recs, rec)
+		buf = rest
 	}
 	it.blockIdx = idx + n - 1
 	if it.clk != nil && total > 0 {

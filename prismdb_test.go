@@ -52,6 +52,22 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if err != nil || len(kvs) != 10 {
 		t.Fatalf("scan: %d results, err %v", len(kvs), err)
 	}
+	it := db.NewIterator(key(100), 0)
+	for i := 0; i < 10; i++ {
+		if !it.Valid() {
+			t.Fatalf("iterator exhausted at %d", i)
+		}
+		if !bytes.Equal(it.Key(), kvs[i].Key) || !bytes.Equal(it.Value(), kvs[i].Value) {
+			t.Fatalf("iterator[%d] = %q, Scan saw %q", i, it.Key(), kvs[i].Key)
+		}
+		it.Next()
+	}
+	if it.Latency() <= 0 {
+		t.Fatal("iterator consumed no virtual time")
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := db.Delete(key(5)); err != nil {
 		t.Fatal(err)
 	}

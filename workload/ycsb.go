@@ -285,7 +285,12 @@ func (g *Generator) Config() Config { return g.cfg }
 // generator is not safe for concurrent use and op order must be
 // deterministic — but the returned queues preserve per-shard issue order,
 // so shared-nothing partition workers can consume them concurrently.
-func Shard(gen *Generator, n, parts int, route func(key []byte) int) [][]Op {
+//
+// An out-of-range route result is a routing bug in the caller's engine and
+// returns an error: silently rerouting (say, to queue 0) would execute the
+// op on a partition that doesn't own the key, corrupting the shared-nothing
+// workload split that every driver invariant rests on.
+func Shard(gen *Generator, n, parts int, route func(key []byte) int) ([][]Op, error) {
 	queues := make([][]Op, parts)
 	for i := range queues {
 		// Pre-size for an even split, plus slack for skewed routing.
@@ -295,9 +300,9 @@ func Shard(gen *Generator, n, parts int, route func(key []byte) int) [][]Op {
 		op := gen.Next()
 		pi := route(op.Key)
 		if pi < 0 || pi >= parts {
-			pi = 0
+			return nil, fmt.Errorf("workload: route(%q) = %d outside [0, %d) — engine routing bug", op.Key, pi, parts)
 		}
 		queues[pi] = append(queues[pi], op)
 	}
-	return queues
+	return queues, nil
 }
