@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench
+.PHONY: build vet test race bench serve-smoke
 
 build:
 	$(GO) build ./...
@@ -8,18 +8,26 @@ build:
 vet:
 	$(GO) vet ./...
 
-# vet + unit tests + a -race pass over the scan-stress and parallel-driver
-# tests (the paths with cross-goroutine iterators, epoch pins, and shared
-# devices).
+# vet + unit tests (includes the wire-path malformed-RESP table) + a -race
+# pass over the scan-stress, parallel-driver, and concurrent-pipelined-
+# client tests (the paths with cross-goroutine iterators, epoch pins,
+# shared devices, and one server serving many connections).
 test: vet
 	$(GO) test ./...
 	$(GO) test -race -run 'ConcurrentScansUnderWrites|ConcurrentOpsAcrossPartitions|ParallelScanAccounting' ./internal/core/ ./bench/
+	$(GO) test -race -run 'ConcurrentPipelinedClients|GracefulShutdown' ./internal/server/
 
 # Race-detector pass over the packages with lock-free or multi-goroutine
 # paths (manifest snapshots, iterator epoch pins, parallel partition
-# driver, shared devices).
+# driver, shared devices, the network server).
 race:
-	$(GO) test -race ./internal/core/ ./internal/sst/ ./internal/simdev/ ./bench/
+	$(GO) test -race ./internal/core/ ./internal/sst/ ./internal/simdev/ ./internal/server/ ./bench/
+
+# Starts prismserver on loopback, drives a short pipelined prismload burst
+# against it, and verifies the generator's issued op counts match the
+# server's INFO counters.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Runs the harness benchmarks (YCSB-B read-heavy and YCSB-E scan-heavy,
 # serial and parallel drivers) and emits BENCH_<date>.json so the perf

@@ -3,32 +3,43 @@
 //
 // Usage:
 //
+//	prismbench -list                  # experiment IDs and descriptions
 //	prismbench -exp table2            # one experiment
 //	prismbench -exp all               # everything (EXPERIMENTS.md source)
 //	prismbench -exp fig10 -scale 4    # 4× the default dataset/ops
 //
-// Experiments: table1 table2 fig2 fig5 fig6 fig9 fig10 fig11 fig12 fig13
-// fig14a fig14b fig14c fig14d table5 ycsbe all
+// The experiment set lives in the bench package's registry
+// (bench.Experiments); this command is a thin flag wrapper over it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/prismdb/prismdb/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1|table2|fig2|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14a|fig14b|fig14c|fig14d|table5|ycsbe|all)")
+	exp := flag.String("exp", "all",
+		"experiment id ("+strings.Join(bench.ExperimentIDs(), "|")+"|all)")
+	list := flag.Bool("list", false, "list experiments and exit")
 	scale := flag.Float64("scale", 1, "dataset/ops multiplier over the CI-friendly default (paper scale ≈ 5000)")
 	keys := flag.Int("keys", 0, "override dataset keys")
 	ops := flag.Int("ops", 0, "override measured ops")
 	valueSize := flag.Int("value", 0, "override object size in bytes")
 	parallel := flag.Bool("parallel", false, "drive PrismDB partitions with one worker goroutine each (wall-clock speed; virtual-time results vary slightly run to run)")
 	flag.Parse()
-	bench.UseParallelDriver = *parallel
 
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	bench.UseParallelDriver = *parallel
 	sc := bench.DefaultScale().Mul(*scale)
 	if *keys > 0 {
 		sc.Keys = *keys
@@ -41,71 +52,8 @@ func main() {
 		sc.ValueSize = *valueSize
 	}
 
-	w := os.Stdout
-	run := func(id string) error {
-		fmt.Fprintf(w, "\n== %s ==\n", id)
-		switch id {
-		case "table1":
-			return bench.Table1(w)
-		case "table2":
-			_, err := bench.Table2(w, sc)
-			return err
-		case "fig2":
-			_, err := bench.Fig2(w, sc)
-			return err
-		case "fig5":
-			_, err := bench.Fig5(w, sc)
-			return err
-		case "fig6":
-			_, err := bench.Fig6(w, sc)
-			return err
-		case "fig9":
-			_, err := bench.Fig9(w, sc)
-			return err
-		case "fig10":
-			_, err := bench.Fig10(w, sc)
-			return err
-		case "fig11":
-			_, err := bench.Fig11(w, sc)
-			return err
-		case "fig12":
-			_, err := bench.Fig12(w, sc)
-			return err
-		case "fig13":
-			_, err := bench.Fig13(w, sc)
-			return err
-		case "fig14a":
-			_, err := bench.Fig14a(w, sc)
-			return err
-		case "fig14b":
-			_, err := bench.Fig14b(w, sc)
-			return err
-		case "fig14c":
-			_, err := bench.Fig14c(w, sc)
-			return err
-		case "fig14d":
-			_, err := bench.Fig14d(w, sc)
-			return err
-		case "table5":
-			_, err := bench.Table5(w, sc)
-			return err
-		case "ycsbe":
-			_, err := bench.YCSBE(w, sc)
-			return err
-		default:
-			return fmt.Errorf("unknown experiment %q", id)
-		}
-	}
-
-	ids := []string{*exp}
-	if *exp == "all" {
-		ids = []string{"table1", "table2", "fig2", "fig5", "fig6", "fig9", "fig10",
-			"fig11", "fig12", "fig13", "fig14a", "fig14b", "fig14c", "fig14d", "table5", "ycsbe"}
-	}
-	for _, id := range ids {
-		if err := run(id); err != nil {
-			fmt.Fprintf(os.Stderr, "prismbench: %s: %v\n", id, err)
-			os.Exit(1)
-		}
+	if err := bench.RunExperiment(os.Stdout, *exp, sc); err != nil {
+		fmt.Fprintf(os.Stderr, "prismbench: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,527 @@
+// Command prismload puts network load on a prismserver: a YCSB-mix load
+// generator speaking the RESP2 subset, with explicit pipelining, closed-
+// and open-loop modes, and per-op-type wall-clock latency reporting from
+// the same log-bucketed histograms the offline bench harness uses.
+//
+// Closed loop (default): each connection keeps -pipeline commands in
+// flight — send a window, flush once, read the window's replies — so
+// throughput measures the wire + engine, not the client's turnaround.
+// Open loop (-rate N): commands are issued on a fixed schedule across
+// connections regardless of completions (the arrival process of a real
+// front-end fleet), and latency includes any server-side queueing that
+// pacing exposes.
+//
+// Usage:
+//
+//	prismload -addr 127.0.0.1:6380 -load -workload b -ops 200000
+//	prismload -conns 16 -pipeline 64 -workload a
+//	prismload -rate 50000 -workload c            # open loop, 50k ops/s
+//	prismload -load -check                       # verify counts vs INFO
+//
+// -check compares the generator's issued op counts against the server's
+// INFO command-counter deltas and exits non-zero on any mismatch — the
+// serve-smoke harness runs exactly that.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/prismdb/prismdb/internal/metrics"
+	"github.com/prismdb/prismdb/internal/server"
+	"github.com/prismdb/prismdb/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6380", "prismserver address")
+	wl := flag.String("workload", "b", "YCSB workload letter (a..f)")
+	keys := flag.Int("keys", 20000, "initial dataset keys")
+	ops := flag.Int("ops", 100000, "operations to issue")
+	valueSize := flag.Int("value", 128, "object size in bytes")
+	conns := flag.Int("conns", 8, "client connections")
+	pipeline := flag.Int("pipeline", 1, "closed-loop pipeline depth per connection (1 = unpipelined)")
+	rate := flag.Float64("rate", 0, "open-loop target ops/s across all connections (0 = closed loop)")
+	doLoad := flag.Bool("load", false, "preload the dataset via SET before measuring")
+	theta := flag.Float64("theta", 0, "zipfian parameter (0 = YCSB default 0.99)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	check := flag.Bool("check", false, "verify issued op counts against server INFO deltas")
+	dialWait := flag.Duration("wait", 5*time.Second, "how long to retry the initial connection")
+	flag.Parse()
+
+	if *conns < 1 || *pipeline < 1 || *ops < 1 {
+		log.Fatal("prismload: -conns, -pipeline, and -ops must be positive")
+	}
+	if len(*wl) != 1 {
+		log.Fatalf("prismload: -workload must be a single YCSB letter a..f, got %q", *wl)
+	}
+	cfg, err := workload.YCSB(strings.ToUpper(*wl)[0], *keys, *valueSize, *theta, *seed)
+	if err != nil {
+		log.Fatalf("prismload: %v", err)
+	}
+
+	// One control connection, retried while the server starts up.
+	ctl, err := dialRetry(*addr, *dialWait)
+	if err != nil {
+		log.Fatalf("prismload: connect %s: %v", *addr, err)
+	}
+	defer ctl.close()
+
+	// Counter baseline before any of our traffic, so the -check delta
+	// covers the load phase too.
+	before, err := ctl.opCounts()
+	if err != nil {
+		log.Fatalf("prismload: INFO: %v", err)
+	}
+
+	gen := workload.NewGenerator(cfg)
+	if *doLoad {
+		start := time.Now()
+		if err := loadPhase(*addr, gen, *keys, *conns, *dialWait); err != nil {
+			log.Fatalf("prismload: load: %v", err)
+		}
+		log.Printf("loaded %d keys in %v", *keys, time.Since(start).Round(time.Millisecond))
+	}
+
+	// Generation stays serial (the generator is not safe for concurrent
+	// use); ops are dealt round-robin so every connection sees the mix.
+	streams := make([][]genOp, *conns)
+	var issued opCounts
+	for i := 0; i < *ops; i++ {
+		op := gen.Next()
+		g := toGenOp(op)
+		issued.add(g)
+		streams[i%*conns] = append(streams[i%*conns], g)
+	}
+
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Duration(float64(time.Second) * float64(*conns) / *rate)
+	}
+
+	results := make([]*connResult, *conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			res := newConnResult()
+			results[c] = res
+			nc, err := dialRetry(*addr, *dialWait)
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer nc.close()
+			if interval > 0 {
+				res.err = nc.runOpen(streams[c], interval, res)
+			} else {
+				res.err = nc.runClosed(streams[c], *pipeline, res)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, res := range results {
+		if res != nil && res.err != nil {
+			log.Fatalf("prismload: worker: %v", res.err)
+		}
+	}
+
+	after, err := ctl.opCounts()
+	if err != nil {
+		log.Fatalf("prismload: INFO: %v", err)
+	}
+
+	report(issued, results, elapsed, *rate)
+
+	if *check {
+		delta := after.minus(before)
+		if *doLoad {
+			issued.sets += int64(*keys)
+		}
+		ok := true
+		for _, c := range []struct {
+			name         string
+			sent, served int64
+		}{
+			{"get", issued.gets, delta.gets},
+			{"set", issued.sets, delta.sets},
+			{"del", issued.dels, delta.dels},
+			{"scan", issued.scans, delta.scans},
+		} {
+			if c.sent != c.served {
+				fmt.Printf("CHECK FAIL %s: issued %d, server counted %d\n", c.name, c.sent, c.served)
+				ok = false
+			}
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		fmt.Printf("CHECK OK: server INFO counters match issued ops (get=%d set=%d del=%d scan=%d)\n",
+			issued.gets, issued.sets, issued.dels, issued.scans)
+	}
+}
+
+// genOp is one pre-generated request. kind: 'g' GET, 's' SET, 'r' RMW
+// (GET + SET), 'c' SCAN.
+type genOp struct {
+	kind    byte
+	key     []byte
+	value   []byte
+	scanLen int
+}
+
+func toGenOp(op workload.Op) genOp {
+	switch op.Kind {
+	case workload.OpRead:
+		return genOp{kind: 'g', key: op.Key}
+	case workload.OpUpdate, workload.OpInsert:
+		return genOp{kind: 's', key: op.Key, value: op.Value}
+	case workload.OpScan:
+		return genOp{kind: 'c', key: op.Key, scanLen: op.ScanLen}
+	default: // OpRMW
+		return genOp{kind: 'r', key: op.Key, value: op.Value}
+	}
+}
+
+// opCounts tallies commands by wire op, the same buckets INFO reports.
+type opCounts struct{ gets, sets, dels, scans int64 }
+
+func (o *opCounts) add(g genOp) {
+	switch g.kind {
+	case 'g':
+		o.gets++
+	case 's':
+		o.sets++
+	case 'c':
+		o.scans++
+	case 'r':
+		o.gets++
+		o.sets++
+	}
+}
+
+func (o opCounts) minus(b opCounts) opCounts {
+	return opCounts{o.gets - b.gets, o.sets - b.sets, o.dels - b.dels, o.scans - b.scans}
+}
+
+// connResult is one worker's private histograms (merged after the run, as
+// the bench parallel driver does).
+type connResult struct {
+	get, set, scan *metrics.Histogram
+	err            error
+}
+
+func newConnResult() *connResult {
+	return &connResult{
+		get:  metrics.NewHistogram(),
+		set:  metrics.NewHistogram(),
+		scan: metrics.NewHistogram(),
+	}
+}
+
+func (r *connResult) histFor(kind byte) *metrics.Histogram {
+	switch kind {
+	case 'g':
+		return r.get
+	case 'c':
+		return r.scan
+	default:
+		return r.set
+	}
+}
+
+// client is one RESP connection.
+type client struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func dialRetry(addr string, wait time.Duration) (*client, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		nc, err := net.Dial("tcp", addr)
+		if err == nil {
+			return &client{
+				nc: nc,
+				br: bufio.NewReaderSize(nc, 64<<10),
+				bw: bufio.NewWriterSize(nc, 64<<10),
+			}, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (c *client) close() { c.nc.Close() }
+
+// writeCmd encodes one command as a RESP array of bulk strings.
+func (c *client) writeCmd(args ...[]byte) {
+	fmt.Fprintf(c.bw, "*%d\r\n", len(args))
+	for _, a := range args {
+		fmt.Fprintf(c.bw, "$%d\r\n", len(a))
+		c.bw.Write(a)
+		c.bw.WriteString("\r\n")
+	}
+}
+
+// writeOp emits the wire command(s) for one genOp, returning how many
+// replies it will produce.
+func (c *client) writeOp(g genOp) int {
+	switch g.kind {
+	case 'g':
+		c.writeCmd([]byte("GET"), g.key)
+		return 1
+	case 's':
+		c.writeCmd([]byte("SET"), g.key, g.value)
+		return 1
+	case 'c':
+		c.writeCmd([]byte("SCAN"), g.key, []byte(strconv.Itoa(g.scanLen)))
+		return 1
+	default: // RMW: read, then write what the generator produced
+		c.writeCmd([]byte("GET"), g.key)
+		c.writeCmd([]byte("SET"), g.key, g.value)
+		return 2
+	}
+}
+
+func (c *client) readOK() error {
+	rep, err := server.ReadReply(c.br)
+	if err != nil {
+		return err
+	}
+	if rep.IsErr() {
+		return fmt.Errorf("server error: %s", rep.Str)
+	}
+	return nil
+}
+
+// runClosed keeps up to depth genOps in flight: write a window, flush
+// once, read the window's replies. Per-op latency is measured from the
+// window's flush to that op's reply — the closed-loop client's real wait.
+func (c *client) runClosed(ops []genOp, depth int, res *connResult) error {
+	for off := 0; off < len(ops); off += depth {
+		end := off + depth
+		if end > len(ops) {
+			end = len(ops)
+		}
+		window := ops[off:end]
+		replies := 0
+		for _, g := range window {
+			replies += c.writeOp(g)
+		}
+		t0 := time.Now()
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		ri := 0
+		for _, g := range window {
+			n := 1
+			if g.kind == 'r' {
+				n = 2
+			}
+			for i := 0; i < n; i++ {
+				if err := c.readOK(); err != nil {
+					return err
+				}
+				ri++
+			}
+			res.histFor(g.kind).Record(time.Since(t0))
+		}
+		if ri != replies {
+			return fmt.Errorf("reply accounting bug: read %d, expected %d", ri, replies)
+		}
+	}
+	return nil
+}
+
+// runOpen issues ops on a fixed schedule (absolute deadlines, so a slow
+// reply doesn't shift the arrival process) and reads replies from a
+// concurrent reader. Latency is send-to-reply per op.
+func (c *client) runOpen(ops []genOp, interval time.Duration, res *connResult) error {
+	type inflight struct {
+		kind    byte
+		t0      time.Time
+		replies int
+	}
+	// The queue bounds how far issuance may outrun the server before the
+	// writer blocks (a saturated open loop degenerates to closed).
+	queue := make(chan inflight, 1<<14)
+	readerErr := make(chan error, 1)
+	go func() {
+		defer close(readerErr)
+		for f := range queue {
+			for i := 0; i < f.replies; i++ {
+				if err := c.readOK(); err != nil {
+					readerErr <- err
+					return
+				}
+			}
+			res.histFor(f.kind).Record(time.Since(f.t0))
+		}
+	}()
+
+	start := time.Now()
+	for i, g := range ops {
+		next := start.Add(time.Duration(i) * interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		t0 := time.Now()
+		replies := c.writeOp(g)
+		if err := c.bw.Flush(); err != nil {
+			close(queue)
+			<-readerErr
+			return err
+		}
+		select {
+		case queue <- inflight{g.kind, t0, replies}:
+		case err := <-readerErr:
+			close(queue)
+			return err
+		}
+	}
+	close(queue)
+	if err, ok := <-readerErr; ok && err != nil {
+		return err
+	}
+	return nil
+}
+
+// opCounts parses the INFO ops section's cmd_* counters.
+func (c *client) opCounts() (opCounts, error) {
+	c.writeCmd([]byte("INFO"), []byte("ops"))
+	if err := c.bw.Flush(); err != nil {
+		return opCounts{}, err
+	}
+	rep, err := server.ReadReply(c.br)
+	if err != nil {
+		return opCounts{}, err
+	}
+	if rep.IsErr() {
+		return opCounts{}, fmt.Errorf("INFO: %s", rep.Str)
+	}
+	var out opCounts
+	for _, line := range strings.Split(string(rep.Str), "\r\n") {
+		name, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "cmd_get":
+			out.gets = n
+		case "cmd_set":
+			out.sets = n
+		case "cmd_del":
+			out.dels = n
+		case "cmd_scan":
+			out.scans = n
+		}
+	}
+	return out, nil
+}
+
+func report(issued opCounts, results []*connResult, elapsed time.Duration, rate float64) {
+	total := newConnResult()
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		total.get.Merge(r.get)
+		total.set.Merge(r.set)
+		total.scan.Merge(r.scan)
+	}
+	n := issued.gets + issued.sets + issued.dels + issued.scans
+	fmt.Printf("issued %d wire ops in %v: %.0f ops/s", n, elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds())
+	if rate > 0 {
+		fmt.Printf(" (offered %.0f ops/s)", rate)
+	}
+	fmt.Println()
+	for _, row := range []struct {
+		name string
+		h    *metrics.Histogram
+	}{{"get", total.get}, {"set", total.set}, {"scan", total.scan}} {
+		if row.h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("  %-4s n=%-8d p50=%-10v p99=%-10v max=%v\n", row.name, row.h.Count(),
+			row.h.Quantile(0.5), row.h.Quantile(0.99), row.h.Max())
+	}
+}
+
+// loadPhase SETs the initial dataset over conns pipelined connections.
+func loadPhase(addr string, gen *workload.Generator, keys, conns int, wait time.Duration) error {
+	const depth = 128
+	type chunk struct{ lo, hi int }
+	chunks := make(chan chunk, conns)
+	per := (keys + conns - 1) / conns
+	for lo := 0; lo < keys; lo += per {
+		hi := lo + per
+		if hi > keys {
+			hi = keys
+		}
+		chunks <- chunk{lo, hi}
+	}
+	close(chunks)
+
+	// LoadValue is deterministic per index, so workers can regenerate
+	// values without sharing the generator.
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nc, err := dialRetry(addr, wait)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer nc.close()
+			for ck := range chunks {
+				for off := ck.lo; off < ck.hi; off += depth {
+					end := off + depth
+					if end > ck.hi {
+						end = ck.hi
+					}
+					for i := off; i < end; i++ {
+						nc.writeCmd([]byte("SET"), gen.LoadKey(i), gen.LoadValue(i))
+					}
+					if err := nc.bw.Flush(); err != nil {
+						errs <- err
+						return
+					}
+					for i := off; i < end; i++ {
+						if err := nc.readOK(); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}

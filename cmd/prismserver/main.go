@@ -1,0 +1,117 @@
+// Command prismserver serves a PrismDB instance over a RESP2-subset TCP
+// protocol (GET/SET/DEL/MGET/SCAN/PING/INFO), so any Redis client or the
+// bundled cmd/prismload generator can put real network load on the engine.
+//
+// The engine runs RecommendedConfig — the paper's two-tier evaluation setup
+// (simulated Optane NVM + QLC flash, tracker at 20% of keys, approx-MSC
+// compactions) — so INFO reports both wall-clock serving latencies and the
+// engine's virtual-time behavior: tier hit ratios, compaction counters, and
+// simulated per-op latencies.
+//
+// Usage:
+//
+//	prismserver                          # serve :6380, 1 GiB het10 DB
+//	prismserver -addr :7000 -total 4096  # 4 GiB database
+//	prismserver -preload 100000          # preload keys before serving
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
+// connections, then close the DB so stragglers fail with ErrClosed instead
+// of racing teardown.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/prismdb/prismdb"
+	"github.com/prismdb/prismdb/internal/server"
+	"github.com/prismdb/prismdb/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":6380", "TCP listen address")
+	totalMB := flag.Int64("total", 1024, "database capacity in MiB across both tiers")
+	nvmFrac := flag.Float64("nvm", 0.11, "NVM share of capacity (paper het10 ≈ 0.11)")
+	parts := flag.Int("partitions", 0, "partition count (0 = default 8)")
+	keys := flag.Int("keys", 0, "dataset-size hint for tracker/key-space sizing (0 = derive from capacity)")
+	preload := flag.Int("preload", 0, "preload this many workload-keyed 1 KiB objects before serving")
+	maxScan := flag.Int("maxscan", 0, "cap on one SCAN command's result count (0 = default 10000)")
+	grace := flag.Duration("grace", 5*time.Second, "graceful-shutdown drain window")
+	quiet := flag.Bool("quiet", false, "suppress per-connection log output")
+	flag.Parse()
+
+	db, err := prismdb.Open(prismdb.RecommendedConfig(prismdb.TierSpec{
+		TotalBytes:  *totalMB << 20,
+		NVMFraction: *nvmFrac,
+		Partitions:  *parts,
+		DatasetKeys: *keys,
+	}))
+	if err != nil {
+		log.Fatalf("prismserver: open: %v", err)
+	}
+
+	if *preload > 0 {
+		start := time.Now()
+		val := make([]byte, 1024)
+		for i := range val {
+			val[i] = 'a' + byte(i%26)
+		}
+		// workload.KeyOf, so preloaded keys are exactly what prismload's
+		// generators (and the bench harness) will ask for.
+		for i := 0; i < *preload; i++ {
+			if _, err := db.Put(workload.KeyOf(i), val); err != nil {
+				log.Fatalf("prismserver: preload key %d: %v", i, err)
+			}
+		}
+		log.Printf("preloaded %d keys in %v", *preload, time.Since(start).Round(time.Millisecond))
+	}
+
+	cfg := server.Config{Engine: db, MaxScanLen: *maxScan}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("prismserver: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("prismserver: listen: %v", err)
+	}
+	// The resolved address is logged so harnesses may pass
+	// -addr 127.0.0.1:0 and scrape the chosen ephemeral port.
+	log.Printf("prismserver listening on %s (capacity %d MiB, nvm %.0f%%)",
+		ln.Addr(), *totalMB, *nvmFrac*100)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("prismserver: serve: %v", err)
+	case s := <-sig:
+		log.Printf("received %v, draining connections (up to %v)", s, *grace)
+	}
+	if err := srv.Shutdown(*grace); err != nil {
+		log.Printf("prismserver: shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		log.Printf("prismserver: serve: %v", err)
+	}
+	// Close after the drain so any straggling request fails with ErrClosed
+	// rather than observing teardown.
+	if err := db.Close(); err != nil {
+		log.Printf("prismserver: close: %v", err)
+	}
+	st := db.Stats()
+	log.Printf("final: puts=%d gets=%d deletes=%d scans=%d nvm_read_ratio=%.3f virtual_elapsed=%v",
+		st.Puts, st.Gets, st.Deletes, st.Scans, st.NVMReadRatio(), db.Elapsed().Round(time.Microsecond))
+}

@@ -1,19 +1,28 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/prismdb/prismdb/internal/tracker"
 )
+
+// ErrClosed is returned by every operation issued after Close, and surfaced
+// through Err/Close by iterators that outlive the DB. Serving front ends
+// rely on it for graceful shutdown: once the DB is closed, racing requests
+// fail deterministically instead of touching torn-down state.
+var ErrClosed = errors.New("prismdb: database closed")
 
 // DB is a PrismDB instance: Options.Partitions shared-nothing partitions
 // over one NVM device and one flash device. Methods are safe for concurrent
 // use; each request serializes on its partition's lock, as in the paper's
 // worker-thread-per-partition design.
 type DB struct {
-	opts  Options
-	parts []*partition
+	opts   Options
+	parts  []*partition
+	closed atomic.Bool
 }
 
 // Open creates or recovers a DB. If the devices already hold this DB's
@@ -69,13 +78,16 @@ func (db *DB) partitionOf(key []byte) *partition {
 
 // Put writes key=value and returns the simulated operation latency.
 func (db *DB) Put(key, value []byte) (time.Duration, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
 	return db.partitionOf(key).put(key, value, false, true)
 }
 
 // Get returns the value for key, the tier that served the read, and the
 // simulated latency. A missing key returns (nil, TierMiss, lat, nil).
 func (db *DB) Get(key []byte) ([]byte, Tier, time.Duration, error) {
-	return db.partitionOf(key).get(key, nil)
+	return db.GetBuf(key, nil)
 }
 
 // GetBuf is Get with a caller-provided value buffer: the value is appended
@@ -83,11 +95,17 @@ func (db *DB) Get(key []byte) ([]byte, Tier, time.Duration, error) {
 // capacity). Callers that reuse buf across calls make the NVM-hit read path
 // allocation-free.
 func (db *DB) GetBuf(key, buf []byte) ([]byte, Tier, time.Duration, error) {
+	if db.closed.Load() {
+		return nil, TierMiss, 0, ErrClosed
+	}
 	return db.partitionOf(key).get(key, buf)
 }
 
 // Delete removes key, writing a flash tombstone when needed (§6).
 func (db *DB) Delete(key []byte) (time.Duration, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
 	return db.partitionOf(key).del(key)
 }
 
@@ -252,7 +270,15 @@ func (db *DB) Partitions() int { return len(db.parts) }
 // Options returns the effective (defaulted) options.
 func (db *DB) Options() Options { return db.opts }
 
-// Close is a no-op placeholder for API symmetry: all state is already
-// durable on the simulated devices (synchronous slab writes, persisted
-// manifests).
-func (db *DB) Close() error { return nil }
+// Close marks the DB closed. There is nothing to flush — all state is
+// already durable on the simulated devices (synchronous slab writes,
+// persisted manifests) — but after Close every operation fails with
+// ErrClosed, new iterators are born failed, and open iterators fail on
+// their next positioning call (their Close still releases pins normally).
+// Stats, Elapsed, and the other read-only accessors keep working, so a
+// shutting-down server can still report final counters. Close is
+// idempotent.
+func (db *DB) Close() error {
+	db.closed.Store(true)
+	return nil
+}

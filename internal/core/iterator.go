@@ -81,6 +81,11 @@ func (db *DB) NewIterator(start []byte, limitHint int) *Iterator {
 	if limitHint < 0 {
 		limitHint = 0
 	}
+	if db.closed.Load() {
+		// Born failed: Valid is false, Err and Close report ErrClosed, and
+		// no pins were taken so Close has nothing to release.
+		return &Iterator{db: db, clk: simdev.NewClock(), err: ErrClosed, closed: true}
+	}
 	it := &Iterator{db: db, limit: limitHint, clk: simdev.NewClock()}
 	home := db.parts[0]
 	if start != nil {
@@ -134,6 +139,10 @@ func (it *Iterator) Next() bool {
 	if it.closed || it.err != nil {
 		return false
 	}
+	if it.db.closed.Load() {
+		it.fail(ErrClosed)
+		return false
+	}
 	return it.advance()
 }
 
@@ -144,6 +153,10 @@ func (it *Iterator) Next() bool {
 // index for the new range, while the flash view and slab epoch stay pinned.
 func (it *Iterator) Seek(start []byte) bool {
 	if it.closed || it.err != nil {
+		return false
+	}
+	if it.db.closed.Load() {
+		it.fail(ErrClosed)
 		return false
 	}
 	it.pq = it.pq[:0]
@@ -157,6 +170,16 @@ func (it *Iterator) Seek(start []byte) bool {
 	}
 	heap.Init(&it.pq)
 	return it.advance()
+}
+
+// fail poisons the iterator with err (first error wins), invalidating the
+// position. Pins stay held until Close, which releases them as usual — a DB
+// closing under an open iterator fails the scan, it does not leak epochs.
+func (it *Iterator) fail(err error) {
+	it.valid = false
+	if it.err == nil {
+		it.err = err
+	}
 }
 
 // advance pops merged entries off the cursor heap until a live one

@@ -229,6 +229,19 @@ func (o Options) withDefaults() (Options, error) {
 	if o.KeySpace == 0 {
 		o.KeySpace = 1 << 20
 	}
+	// The bucket map and range partitioner index dense arrays by the key
+	// index, so results must stay inside [0, KeySpace). Harness keys are in
+	// range by construction, but arbitrary client keys (digit overflow, the
+	// FNV fallback, custom KeyIndex bugs) arrive over the network and must
+	// fold instead of panicking.
+	userIdx, space := o.KeyIndex, o.KeySpace
+	o.KeyIndex = func(key []byte) uint64 {
+		idx := userIdx(key)
+		if idx >= space {
+			idx %= space
+		}
+		return idx
+	}
 	if o.BucketKeys <= 0 {
 		// Default: average keys per SST (paper §6). Assume ~1 KB objects.
 		o.BucketKeys = int(o.TargetSSTBytesOrDefault() / 1024)

@@ -297,7 +297,11 @@ func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, 
 		if err != nil {
 			return 0, err
 		}
-		p.index.Insert(key, uint64(loc))
+		// The index retains the key slice for the life of the entry
+		// (iterator snapshots alias it), so a fresh insert takes a private
+		// copy — network callers recycle their argument buffers between
+		// commands. Existing-key paths replace only the stored value.
+		p.index.Insert(append([]byte(nil), key...), uint64(loc))
 		p.bkt.OnPut(idx)
 		p.stats.FreshInserts++
 	}

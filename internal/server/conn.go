@@ -1,0 +1,282 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"time"
+
+	"github.com/prismdb/prismdb/internal/core"
+)
+
+// flushReader is the pipelining valve: it sits between the connection and
+// the parser's bufio.Reader and flushes the connection's pending replies
+// whenever the parser actually needs bytes from the kernel. While a
+// pipelined batch is still buffered, parse → execute → reply loops touch
+// the socket zero times; the moment the inbound buffer runs dry, the
+// accumulated replies go out in one write and the goroutine blocks in Read.
+// One flush per inbound batch, and no deadlock when a client trickles half
+// a command and waits for earlier replies.
+type flushReader struct {
+	nc net.Conn
+	bw *bufio.Writer
+}
+
+func (f *flushReader) Read(p []byte) (int, error) {
+	if f.bw.Buffered() > 0 {
+		if err := f.bw.Flush(); err != nil {
+			return 0, err
+		}
+	}
+	return f.nc.Read(p)
+}
+
+// handleConn runs one connection's parse → execute → reply loop to
+// completion.
+func (s *Server) handleConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		s.connsLive.Add(-1)
+	}()
+
+	bw := bufio.NewWriterSize(nc, s.cfg.WriteBuffer)
+	br := bufio.NewReaderSize(&flushReader{nc: nc, bw: bw}, s.cfg.ReadBuffer)
+	r := newReader(br)
+	w := &writer{bw: bw}
+	cm := newConnMetrics()
+	defer func() {
+		s.mu.Lock()
+		for i := range cm.wall {
+			s.agg.wall[i].Merge(cm.wall[i])
+			s.agg.virt[i].Merge(cm.virt[i])
+		}
+		s.mu.Unlock()
+	}()
+
+	// The connection's scratch buffers: GETs land in st.val via the
+	// engine's GetBuf zero-allocation read path and are copied straight
+	// into the write buffer, and SCAN streams its pairs through st.scan;
+	// both are recycled across commands, so warm reads and scans allocate
+	// nothing on the server side.
+	st := &connState{val: make([]byte, 0, 4096)}
+
+	for {
+		if s.closed.Load() {
+			bw.Flush()
+			return
+		}
+		args, err := r.ReadCommand()
+		if err != nil {
+			if perr, ok := err.(ProtocolError); ok {
+				// One diagnostic, then hang up: a desynced RESP stream
+				// cannot be safely resumed.
+				s.logf("server: %s: %v", nc.RemoteAddr(), perr)
+				s.errCount.Add(1)
+				w.err("ERR " + perr.Error())
+				bw.Flush()
+			}
+			return
+		}
+		if len(args) == 0 {
+			continue
+		}
+		if !s.execute(args, w, cm, st) {
+			bw.Flush()
+			return
+		}
+	}
+}
+
+// connState holds one connection's recycled scratch buffers.
+type connState struct {
+	val  []byte // GetBuf value scratch
+	scan []byte // SCAN's encoded key/value pairs
+}
+
+// cmdIs compares a command name case-insensitively against an upper-case
+// reference without allocating.
+func cmdIs(b []byte, upper string) bool {
+	if len(b) != len(upper) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != upper[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// execute dispatches one parsed command, writing its reply. It reports
+// false when the connection should close (QUIT).
+func (s *Server) execute(args [][]byte, w *writer, cm *connMetrics, st *connState) bool {
+	name := args[0]
+	switch {
+	case cmdIs(name, "GET"):
+		if len(args) != 2 {
+			s.argErr(w, "get")
+			return true
+		}
+		s.doGet(args[1], w, cm, st, opGet)
+	case cmdIs(name, "SET"):
+		if len(args) != 3 {
+			s.argErr(w, "set")
+			return true
+		}
+		s.cmdCounts[opSet].Add(1)
+		t0 := time.Now()
+		vlat, err := s.eng.Put(args[1], args[2])
+		if err != nil {
+			s.errorReply(w, err)
+			return true
+		}
+		cm.record(opSet, time.Since(t0), vlat)
+		w.simple("OK")
+	case cmdIs(name, "DEL"):
+		if len(args) < 2 {
+			s.argErr(w, "del")
+			return true
+		}
+		// Replies with the number of delete operations issued. PrismDB
+		// deletes blindly (checking existence first would double the op's
+		// cost), so unlike Redis the count includes keys that did not
+		// exist.
+		n := 0
+		for _, k := range args[1:] {
+			s.cmdCounts[opDel].Add(1)
+			t0 := time.Now()
+			vlat, err := s.eng.Delete(k)
+			if err != nil {
+				s.errorReply(w, err)
+				return true
+			}
+			cm.record(opDel, time.Since(t0), vlat)
+			n++
+		}
+		w.integer(int64(n))
+	case cmdIs(name, "MGET"):
+		if len(args) < 2 {
+			s.argErr(w, "mget")
+			return true
+		}
+		w.array(len(args) - 1)
+		for _, k := range args[1:] {
+			s.doGet(k, w, cm, st, opMGet)
+		}
+	case cmdIs(name, "SCAN"):
+		if len(args) != 3 {
+			s.argErr(w, "scan")
+			return true
+		}
+		n := parseLen(args[2])
+		if n <= 0 {
+			s.errCount.Add(1)
+			w.err("ERR SCAN count must be a positive integer")
+			return true
+		}
+		if n > s.cfg.MaxScanLen {
+			n = s.cfg.MaxScanLen
+		}
+		// Stream the engine's iterator instead of materializing a []KV:
+		// the reply header needs the pair count up front, so encoded pairs
+		// accumulate in the connection's recycled scan scratch — no
+		// per-entry allocations — and go out in one write after the count
+		// is known.
+		s.cmdCounts[opScan].Add(1)
+		t0 := time.Now()
+		it := s.eng.NewIterator(args[1], n)
+		pairs := 0
+		buf := st.scan[:0]
+		for it.Valid() && pairs < n {
+			buf = appendBulk(buf, it.Key())
+			buf = appendBulk(buf, it.Value())
+			pairs++
+			it.Next()
+		}
+		err := it.Close()
+		st.scan = buf
+		if err != nil {
+			s.errorReply(w, err)
+			return true
+		}
+		cm.record(opScan, time.Since(t0), it.Latency())
+		w.array(2 * pairs)
+		w.bw.Write(buf)
+	case cmdIs(name, "PING"):
+		s.cmdCounts[opOther].Add(1)
+		if len(args) > 1 {
+			w.bulk(args[1])
+		} else {
+			w.simple("PONG")
+		}
+	case cmdIs(name, "INFO"):
+		s.cmdCounts[opOther].Add(1)
+		section := ""
+		if len(args) > 1 {
+			section = string(args[1])
+		}
+		w.bulkString(s.info(section))
+	case cmdIs(name, "COMMAND"):
+		// redis-cli introspection on connect; an empty reply satisfies it.
+		s.cmdCounts[opOther].Add(1)
+		w.array(0)
+	case cmdIs(name, "QUIT"):
+		s.cmdCounts[opOther].Add(1)
+		w.simple("OK")
+		return false
+	default:
+		s.errCount.Add(1)
+		w.err("ERR unknown command '" + printable(name) + "'")
+	}
+	return true
+}
+
+// doGet serves one point read on the zero-allocation GetBuf path (GET and
+// each MGET element).
+func (s *Server) doGet(key []byte, w *writer, cm *connMetrics, st *connState, kind opKind) {
+	s.cmdCounts[kind].Add(1)
+	t0 := time.Now()
+	val, tier, vlat, err := s.eng.GetBuf(key, st.val[:0])
+	if err != nil {
+		s.errorReply(w, err)
+		return
+	}
+	if cap(val) > cap(st.val) {
+		st.val = val[:0] // the engine grew the scratch; keep the bigger one
+	}
+	cm.record(kind, time.Since(t0), vlat)
+	if tier == core.TierMiss {
+		w.null()
+		return
+	}
+	w.bulk(val)
+}
+
+func (s *Server) argErr(w *writer, cmd string) {
+	s.errCount.Add(1)
+	w.err("ERR wrong number of arguments for '" + cmd + "' command")
+}
+
+// printable truncates and sanitizes client-controlled bytes for an error
+// message.
+func printable(b []byte) string {
+	const max = 32
+	if len(b) > max {
+		b = b[:max]
+	}
+	out := make([]byte, 0, len(b))
+	for _, c := range b {
+		if c < 0x20 || c > 0x7e {
+			c = '?'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// info renders the INFO reply: key:value lines grouped into # sections,
+// Redis-style, so existing tooling can parse it. An empty section selects
+// everything; otherwise only the named section (case-insensitive) is
+// rendered. Counters are live; the latency section covers completed
+// connections only (per-connection histograms merge at close, keeping the
+// op loop lock-free), which is what harness clients want — they close their
+// load connections before asking for the report.
+func (s *Server) info(section string) string {
+	section = strings.ToLower(section)
+	want := func(name string) bool { return section == "" || section == name }
+	var b strings.Builder
+
+	if want("server") {
+		fmt.Fprintf(&b, "# server\r\n")
+		fmt.Fprintf(&b, "uptime_seconds:%.1f\r\n", time.Since(s.start).Seconds())
+		fmt.Fprintf(&b, "connections_received:%d\r\n", s.connsTotal.Load())
+		fmt.Fprintf(&b, "connections_current:%d\r\n", s.connsLive.Load())
+		b.WriteString("\r\n")
+	}
+
+	if want("ops") {
+		fmt.Fprintf(&b, "# ops\r\n")
+		var total int64
+		for k := opKind(0); k < opKinds; k++ {
+			n := s.cmdCounts[k].Load()
+			total += n
+			fmt.Fprintf(&b, "cmd_%s:%d\r\n", opNames[k], n)
+		}
+		fmt.Fprintf(&b, "cmd_total:%d\r\n", total)
+		fmt.Fprintf(&b, "errors:%d\r\n", s.errCount.Load())
+		b.WriteString("\r\n")
+	}
+
+	if want("latency") {
+		fmt.Fprintf(&b, "# latency\r\n")
+		s.mu.Lock()
+		for k := opKind(0); k < opKinds-1; k++ { // opOther has no latencies
+			wall, virt := s.agg.wall[k], s.agg.virt[k]
+			if wall.Count() == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%s_count:%d\r\n", opNames[k], wall.Count())
+			fmt.Fprintf(&b, "%s_wall_p50_us:%.1f\r\n", opNames[k], us(wall.Quantile(0.5)))
+			fmt.Fprintf(&b, "%s_wall_p99_us:%.1f\r\n", opNames[k], us(wall.Quantile(0.99)))
+			fmt.Fprintf(&b, "%s_virt_p50_us:%.1f\r\n", opNames[k], us(virt.Quantile(0.5)))
+			fmt.Fprintf(&b, "%s_virt_p99_us:%.1f\r\n", opNames[k], us(virt.Quantile(0.99)))
+		}
+		s.mu.Unlock()
+		b.WriteString("\r\n")
+	}
+
+	if want("engine") {
+		st := s.eng.Stats()
+		fmt.Fprintf(&b, "# engine\r\n")
+		fmt.Fprintf(&b, "puts:%d\r\n", st.Puts)
+		fmt.Fprintf(&b, "gets:%d\r\n", st.Gets)
+		fmt.Fprintf(&b, "deletes:%d\r\n", st.Deletes)
+		fmt.Fprintf(&b, "scans:%d\r\n", st.Scans)
+		fmt.Fprintf(&b, "in_place_updates:%d\r\n", st.InPlaceUpdates)
+		fmt.Fprintf(&b, "fresh_inserts:%d\r\n", st.FreshInserts)
+		fmt.Fprintf(&b, "compactions:%d\r\n", st.Compactions)
+		fmt.Fprintf(&b, "read_triggered_compactions:%d\r\n", st.ReadTriggeredComps)
+		fmt.Fprintf(&b, "demoted:%d\r\n", st.Demoted)
+		fmt.Fprintf(&b, "promoted:%d\r\n", st.Promoted)
+		fmt.Fprintf(&b, "write_stalls:%d\r\n", st.WriteStalls)
+		fmt.Fprintf(&b, "nvm_objects:%d\r\n", st.NVMObjects)
+		fmt.Fprintf(&b, "flash_objects:%d\r\n", st.FlashObjects)
+		fmt.Fprintf(&b, "elapsed_virtual_ms:%.3f\r\n", float64(s.eng.Elapsed())/1e6)
+		b.WriteString("\r\n")
+	}
+
+	if want("tiers") {
+		st := s.eng.Stats()
+		fmt.Fprintf(&b, "# tiers\r\n")
+		hits := st.GetDRAM + st.GetNVM + st.GetFlash
+		total := hits + st.GetMiss
+		ratio := func(n int64) float64 {
+			if total == 0 {
+				return 0
+			}
+			return float64(n) / float64(total)
+		}
+		fmt.Fprintf(&b, "reads_dram:%d\r\n", st.GetDRAM)
+		fmt.Fprintf(&b, "reads_nvm:%d\r\n", st.GetNVM)
+		fmt.Fprintf(&b, "reads_flash:%d\r\n", st.GetFlash)
+		fmt.Fprintf(&b, "reads_miss:%d\r\n", st.GetMiss)
+		fmt.Fprintf(&b, "dram_hit_ratio:%.4f\r\n", ratio(st.GetDRAM))
+		fmt.Fprintf(&b, "nvm_hit_ratio:%.4f\r\n", ratio(st.GetNVM))
+		fmt.Fprintf(&b, "flash_hit_ratio:%.4f\r\n", ratio(st.GetFlash))
+		fmt.Fprintf(&b, "miss_ratio:%.4f\r\n", ratio(st.GetMiss))
+		fmt.Fprintf(&b, "nvm_read_ratio:%.4f\r\n", st.NVMReadRatio())
+		b.WriteString("\r\n")
+	}
+
+	return b.String()
+}
+
+func us(d time.Duration) float64 { return float64(d) / 1e3 }

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchThroughput drives a fixed GET burst through the server over conns
+// loopback connections at the given pipeline depth and reports wall-clock
+// ops/s. Depth 1 is the unpipelined baseline: one request, one reply, one
+// round trip at a time. The BenchmarkServerPipelined /
+// BenchmarkServerUnpipelined pair shares a connection count, so the
+// BENCH_<date>.json rows record exactly what explicit pipelining buys on
+// the wire (the engine work is identical).
+func benchThroughput(b *testing.B, conns, depth, ops int) {
+	db := testEngine(b, 4)
+	_, dial := startServer(b, db)
+
+	const keys = 4096
+	for i := 0; i < keys; i++ {
+		if _, err := db.Put(benchKey(i), bytes.Repeat([]byte{'v'}, 128)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Pre-encode each connection's request windows so the measured loop is
+	// socket + server work, not client-side formatting.
+	perConn := ops / conns
+	windows := make([][][]byte, conns)
+	for c := 0; c < conns; c++ {
+		for off := 0; off < perConn; off += depth {
+			n := depth
+			if off+n > perConn {
+				n = perConn - off
+			}
+			var w bytes.Buffer
+			for i := 0; i < n; i++ {
+				k := benchKey((c*perConn + off + i) % keys)
+				fmt.Fprintf(&w, "*2\r\n$3\r\nGET\r\n$%d\r\n%s\r\n", len(k), k)
+			}
+			windows[c] = append(windows[c], w.Bytes())
+		}
+	}
+
+	b.ResetTimer()
+	var elapsed time.Duration
+	for iter := 0; iter < b.N; iter++ {
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, conns)
+		for c := 0; c < conns; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				nc := dial()
+				defer nc.Close()
+				br := bufio.NewReaderSize(nc, 64<<10)
+				for wi, w := range windows[c] {
+					if _, err := nc.Write(w); err != nil {
+						errs <- err
+						return
+					}
+					n := depth
+					if wi == len(windows[c])-1 {
+						n = perConn - wi*depth
+					}
+					for i := 0; i < n; i++ {
+						rep, err := ReadReply(br)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if rep.IsErr() || rep.Null {
+							errs <- fmt.Errorf("GET failed: %+v", rep)
+							return
+						}
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+		elapsed += time.Since(start)
+	}
+	totalOps := float64(conns*perConn) * float64(b.N)
+	b.ReportMetric(totalOps/elapsed.Seconds(), "wall-ops/s")
+	b.ReportMetric(0, "ns/op") // the burst, not b.N, is the unit of work
+}
+
+func benchKey(i int) []byte { return []byte(fmt.Sprintf("user%08d", i)) }
+
+// BenchmarkServerUnpipelined is the round-trip-bound baseline: depth 1 on 2
+// connections.
+func BenchmarkServerUnpipelined(b *testing.B) { benchThroughput(b, 2, 1, 4000) }
+
+// BenchmarkServerPipelined is the same connection count with explicit
+// pipelining (depth 64): one inbound read, 64 engine calls, one flush.
+func BenchmarkServerPipelined(b *testing.B) { benchThroughput(b, 2, 64, 40000) }

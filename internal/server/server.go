@@ -1,0 +1,250 @@
+// Package server is PrismDB's network front end: a RESP2-subset TCP server
+// lean enough not to squander the engine's microsecond-scale operations.
+//
+// The design is one goroutine per connection over the engine's
+// shared-nothing partitions (requests serialize per partition inside the
+// engine, so N connections drive up to N partitions concurrently), with
+// explicit pipelining on the wire: commands are parsed and executed as they
+// arrive, replies accumulate in the connection's write buffer, and the
+// buffer is flushed only when the parser would block on the socket — so a
+// pipelined batch of K commands costs one inbound read, K engine calls, and
+// one outbound write, regardless of K.
+//
+// The data path is allocation-conscious end to end: the parser recycles a
+// per-connection argument arena, reads ride the engine's GetBuf zero-alloc
+// path through a per-connection scratch buffer, and replies are formatted
+// into the write buffer without intermediate allocations.
+//
+// Protocol subset: GET, SET, DEL, MGET, SCAN, PING, INFO, COMMAND, QUIT.
+// SCAN is PrismDB's range scan (SCAN start count → a flat array of
+// alternating keys and values), not Redis's cursor iteration. INFO reports
+// server counters, engine Stats, tier hit ratios, and per-op latency
+// distributions in both virtual (simulated) and wall-clock time.
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/prismdb/prismdb/internal/core"
+	"github.com/prismdb/prismdb/internal/metrics"
+)
+
+// Engine is the storage interface the server serves. *core.DB implements
+// it, and so does the public facade (prismdb.DB re-exports core's types),
+// so cmd/prismserver can hand the facade straight in.
+type Engine interface {
+	Put(key, value []byte) (time.Duration, error)
+	GetBuf(key, buf []byte) ([]byte, core.Tier, time.Duration, error)
+	Delete(key []byte) (time.Duration, error)
+	NewIterator(start []byte, limitHint int) *core.Iterator
+	Stats() core.Stats
+	Elapsed() time.Duration
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Engine is required.
+	Engine Engine
+	// MaxScanLen caps one SCAN command's result count (default 10000).
+	MaxScanLen int
+	// ReadBuffer and WriteBuffer size each connection's bufio buffers
+	// (default 64 KiB). The read buffer bounds how much of a pipelined
+	// batch is parsed per syscall; the write buffer, how many replies one
+	// flush carries.
+	ReadBuffer, WriteBuffer int
+	// Logf, when non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...interface{})
+}
+
+// opKind indexes the per-command metrics.
+type opKind int
+
+const (
+	opGet opKind = iota
+	opSet
+	opDel
+	opMGet
+	opScan
+	opOther
+	opKinds
+)
+
+var opNames = [opKinds]string{"get", "set", "del", "mget", "scan", "other"}
+
+// connMetrics are one connection's latency histograms: wall-clock around
+// the engine call and the engine's own virtual-time latency, per op kind.
+// They are private to the connection goroutine and merged into the server
+// under its lock once, at connection close, so the op loop takes no locks.
+type connMetrics struct {
+	wall [opKinds]*metrics.Histogram
+	virt [opKinds]*metrics.Histogram
+}
+
+func newConnMetrics() *connMetrics {
+	cm := &connMetrics{}
+	for i := range cm.wall {
+		cm.wall[i] = metrics.NewHistogram()
+		cm.virt[i] = metrics.NewHistogram()
+	}
+	return cm
+}
+
+// record logs one executed command.
+func (cm *connMetrics) record(k opKind, wall, virt time.Duration) {
+	cm.wall[k].Record(wall)
+	cm.virt[k].Record(virt)
+}
+
+// Server is a RESP2-subset front end over an Engine.
+type Server struct {
+	cfg Config
+	eng Engine
+
+	ln     net.Listener
+	lnMu   sync.Mutex
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	agg   *connMetrics // merged histograms of completed connections
+	wg    sync.WaitGroup
+
+	start time.Time
+
+	// Command counters, atomics so INFO reads them live (the smoke test
+	// compares them against the load generator's issued-op counts).
+	cmdCounts  [opKinds]atomic.Int64
+	errCount   atomic.Int64
+	connsTotal atomic.Int64
+	connsLive  atomic.Int64
+}
+
+// New builds a Server. Call Serve or ListenAndServe to start it.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: Config.Engine is required")
+	}
+	if cfg.MaxScanLen <= 0 {
+		cfg.MaxScanLen = 10000
+	}
+	if cfg.ReadBuffer <= 0 {
+		cfg.ReadBuffer = 64 << 10
+	}
+	if cfg.WriteBuffer <= 0 {
+		cfg.WriteBuffer = 64 << 10
+	}
+	return &Server{
+		cfg:   cfg,
+		eng:   cfg.Engine,
+		conns: map[net.Conn]struct{}{},
+		agg:   newConnMetrics(),
+		start: time.Now(),
+	}, nil
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown (which returns nil here)
+// or a listener error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		// Registration (conns map + WaitGroup) and Shutdown's closed-flag
+		// store serialize on s.mu: either this connection registers before
+		// Shutdown begins waiting — so the Wait covers it and the
+		// force-close sweep can reach it — or it observes closed and is
+		// dropped. Without the lock, an Accept racing Shutdown could
+		// wg.Add concurrently with wg.Wait (a documented WaitGroup
+		// misuse) and leak an untracked connection.
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.connsTotal.Add(1)
+		s.connsLive.Add(1)
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(nc)
+	}
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown stops accepting, lets in-flight connections drain for up to
+// grace, then force-closes stragglers. It returns once every connection
+// goroutine has exited; the engine is not closed (the caller owns it —
+// close it after Shutdown so racing requests fail with core.ErrClosed
+// rather than hitting torn-down state).
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	s.closed.Store(true) // under s.mu: serializes with Serve's registration
+	s.mu.Unlock()
+	s.lnMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.lnMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(grace):
+	}
+	s.mu.Lock()
+	n := len(s.conns)
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	s.logf("server: force-closed %d connection(s) after %v drain window", n, grace)
+	<-done
+	return nil
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// errorReply formats an engine error as a RESP error and counts it.
+func (s *Server) errorReply(w *writer, err error) {
+	s.errCount.Add(1)
+	w.err("ERR " + err.Error())
+}

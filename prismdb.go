@@ -98,6 +98,30 @@
 // Iterator.Next is zero-allocation on the NVM path (keys alias the B-tree
 // snapshot, values land in a reused buffer), pinned by a
 // testing.AllocsPerRun guard like the read path's.
+//
+// # Serving
+//
+// The repo ships a network front end so the engine can serve real traffic:
+// cmd/prismserver exposes a RESP2-subset TCP protocol (GET, SET, DEL, MGET,
+// SCAN, PING, INFO — any Redis client or plain telnet works) over a
+// RecommendedConfig database, and cmd/prismload is a matching YCSB-mix
+// load generator with explicit pipelining and open-/closed-loop modes.
+//
+// The server runs one goroutine per connection over the shared-nothing
+// partitions and keeps the wire path as lean as the engine's read path:
+// commands are parsed from a per-connection arena, reads ride the GetBuf
+// zero-allocation path through a per-connection scratch buffer, and
+// replies accumulate in the connection's write buffer, flushed only when
+// the parser would block on the socket — a pipelined batch of K commands
+// costs one read, K engine calls, and one write. INFO reports engine
+// Stats, tier hit ratios, and per-op latency distributions in both
+// wall-clock and simulated virtual time.
+//
+// Shutdown is deterministic: Close marks the database closed, after which
+// every operation returns ErrClosed and open iterators fail on their next
+// positioning call — the server drains connections first, then closes the
+// DB, so stragglers get a clean error instead of racing teardown. See the
+// README for server and load-generator usage.
 package prismdb
 
 import (
@@ -151,6 +175,10 @@ const (
 	PreciseMSC = msc.Precise
 	RandomSel  = msc.Random
 )
+
+// ErrClosed is returned by every operation issued after Close (and by
+// iterators that outlive it).
+var ErrClosed = core.ErrClosed
 
 // Device constructors with the paper's Table-1 parameters.
 var (
@@ -302,8 +330,11 @@ func (db *DB) NVMUsage() (used, budget int64) { return db.inner.NVMUsage() }
 // Partitions returns the partition count.
 func (db *DB) Partitions() int { return db.inner.Partitions() }
 
-// Close flushes nothing (writes are synchronous) and releases nothing (the
-// simulation owns no OS resources); it exists for API symmetry.
+// Close marks the database closed. There is nothing to flush (writes are
+// synchronous) — but afterwards every operation fails with ErrClosed and
+// open iterators fail on their next positioning call, which is what lets a
+// serving front end shut down deterministically. Stats and the other
+// read-only accessors keep working. Idempotent.
 func (db *DB) Close() error { return db.inner.Close() }
 
 // DefaultReadTrigger returns the paper's read-trigger defaults scaled to a

@@ -15,11 +15,12 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 # The driver benchmarks live in ./bench, the per-figure harness
-# benchmarks in the root package. (|| status=$? keeps set -e from
-# discarding the captured output on failure.)
+# benchmarks in the root package, and the wire-path (pipelined vs
+# unpipelined serving) benchmarks in ./internal/server. (|| status=$?
+# keeps set -e from discarding the captured output on failure.)
 status=0
 go test -run '^$' -bench "${BENCH_PATTERN:-.}" -benchmem \
-	-benchtime "${BENCH_TIME:-1x}" . ./bench/... > "$tmp" || status=$?
+	-benchtime "${BENCH_TIME:-1x}" . ./bench/... ./internal/server/ > "$tmp" || status=$?
 cat "$tmp"
 [ "$status" -eq 0 ] || exit "$status"
 

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Serve-path smoke test: build prismserver and prismload, start the server
+# on loopback, run a short pipelined closed-loop burst (load phase + YCSB-B
+# measure), and let prismload -check verify that its issued op counts match
+# the server's INFO command counters exactly. Then shut the server down
+# gracefully and require a clean exit.
+#
+#   PRISM_PORT  listen port (default 16399)
+#   SMOKE_OPS   measured ops (default 20000)
+set -e
+cd "$(dirname "$0")/.."
+
+port="${PRISM_PORT:-16399}"
+ops="${SMOKE_OPS:-20000}"
+bin="$(mktemp -d)"
+trap 'kill "$srv_pid" 2>/dev/null; rm -rf "$bin"' EXIT
+
+go build -o "$bin/prismserver" ./cmd/prismserver
+go build -o "$bin/prismload" ./cmd/prismload
+
+"$bin/prismserver" -addr "127.0.0.1:$port" -total 256 -quiet > "$bin/server.log" 2>&1 &
+srv_pid=$!
+
+# prismload retries the initial connection while the server starts.
+"$bin/prismload" -addr "127.0.0.1:$port" \
+	-load -keys 5000 -value 256 -workload b \
+	-ops "$ops" -conns 4 -pipeline 16 -check
+
+# Graceful shutdown must drain and exit 0. (|| keeps set -e from
+# discarding the status we are about to report.)
+kill -TERM "$srv_pid"
+srv_status=0
+wait "$srv_pid" || srv_status=$?
+trap 'rm -rf "$bin"' EXIT
+if [ "$srv_status" -ne 0 ]; then
+	echo "prismserver exited with status $srv_status" >&2
+	cat "$bin/server.log" >&2
+	exit "$srv_status"
+fi
+echo "serve-smoke OK"
