@@ -9,12 +9,14 @@ vet:
 	$(GO) vet ./...
 
 # vet + unit tests (includes the wire-path malformed-RESP table) + a -race
-# pass over the scan-stress, parallel-driver, and concurrent-pipelined-
-# client tests (the paths with cross-goroutine iterators, epoch pins,
-# shared devices, and one server serving many connections).
+# pass over the scan-stress, parallel-driver, concurrent-pipelined-client,
+# and async-compaction tests (the paths with cross-goroutine iterators,
+# epoch pins, shared devices, one server serving many connections, and
+# background merge commits racing put/get/scan/close).
 test: vet
 	$(GO) test ./...
 	$(GO) test -race -run 'ConcurrentScansUnderWrites|ConcurrentOpsAcrossPartitions|ParallelScanAccounting' ./internal/core/ ./bench/
+	$(GO) test -race -run 'AsyncConcurrentOpsRaceMergeCommit|AsyncCloseRacesMergeCommit|AsyncModelBasedChurn' ./internal/core/
 	$(GO) test -race -run 'ConcurrentPipelinedClients|GracefulShutdown' ./internal/server/
 
 # Race-detector pass over the packages with lock-free or multi-goroutine

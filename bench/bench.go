@@ -118,6 +118,12 @@ type Setup struct {
 	// TrackerFraction overrides the tracker's share of the key space
 	// (paper default 0.2).
 	TrackerFraction float64
+	// Compaction selects PrismDB's compaction execution mode: "sync",
+	// "async", or "" for the driver-matched default — sync under the
+	// serial lockstep driver (bit-reproducible virtual-time results) and
+	// async under the parallel driver (the engine default; wall-clock
+	// oriented).
+	Compaction string
 	// ParallelDriver drives PrismDB's shared-nothing partitions with one
 	// worker goroutine each instead of the serial lockstep scheduler.
 	// Per-partition op order (and thus each partition's virtual-time
@@ -253,6 +259,34 @@ func (e lsmEngine) AdvanceAll()                            { e.db.AdvanceAll() }
 // -parallel flag.
 var UseParallelDriver bool
 
+// ForceCompaction, when "sync" or "async", overrides every Setup's
+// compaction mode. cmd/prismbench sets it from its -compaction flag.
+var ForceCompaction string
+
+// compactionMode resolves a Setup's compaction mode; see Setup.Compaction.
+// Anything other than "sync", "async", or "" is an error — a typo silently
+// falling back to the driver default could make a mode-comparison
+// experiment compare a mode against itself.
+func compactionMode(setup Setup) (core.CompactionMode, error) {
+	mode := setup.Compaction
+	if ForceCompaction != "" {
+		mode = ForceCompaction
+	}
+	switch mode {
+	case "sync":
+		return core.CompactionSync, nil
+	case "async":
+		return core.CompactionAsync, nil
+	case "":
+		if setup.ParallelDriver {
+			return core.CompactionAsync, nil
+		}
+		return core.CompactionSync, nil
+	default:
+		return 0, fmt.Errorf("bench: Setup.Compaction must be %q, %q, or empty, got %q", "sync", "async", mode)
+	}
+}
+
 // rig is a fully built experiment instance.
 type rig struct {
 	setup Setup
@@ -319,7 +353,12 @@ func build(setup Setup, sc Scale, wl workload.Config) (*rig, error) {
 		if setup.SingleTier != "" {
 			nvmBudget = datasetBytes // degenerate: all on the single device
 		}
+		cmode, err := compactionMode(setup)
+		if err != nil {
+			return nil, err
+		}
 		opts := core.Options{
+			CompactionMode:   cmode,
 			Partitions:       parts,
 			NVM:              r.nvm,
 			Flash:            r.flash,
@@ -625,6 +664,14 @@ func applyOp(eng kvEngine, op workload.Op, rh, uh, sh *metrics.Histogram) error 
 		}
 		if sh != nil {
 			sh.Record(lat)
+		}
+	case workload.OpDelete:
+		lat, err := eng.Delete(op.Key)
+		if err != nil {
+			return err
+		}
+		if uh != nil {
+			uh.Record(lat)
 		}
 	case workload.OpRMW:
 		_, lat1, err := eng.Get(op.Key)

@@ -94,11 +94,14 @@ func TestParallelScanAccountingMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := Run(Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8}, sc, wl, "serial")
+	// Both rigs pin sync compaction: this test isolates DRIVER equivalence
+	// (lockstep vs parallel), and the drivers otherwise default to
+	// different compaction modes (serial→sync, parallel→async).
+	serial, err := Run(Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8, Compaction: "sync"}, sc, wl, "serial")
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Run(Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8, ParallelDriver: true}, sc, wl, "parallel")
+	par, err := Run(Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8, ParallelDriver: true, Compaction: "sync"}, sc, wl, "parallel")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +132,12 @@ func TestParallelDriverMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := Run(Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8}, sc, wl, "serial")
+	// Sync compaction on both sides; see TestParallelScanAccountingMatchesSerial.
+	serial, err := Run(Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8, Compaction: "sync"}, sc, wl, "serial")
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Run(Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8, ParallelDriver: true}, sc, wl, "parallel")
+	par, err := Run(Setup{System: SysPrism, NVMFraction: 1.0 / 6, Partitions: 8, ParallelDriver: true, Compaction: "sync"}, sc, wl, "parallel")
 	if err != nil {
 		t.Fatal(err)
 	}

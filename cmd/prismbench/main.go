@@ -30,6 +30,7 @@ func main() {
 	ops := flag.Int("ops", 0, "override measured ops")
 	valueSize := flag.Int("value", 0, "override object size in bytes")
 	parallel := flag.Bool("parallel", false, "drive PrismDB partitions with one worker goroutine each (wall-clock speed; virtual-time results vary slightly run to run)")
+	compaction := flag.String("compaction", "", "PrismDB compaction mode: sync, async, or empty for the driver-matched default (serial→sync, parallel→async)")
 	flag.Parse()
 
 	if *list {
@@ -40,6 +41,13 @@ func main() {
 	}
 
 	bench.UseParallelDriver = *parallel
+	switch *compaction {
+	case "", "sync", "async":
+		bench.ForceCompaction = *compaction
+	default:
+		fmt.Fprintf(os.Stderr, "prismbench: -compaction must be sync or async, got %q\n", *compaction)
+		os.Exit(2)
+	}
 	sc := bench.DefaultScale().Mul(*scale)
 	if *keys > 0 {
 		sc.Keys = *keys

@@ -42,7 +42,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6380", "prismserver address")
-	wl := flag.String("workload", "b", "YCSB workload letter (a..f)")
+	wl := flag.String("workload", "b", "YCSB workload letter (a..f), or x for the delete-heavy mix (~25% DEL)")
 	keys := flag.Int("keys", 20000, "initial dataset keys")
 	ops := flag.Int("ops", 100000, "operations to issue")
 	valueSize := flag.Int("value", 128, "object size in bytes")
@@ -60,11 +60,17 @@ func main() {
 		log.Fatal("prismload: -conns, -pipeline, and -ops must be positive")
 	}
 	if len(*wl) != 1 {
-		log.Fatalf("prismload: -workload must be a single YCSB letter a..f, got %q", *wl)
+		log.Fatalf("prismload: -workload must be a single letter a..f or x, got %q", *wl)
 	}
-	cfg, err := workload.YCSB(strings.ToUpper(*wl)[0], *keys, *valueSize, *theta, *seed)
-	if err != nil {
-		log.Fatalf("prismload: %v", err)
+	var cfg workload.Config
+	if l := strings.ToUpper(*wl)[0]; l == 'X' {
+		cfg = workload.DeleteHeavy(*keys, *valueSize, *theta, *seed)
+	} else {
+		var err error
+		cfg, err = workload.YCSB(l, *keys, *valueSize, *theta, *seed)
+		if err != nil {
+			log.Fatalf("prismload: %v", err)
+		}
 	}
 
 	// One control connection, retried while the server starts up.
@@ -171,8 +177,8 @@ func main() {
 	}
 }
 
-// genOp is one pre-generated request. kind: 'g' GET, 's' SET, 'r' RMW
-// (GET + SET), 'c' SCAN.
+// genOp is one pre-generated request. kind: 'g' GET, 's' SET, 'd' DEL,
+// 'r' RMW (GET + SET), 'c' SCAN.
 type genOp struct {
 	kind    byte
 	key     []byte
@@ -188,6 +194,8 @@ func toGenOp(op workload.Op) genOp {
 		return genOp{kind: 's', key: op.Key, value: op.Value}
 	case workload.OpScan:
 		return genOp{kind: 'c', key: op.Key, scanLen: op.ScanLen}
+	case workload.OpDelete:
+		return genOp{kind: 'd', key: op.Key}
 	default: // OpRMW
 		return genOp{kind: 'r', key: op.Key, value: op.Value}
 	}
@@ -202,6 +210,8 @@ func (o *opCounts) add(g genOp) {
 		o.gets++
 	case 's':
 		o.sets++
+	case 'd':
+		o.dels++
 	case 'c':
 		o.scans++
 	case 'r':
@@ -217,14 +227,15 @@ func (o opCounts) minus(b opCounts) opCounts {
 // connResult is one worker's private histograms (merged after the run, as
 // the bench parallel driver does).
 type connResult struct {
-	get, set, scan *metrics.Histogram
-	err            error
+	get, set, del, scan *metrics.Histogram
+	err                 error
 }
 
 func newConnResult() *connResult {
 	return &connResult{
 		get:  metrics.NewHistogram(),
 		set:  metrics.NewHistogram(),
+		del:  metrics.NewHistogram(),
 		scan: metrics.NewHistogram(),
 	}
 }
@@ -233,6 +244,8 @@ func (r *connResult) histFor(kind byte) *metrics.Histogram {
 	switch kind {
 	case 'g':
 		return r.get
+	case 'd':
+		return r.del
 	case 'c':
 		return r.scan
 	default:
@@ -289,6 +302,9 @@ func (c *client) writeOp(g genOp) int {
 		return 1
 	case 'c':
 		c.writeCmd([]byte("SCAN"), g.key, []byte(strconv.Itoa(g.scanLen)))
+		return 1
+	case 'd':
+		c.writeCmd([]byte("DEL"), g.key)
 		return 1
 	default: // RMW: read, then write what the generator produced
 		c.writeCmd([]byte("GET"), g.key)
@@ -445,6 +461,7 @@ func report(issued opCounts, results []*connResult, elapsed time.Duration, rate 
 		}
 		total.get.Merge(r.get)
 		total.set.Merge(r.set)
+		total.del.Merge(r.del)
 		total.scan.Merge(r.scan)
 	}
 	n := issued.gets + issued.sets + issued.dels + issued.scans
@@ -457,7 +474,7 @@ func report(issued opCounts, results []*connResult, elapsed time.Duration, rate 
 	for _, row := range []struct {
 		name string
 		h    *metrics.Histogram
-	}{{"get", total.get}, {"set", total.set}, {"scan", total.scan}} {
+	}{{"get", total.get}, {"set", total.set}, {"del", total.del}, {"scan", total.scan}} {
 		if row.h.Count() == 0 {
 			continue
 		}

@@ -43,14 +43,24 @@ func main() {
 	maxScan := flag.Int("maxscan", 0, "cap on one SCAN command's result count (0 = default 10000)")
 	grace := flag.Duration("grace", 5*time.Second, "graceful-shutdown drain window")
 	quiet := flag.Bool("quiet", false, "suppress per-connection log output")
+	compaction := flag.String("compaction", "async", "compaction mode: async (background workers; short foreground critical sections) or sync (inline, deterministic)")
 	flag.Parse()
 
-	db, err := prismdb.Open(prismdb.RecommendedConfig(prismdb.TierSpec{
+	cfg0 := prismdb.RecommendedConfig(prismdb.TierSpec{
 		TotalBytes:  *totalMB << 20,
 		NVMFraction: *nvmFrac,
 		Partitions:  *parts,
 		DatasetKeys: *keys,
-	}))
+	})
+	switch *compaction {
+	case "async":
+		cfg0.CompactionMode = prismdb.CompactionAsync
+	case "sync":
+		cfg0.CompactionMode = prismdb.CompactionSync
+	default:
+		log.Fatalf("prismserver: -compaction must be async or sync, got %q", *compaction)
+	}
+	db, err := prismdb.Open(cfg0)
 	if err != nil {
 		log.Fatalf("prismserver: open: %v", err)
 	}

@@ -1,0 +1,670 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"github.com/prismdb/prismdb/internal/btree"
+	"github.com/prismdb/prismdb/internal/msc"
+	"github.com/prismdb/prismdb/internal/simdev"
+	"github.com/prismdb/prismdb/internal/slab"
+	"github.com/prismdb/prismdb/internal/sst"
+	"github.com/prismdb/prismdb/internal/tracker"
+)
+
+// Async compaction (Options.CompactionMode == CompactionAsync).
+//
+// The sync path runs the whole demotion merge inline under the partition
+// lock, so one unlucky foreground write pays the entire multi-SST
+// read/merge/write in host wall-clock time before its reply — and every
+// other client on the partition queues behind it. Here the trigger only
+// flags a per-partition worker goroutine; the worker splits each merge
+// round into three phases:
+//
+//   - prepare (locked, short): select the range, classify its NVM objects,
+//     and pin a slab reclamation epoch so foreground overwrites of in-range
+//     keys go copy-on-write (PR 2's scan substrate, reused as the merge's
+//     conflict detector: an unchanged B-tree loc at commit proves an
+//     unchanged record).
+//   - execute (unlocked): read the demoting slab records and the
+//     overlapping SSTs, merge, and write the output SSTs. The device,
+//     page-cache, slab-file, and SST layers are all safe for concurrent
+//     use — the same concurrency iterators already exercise — so
+//     foreground gets/puts/scans proceed in parallel, and the worker
+//     yields its core at a fine cadence (bgYield) so they actually do on
+//     CPU-constrained hosts.
+//   - commit (locked, chunked): install the manifest, then reconcile every
+//     planned mutation against the live index in small chunks. A key
+//     overwritten or deleted while the merge ran keeps its newer
+//     foreground version (the plan's drop/demote bookkeeping for it is
+//     skipped and counted in CommitConflicts); everything else flips
+//     exactly as the inline path would, and each chunk's reclaim is banked
+//     as a compJob maturing at the round's virtual completion.
+//
+// The virtual-time model is identical to sync compaction: jobs run on a
+// background clock serialized by compEndAt, their I/O uses the background
+// device lanes, and reclaimed space matures through the same compQueue
+// that admitWrite stalls on. The only new coupling is host-time
+// backpressure: a writer whose space credit runs dry while the reclaim is
+// still inside an uncommitted merge blocks on commitCond until the next
+// commit (admitWrite), so foreground writes can never outrun the worker
+// unboundedly.
+
+// startWorker launches the partition's background compaction worker.
+func (p *partition) startWorker() {
+	p.bg.done = make(chan struct{})
+	go p.compactionWorker()
+}
+
+// stopWorker asks the worker to exit after its current job and wakes every
+// waiter; the caller then waits on bg.done.
+func (p *partition) stopWorker() {
+	p.mu.Lock()
+	p.bg.stopping = true
+	p.bg.jobCond.Broadcast()
+	p.bg.commitCond.Broadcast()
+	p.mu.Unlock()
+}
+
+// drainLocked waits until the worker has no pending or running job. Caller
+// holds p.mu. No-op in sync mode (the flags are never set).
+func (p *partition) drainLocked() {
+	for (p.bg.running || p.bg.demotePending || p.bg.promotePending) && !p.bg.stopping {
+		p.bg.commitCond.Wait()
+	}
+}
+
+// compactionWorker is the partition's background compaction loop: wait for
+// a trigger, run the job(s), broadcast, repeat. It owns the partition's
+// single compaction "thread" — demotion and promotion jobs serialize here
+// exactly as they serialize on compEndAt in virtual time.
+func (p *partition) compactionWorker() {
+	defer close(p.bg.done)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		for !p.bg.demotePending && !p.bg.promotePending && !p.bg.stopping {
+			p.bg.jobCond.Wait()
+		}
+		if p.bg.stopping {
+			p.bg.demotePending, p.bg.promotePending = false, false
+			p.bg.commitCond.Broadcast()
+			return
+		}
+		demote, promote := p.bg.demotePending, p.bg.promotePending
+		p.bg.demotePending, p.bg.promotePending = false, false
+		p.bg.running = true
+		if demote {
+			p.asyncDemotionJob()
+		}
+		if promote && !p.bg.stopping {
+			p.asyncPromotionJob()
+		}
+		p.bg.running = false
+		p.bg.commitCond.Broadcast()
+	}
+}
+
+// asyncDemotionJob is runDemotionCompaction's background twin: rounds of
+// select → three-phase merge until usage falls below the low watermark.
+// Entered and left with p.mu held; each round drops the lock during its
+// execute phase.
+func (p *partition) asyncDemotionJob() {
+	compClk := simdev.NewBGClock()
+	compClk.AdvanceTo(p.bg.demoteTriggerNs) // the arming op's clock, as sync would
+	compClk.AdvanceTo(p.compEndAt)          // serial with the previous job
+	start := compClk.Now()
+	low := int64(float64(p.nvmBudget) * p.opts.LowWatermark)
+
+	noProgress := 0
+	for round := 0; round < maxCompactionRounds && p.usage() > low && !p.bg.stopping; round++ {
+		r := p.selectRange(compClk)
+		force := noProgress >= 2
+		// The round banks its reclaim into compQueue itself, commit chunk
+		// by commit chunk, waking admission-stalled writers as it goes;
+		// freed here only drives the progress check.
+		freed := p.asyncCompactRange(compClk, r, true, p.opts.Promotions && !force, force)
+		p.stats.Compactions++
+		if freed > 0 {
+			noProgress = 0
+		} else {
+			noProgress++
+			if force {
+				break // even forced demotion freed nothing; give up
+			}
+		}
+		if compClk.Now() > p.compEndAt {
+			p.compEndAt = compClk.Now()
+		}
+		p.bg.commitCond.Broadcast()
+		// Round boundary: without this the worker would hold the lock
+		// straight through from one round's commit into the next round's
+		// selection and classify. Park briefly so queued foreground ops
+		// (and the netpoller) run first; see bgYield.
+		p.mu.Unlock()
+		bgYield()
+		p.mu.Lock()
+	}
+	p.stats.CompactionTime += time.Duration(compClk.Now() - start)
+	if compClk.Now() > p.compEndAt {
+		p.compEndAt = compClk.Now()
+	}
+}
+
+// asyncPromotionJob is runPromotionCompaction's background twin. Entered
+// and left with p.mu held.
+func (p *partition) asyncPromotionJob() {
+	compClk := simdev.NewBGClock()
+	compClk.AdvanceTo(p.bg.promoteTriggerNs) // the arming op's clock, as sync would
+	start := compClk.Now()
+	compClk.AdvanceTo(p.compEndAt)
+
+	snap := p.man.Acquire()
+	if snap.Len() == 0 {
+		snap.Release()
+		return
+	}
+	ranges := p.buildRanges(snap.Tables())
+	cand := pickPromotionRange(p, compClk, ranges)
+	if cand < 0 {
+		snap.Release()
+		return
+	}
+	r := p.retainRange(ranges[cand])
+	snap.Release()
+	p.asyncCompactRange(compClk, r, false, true, false)
+	p.stats.Compactions++
+	p.stats.ReadTriggeredComps++
+	p.stats.CompactionTime += time.Duration(compClk.Now() - start)
+	if compClk.Now() > p.compEndAt {
+		p.compEndAt = compClk.Now()
+	}
+}
+
+// pickPromotionRange scores candidate ranges by hot-flash estimate and
+// returns the best index, or -1, charging scoring CPU to compClk. Caller
+// holds p.mu. Shared by the sync and async promotion paths.
+func pickPromotionRange(p *partition, compClk *simdev.Clock, ranges []candRange) int {
+	cand := msc.PickCandidates(len(ranges), p.opts.PowerK, p.rng)
+	bestIdx, bestHot := -1, 0.0
+	for _, ci := range cand {
+		lo, hi := p.keyIdxBounds(ranges[ci])
+		s := p.bkt.Estimate(lo, hi)
+		nBuckets := int((hi-lo)/uint64(p.opts.BucketKeys)) + 1
+		p.chargeCPU(compClk, time.Duration(nBuckets)*p.opts.CPU.ApproxPerBucket)
+		if s.HotFlash > bestHot {
+			bestIdx, bestHot = ci, s.HotFlash
+		}
+	}
+	return bestIdx
+}
+
+// commitActionKind classifies a planned NVM-side mutation of a background
+// merge.
+type commitActionKind uint8
+
+const (
+	// actDemote: the record was emitted to the output SSTs; at commit its
+	// NVM slot frees and the popularity metadata flips to flash.
+	actDemote commitActionKind = iota
+	// actDropTombstone: an NVM-only tombstone with no flash version dies.
+	actDropTombstone
+	// actDropTombstoneShadow: a tombstone annihilates its flash version
+	// (which the merge did not emit).
+	actDropTombstoneShadow
+)
+
+// commitAction is one planned mutation, validated against the live index
+// at commit time: the key must still map to loc. Under the pinned epoch
+// every concurrent overwrite is copy-on-write (new loc) and no freed slot
+// recycles, so loc equality is a strict superset of comparing slab-record
+// versions — same loc ⟺ bit-identical record; version rides along as the
+// captured evidence.
+type commitAction struct {
+	kind    commitActionKind
+	key     []byte // aliases the compaction arena
+	loc     slab.Loc
+	version uint64
+}
+
+// bgYield cedes the processor from the worker's execute phase. A plain
+// runtime.Gosched is not enough on a CPU-starved host: it leaves the
+// worker runnable, so the scheduler never finds an empty run queue and
+// never drains the netpoller — socket-ready foreground connections would
+// sit out entire merge rounds (until sysmon's forced poll) behind a
+// "background" job. Parking for even a microsecond empties the run queue,
+// lets the netpoller deliver waiting foreground work, and stretches the
+// merge's host duration slightly — the classic compaction throttling
+// trade (rate-limit background work to protect foreground tails), and one
+// only the async mode can make: the inline path holds the partition lock,
+// where sleeping would be strictly worse.
+func bgYield() {
+	time.Sleep(time.Microsecond)
+}
+
+// addYield is sstSplitter.add plus a worker yield whenever the add
+// finished (cut) an SST — table finalization (bloom, index, flush) is the
+// merge's longest unyielding CPU stretch, and a foreground goroutine
+// parked on a shared mutex (or a ready socket) would otherwise wait it
+// out.
+func addYield(out *sstSplitter, rec sst.Record) {
+	before := len(out.tables)
+	out.add(rec)
+	if len(out.tables) != before {
+		bgYield()
+	}
+}
+
+// asyncCompactRange runs one background merge round over r. It is entered
+// and left with p.mu held and returns the NVM bytes the committed round
+// freed (net of promotions), tallied action by action so concurrent
+// foreground writes don't pollute the figure. The partition lock is held
+// only for short bookkeeping sections: classify, the batched promotion
+// decisions, and chunked commit passes — the record reads, flash reads,
+// merge, SST writes, and freed-slot zeroing all run off-lock against
+// internally-synchronized layers.
+func (p *partition) asyncCompactRange(compClk *simdev.Clock, r candRange, allowDemote, allowPromote, forceAll bool) int64 {
+	cpu := p.opts.CPU
+	decider := p.pinDecider()
+	promoteWM := p.opts.HighWatermark
+	if allowDemote {
+		promoteWM = p.opts.LowWatermark
+	}
+
+	// ---- Phase 1 (prepare, lock held, short): classify the range's NVM
+	// objects. Keys alias the B-tree's immutable stored slices, so the
+	// list stays valid off-lock; the slot CONTENTS are frozen too, because
+	// the epoch pin taken below forces every concurrent overwrite
+	// copy-on-write and defers every free — which is also what lets the
+	// commit detect conflicts by loc equality and keeps captured locs
+	// unambiguous (no recycling while pinned). The in-flight range tells
+	// deletes to write conservative tombstones (see del).
+	type nvmObj struct {
+		key []byte
+		loc slab.Loc
+	}
+	var demoteObjs []nvmObj
+	// pinnedKeys is in ascending key order (index.Range order), aliasing
+	// the B-tree's immutable key slices: the merge consumes it with a
+	// moving cursor instead of a map, so classify allocates nothing
+	// per-key while the partition lock is held.
+	pinnedKeys := p.pinnedBuf[:0]
+	p.index.Range(r.lo, r.hi, func(it btree.Item) bool {
+		if !allowDemote {
+			pinnedKeys = append(pinnedKeys, it.Key)
+			return true
+		}
+		if !forceAll {
+			clock, tracked := p.trk.Clock(it.Key)
+			if decider.ShouldPin(clock, tracked, p.rng) {
+				pinnedKeys = append(pinnedKeys, it.Key)
+				return true
+			}
+		}
+		demoteObjs = append(demoteObjs, nvmObj{it.Key, slab.Loc(it.Val)})
+		return true
+	})
+	p.pinnedBuf = pinnedKeys
+	if allowDemote {
+		p.slabs.PinEpoch()
+		p.bg.rangeActive = true
+		p.bg.rangeLo, p.bg.rangeHi = r.lo, r.hi
+	}
+	// The arena is compaction-private state (one worker; sync and async
+	// never mix), so carrying it through the unlocked phase is safe.
+	arena := p.compArena[:0]
+	var local Stats
+	p.mu.Unlock()
+
+	// ---- Phase 1b (execute, unlocked): read the demoting records through
+	// the slab manager's concurrent-read path (the epoch pin guarantees
+	// the slots stay readable and unchanged). Same virtual-time model as
+	// the inline path: independent random NVM pages, issued concurrently,
+	// the round advancing to the slowest read's completion.
+	type demoteRef struct {
+		keyOff, keyLen, valLen int
+		version                uint64
+		tomb                   bool
+		loc                    slab.Loc
+	}
+	refs := make([]demoteRef, 0, len(demoteObjs))
+	var slotBuf []byte
+	readStart := compClk.Now()
+	maxEnd := readStart
+	for i, o := range demoteObjs {
+		tmp := simdev.NewBGClock()
+		tmp.AdvanceTo(readStart)
+		var rec slab.Record
+		var err error
+		rec, slotBuf, err = p.slabs.ReadSlotInto(tmp, o.loc, slotBuf)
+		if tmp.Now() > maxEnd {
+			maxEnd = tmp.Now()
+		}
+		if err != nil {
+			continue // unreadable slot; skip (the commit re-validates anyway)
+		}
+		refs = append(refs, demoteRef{len(arena), len(rec.Key), len(rec.Value), rec.Version, rec.Tombstone, o.loc})
+		arena = append(arena, rec.Key...)
+		arena = append(arena, rec.Value...)
+		if i%16 == 15 {
+			bgYield() // cede the core to foreground work
+		}
+	}
+	demoteRecs := make([]sst.Record, len(refs))
+	demoteLocs := make([]slab.Loc, len(refs))
+	for i, rf := range refs {
+		demoteRecs[i] = sst.Record{
+			Key:       arena[rf.keyOff : rf.keyOff+rf.keyLen : rf.keyOff+rf.keyLen],
+			Value:     arena[rf.keyOff+rf.keyLen : rf.keyOff+rf.keyLen+rf.valLen : rf.keyOff+rf.keyLen+rf.valLen],
+			Version:   rf.version,
+			Tombstone: rf.tomb,
+		}
+		demoteLocs[i] = rf.loc
+	}
+	compClk.AdvanceTo(maxEnd)
+
+	// ---- Phase 2 (execute, unlocked): read the overlapping SSTs.
+	var flashRecs []sst.Record
+	for _, t := range r.tables {
+		local.FlashBytesRead += t.Size()
+		t.ReadAll(compClk, func(rec sst.Record) error {
+			// Views pin their (per-call, GC-owned) block buffers for the
+			// job's lifetime — no per-record copies.
+			flashRecs = append(flashRecs, rec)
+			if len(flashRecs)%32 == 0 {
+				// A real compaction thread blocks on device I/O, ceding
+				// its core; the simulated read is one long memcpy+decode
+				// that never would. Cede so foreground work isn't
+				// stranded behind a whole table decode on CPU-constrained
+				// hosts (same below; see bgYield).
+				bgYield()
+			}
+			return nil
+		})
+		bgYield()
+	}
+
+	// Promotion decisions need the tracker, the partition RNG, and current
+	// usage: one short lock for the whole batch. The projection starts
+	// from usage NET of the slots this round is about to free — a
+	// demotion round's mid-merge usage is still above the trigger, and
+	// projecting from it would veto promotions sync's incremental
+	// (free-as-you-go) check admits. The commit re-checks room against
+	// live usage before every insert, so this pre-filter only has to be
+	// approximately right.
+	var promote []bool
+	if allowPromote && len(flashRecs) > 0 {
+		promote = make([]bool, len(flashRecs))
+		var plannedFree int64
+		for _, loc := range demoteLocs {
+			plannedFree += int64(p.slabs.SlotSize(loc))
+		}
+		p.mu.Lock()
+		dec := p.pinDecider()
+		proj := p.usage() - plannedFree
+		wmBytes := int64(float64(p.nvmBudget) * promoteWM)
+		for i, rec := range flashRecs {
+			ci := p.slabs.ClassOf(len(rec.Key), len(rec.Value))
+			if ci < 0 {
+				continue
+			}
+			slot := int64(p.slabs.ClassSize(ci))
+			if proj+slot >= wmBytes {
+				continue
+			}
+			clock, tracked := p.trk.Clock(rec.Key)
+			if dec.ShouldPin(clock, tracked, p.rng) {
+				promote[i] = true
+				proj += slot
+			}
+		}
+		p.mu.Unlock()
+	}
+
+	// ---- Phase 3 (execute, unlocked): merge and write the output SSTs.
+	out := newSSTSplitter(p, compClk, &local)
+	var actions []commitAction
+	var flashDropIdx []uint64 // bucket indexes of stale flash drops
+	var promos []sst.Record
+	ni, fi, pi := 0, 0, 0
+	mergedKeys := 0
+	emitFlash := func(i int) {
+		rec := flashRecs[i]
+		if promote != nil && promote[i] {
+			// Unlike the inline path's move, a background promotion ALSO
+			// emits the record to the output SSTs: if the commit later
+			// skips the NVM insert (conflict, device full), the record is
+			// still durable on flash, never lost. The duplicate flash copy
+			// is shadowed by the NVM version and dies as stale in a later
+			// merge.
+			promos = append(promos, rec)
+		}
+		addYield(out, rec)
+	}
+	for ni < len(demoteRecs) || fi < len(flashRecs) {
+		if mergedKeys%16 == 15 {
+			bgYield() // merge+SST-build is pure CPU; stay polite
+		}
+		mergedKeys++
+		var cmp int
+		switch {
+		case ni >= len(demoteRecs):
+			cmp = 1
+		case fi >= len(flashRecs):
+			cmp = -1
+		default:
+			cmp = bytes.Compare(demoteRecs[ni].Key, flashRecs[fi].Key)
+		}
+		switch {
+		case cmp < 0: // NVM-only
+			rec, loc := demoteRecs[ni], demoteLocs[ni]
+			ni++
+			if rec.Tombstone {
+				// No flash version: the tombstone dies at commit.
+				actions = append(actions, commitAction{actDropTombstone, rec.Key, loc, rec.Version})
+				continue
+			}
+			addYield(out, rec)
+			actions = append(actions, commitAction{actDemote, rec.Key, loc, rec.Version})
+		case cmp > 0: // flash-only
+			i := fi
+			fi++
+			for pi < len(pinnedKeys) && bytes.Compare(pinnedKeys[pi], flashRecs[i].Key) < 0 {
+				pi++
+			}
+			if pi < len(pinnedKeys) && bytes.Equal(pinnedKeys[pi], flashRecs[i].Key) {
+				// A newer pinned NVM version shadows this one.
+				flashDropIdx = append(flashDropIdx, p.opts.KeyIndex(flashRecs[i].Key))
+				local.DroppedStale++
+				continue
+			}
+			emitFlash(i)
+		default: // same key on both tiers: NVM is newer (§6)
+			rec, loc := demoteRecs[ni], demoteLocs[ni]
+			ni++
+			fi++
+			local.DroppedStale++
+			if rec.Tombstone {
+				actions = append(actions, commitAction{actDropTombstoneShadow, rec.Key, loc, rec.Version})
+				continue
+			}
+			addYield(out, rec)
+			actions = append(actions, commitAction{actDemote, rec.Key, loc, rec.Version})
+		}
+	}
+	p.chargeCPU(compClk, time.Duration(mergedKeys)*cpu.MergePerKey)
+	newTables := out.finish()
+	bgYield()
+
+	// The manifest installs BEFORE the partition lock is re-taken: Apply
+	// publishes lock-free to readers (atomic snapshot swap), and with the
+	// output SSTs already containing every record the commit will drop
+	// from NVM, any interleaved read is served correctly from whichever
+	// side it finds first — NVM entries are still intact and shadow their
+	// fresh flash copies. Keeping the (table-count-proportional) snapshot
+	// rebuild and manifest persist out of the critical section is worth
+	// hundreds of microseconds of foreground tail per round.
+	if len(newTables) > 0 || len(r.tables) > 0 {
+		if err := p.man.Apply(newTables, r.tables); err != nil {
+			// Manifest persistence cannot fail in the simulation unless
+			// the flash device is full; surface loudly in development.
+			panic(fmt.Sprintf("core: manifest apply: %v", err))
+		}
+	}
+
+	// ---- Commit (lock re-held on return): install the manifest, then
+	// reconcile the planned mutations in short chunks so foreground ops
+	// interleave instead of waiting out one long critical section. The
+	// manifest goes FIRST: once a chunked pass starts dropping NVM
+	// entries, the demoted records must already be readable from the new
+	// tables (between chunks, a Get of a not-yet-dropped key is served
+	// from NVM, which shadows its new flash copy — either way the newest
+	// version wins). Per-key re-validation makes each chunk independently
+	// safe against whatever the foreground did in the gaps.
+	var freed int64
+	p.mu.Lock()
+	p.compArena = arena
+	for _, t := range r.tables {
+		freed += t.MetaBytes()
+	}
+	for _, t := range newTables {
+		freed -= t.MetaBytes()
+	}
+	const commitChunk = 8
+	chunkFreed, banked := int64(0), int64(0)
+	// debt is NVM consumed by this round before any slot frees: flash
+	// metadata growth (freed starts negative) and promotion inserts.
+	// Chunks repay it before banking credit, so the total banked can
+	// never exceed the round's true net reclaim.
+	debt := int64(0)
+	if freed < 0 {
+		debt = -freed
+	}
+	bankChunk := func() {
+		if chunkFreed <= debt {
+			debt -= chunkFreed
+			freed += chunkFreed
+			chunkFreed = 0
+			return
+		}
+		net := chunkFreed - debt
+		debt = 0
+		p.compQueue = append(p.compQueue, compJob{endAt: compClk.Now(), freed: net})
+		freed += chunkFreed
+		banked += net
+		chunkFreed = 0
+		p.bg.commitCond.Broadcast()
+	}
+	for pn, rec := range promos {
+		if pn > 0 && pn%commitChunk == 0 {
+			// Same breather discipline as the action loop below: a hot
+			// promotion batch must not hold the partition lock for
+			// hundreds of inserts.
+			p.mu.Unlock()
+			bgYield()
+			p.mu.Lock()
+		}
+		if _, ok := p.index.Get(rec.Key); ok {
+			// A foreground write landed a newer NVM version meanwhile; it
+			// already shadows the flash copy the merge re-emitted.
+			local.CommitConflicts++
+			continue
+		}
+		if !p.nvmHasRoom(rec, promoteWM) {
+			// Usage moved under the merge (foreground burst): the
+			// authoritative room check happens here, against live usage,
+			// exactly like sync's emitFlash gate. Skipping is always safe
+			// — the record is in the output SSTs.
+			continue
+		}
+		if !p.promoteToNVM(compClk, rec) {
+			continue // no room; the record is safe in the output SSTs
+		}
+		ci := p.slabs.ClassOf(len(rec.Key), len(rec.Value))
+		slot := int64(p.slabs.ClassSize(ci))
+		p.spaceCredit -= slot
+		freed -= slot
+		debt += slot
+		p.bkt.OnPromote(p.opts.KeyIndex(rec.Key))
+		p.trk.SetLocation(rec.Key, tracker.NVM)
+		local.Promoted++
+	}
+	// Chunked reconciliation. Each chunk's freed slot bytes are banked as
+	// a compJob (the round's virtual end is already final on compClk) and
+	// commitCond broadcast immediately: an admission-stalled writer gets
+	// its credit at chunk cadence instead of waiting out the whole round.
+	for i, a := range actions {
+		if i > 0 && i%commitChunk == 0 {
+			bankChunk()
+			// Breather: a bare unlock/lock would let the worker barge
+			// straight back in before any queued foreground op gets
+			// scheduled; parking for a microsecond hands the core (and
+			// the netpoller) to the foreground first.
+			p.mu.Unlock()
+			bgYield()
+			p.mu.Lock()
+		}
+		v, ok := p.index.Get(a.key)
+		if !ok || slab.Loc(v) != a.loc {
+			// The key was overwritten (copy-on-write under the pinned
+			// epoch ⇒ new loc) or deleted while the merge ran. The newer
+			// foreground state wins; skip this key's bookkeeping. If the
+			// merge emitted a now-stale version to the output SSTs, the
+			// NVM version shadows it until a later merge drops it.
+			local.CommitConflicts++
+			continue
+		}
+		idx := p.opts.KeyIndex(a.key)
+		chunkFreed += int64(p.slabs.SlotSize(a.loc))
+		p.slabs.FreeSlot(compClk, a.loc)
+		p.index.Delete(a.key)
+		switch a.kind {
+		case actDemote:
+			p.bkt.OnDemote(idx)
+			p.trk.SetLocation(a.key, tracker.Flash)
+			local.Demoted++
+		case actDropTombstone, actDropTombstoneShadow:
+			p.bkt.OnNVMDelete(idx)
+			p.trk.Forget(a.key)
+			if a.kind == actDropTombstoneShadow {
+				p.bkt.OnFlashDelete(idx)
+			}
+			local.DroppedTombstones++
+		}
+	}
+	bankChunk()
+	// Whatever the chunks didn't bank (the flash-metadata footprint delta,
+	// net of promotion debits) matures like any other reclaim.
+	if residual := freed - banked; residual > 0 {
+		p.compQueue = append(p.compQueue, compJob{endAt: compClk.Now(), freed: residual})
+		p.bg.commitCond.Broadcast()
+	}
+	for _, idx := range flashDropIdx {
+		p.bkt.OnFlashDelete(idx)
+	}
+	p.stats.add(local)
+	if !allowDemote {
+		return freed
+	}
+	// Close the merge window, then finish the epoch's deferred frees with
+	// the zeroing writes (one per slot) off-lock.
+	p.bg.rangeActive = false
+	p.bg.rangeLo, p.bg.rangeHi = nil, nil
+	zeroLocs := p.slabs.UnpinEpochDeferred()
+	if len(zeroLocs) == 0 {
+		return freed
+	}
+	p.mu.Unlock()
+	for i, loc := range zeroLocs {
+		if err := p.slabs.ZeroSlot(loc); err != nil {
+			panic(fmt.Sprintf("core: deferred free: %v", err))
+		}
+		if i%64 == 63 {
+			bgYield()
+		}
+	}
+	p.mu.Lock()
+	p.slabs.RecycleSlots(zeroLocs)
+	return freed
+}

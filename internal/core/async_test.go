@@ -1,0 +1,598 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// asyncTestOptions is testOptions with background compaction enabled (the
+// default mode) and a couple of partitions, so commits race real
+// foreground traffic.
+func asyncTestOptions() Options {
+	o := testOptions()
+	o.CompactionMode = CompactionAsync
+	return o
+}
+
+// TestAsyncCompactionCorrectness drives a single-threaded workload in
+// async mode and checks the invariants the sync suite checks: demotions
+// happen, every key stays readable with its newest value, and NVM ends
+// within budget once the worker drains.
+func TestAsyncCompactionCorrectness(t *testing.T) {
+	db, err := Open(asyncTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if _, err := db.Put(key(i), val(i, 400)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	// Overwrite a slice of keys so the merge races newer versions.
+	for i := 0; i < 300; i++ {
+		db.Put(key(i), val(i+7000, 200))
+	}
+	db.DrainCompactions()
+	st := db.Stats()
+	if st.Compactions == 0 || st.Demoted == 0 {
+		t.Fatalf("no background compaction ran: %+v", st)
+	}
+	used, budget := db.NVMUsage()
+	if used > budget {
+		t.Fatalf("NVM over budget after drain: %d > %d", used, budget)
+	}
+	for i := 0; i < n; i++ {
+		want := val(i, 400)
+		if i < 300 {
+			want = val(i+7000, 200)
+		}
+		v, tier, _, err := db.Get(key(i))
+		if err != nil || tier == TierMiss {
+			t.Fatalf("key %d: tier=%v err=%v", i, tier, err)
+		}
+		if !bytes.Equal(v, want) {
+			t.Fatalf("key %d stale after async compaction", i)
+		}
+	}
+}
+
+// TestAsyncModelBasedChurn is the sync model-based churn test in async
+// mode: a single-threaded client races the background worker's commits,
+// and every read must still return exactly the model's value — the
+// commit's version-checked reconciliation must never clobber or resurrect
+// a key.
+func TestAsyncModelBasedChurn(t *testing.T) {
+	o := asyncTestOptions()
+	o.Partitions = 2
+	o.NVMBudget = 256 << 10
+	o.Promotions = true
+	db, _ := Open(o)
+	defer db.Close()
+	model := map[string][]byte{}
+	rng := rand.New(rand.NewSource(43))
+	const keys = 600
+	for step := 0; step < 12000; step++ {
+		k := key(rng.Intn(keys))
+		switch rng.Intn(10) {
+		case 0:
+			db.Delete(k)
+			delete(model, string(k))
+		case 1, 2, 3, 4:
+			v := val(rng.Intn(100000), 50+rng.Intn(800))
+			if _, err := db.Put(k, v); err != nil {
+				t.Fatalf("step %d put: %v", step, err)
+			}
+			model[string(k)] = v
+		default:
+			v, tier, _, err := db.Get(k)
+			if err != nil {
+				t.Fatalf("step %d get: %v", step, err)
+			}
+			want, exists := model[string(k)]
+			if exists != (tier != TierMiss) {
+				t.Fatalf("step %d: key %s exists=%v tier=%v", step, k, exists, tier)
+			}
+			if exists && !bytes.Equal(v, want) {
+				t.Fatalf("step %d: key %s value mismatch", step, k)
+			}
+		}
+	}
+	db.DrainCompactions()
+	if db.Stats().Compactions == 0 {
+		t.Fatal("async churn never compacted")
+	}
+	for i := 0; i < keys; i++ {
+		k := key(i)
+		v, tier, _, _ := db.Get(k)
+		want, exists := model[string(k)]
+		if exists != (tier != TierMiss) || (exists && !bytes.Equal(v, want)) {
+			t.Fatalf("final sweep: key %d inconsistent", i)
+		}
+	}
+}
+
+// TestAsyncConcurrentOpsRaceMergeCommit is the -race stress for the
+// tentpole: concurrent writers, readers, scanners, and deleters on every
+// partition while background merges prepare, execute, and commit. Each
+// goroutine owns a disjoint key stripe so it can model-check its own data.
+func TestAsyncConcurrentOpsRaceMergeCommit(t *testing.T) {
+	o := asyncTestOptions()
+	o.Partitions = 4
+	o.NVMBudget = 1 << 20
+	o.Promotions = true
+	db, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const (
+		workers = 6
+		stripe  = 500
+		steps   = 4000
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			model := map[string][]byte{}
+			base := w * stripe
+			for step := 0; step < steps; step++ {
+				k := key(base + rng.Intn(stripe))
+				switch rng.Intn(10) {
+				case 0:
+					if _, err := db.Delete(k); err != nil {
+						errs <- fmt.Errorf("worker %d del: %w", w, err)
+						return
+					}
+					delete(model, string(k))
+				case 1, 2, 3, 4:
+					v := val(rng.Intn(100000), 50+rng.Intn(700))
+					if _, err := db.Put(k, v); err != nil {
+						errs <- fmt.Errorf("worker %d put: %w", w, err)
+						return
+					}
+					model[string(k)] = v
+				case 5:
+					it := db.NewIterator(k, 20)
+					for n := 0; it.Valid() && n < 20; n++ {
+						it.Next()
+					}
+					if err := it.Close(); err != nil {
+						errs <- fmt.Errorf("worker %d scan: %w", w, err)
+						return
+					}
+				default:
+					v, tier, _, err := db.Get(k)
+					if err != nil {
+						errs <- fmt.Errorf("worker %d get: %w", w, err)
+						return
+					}
+					want, exists := model[string(k)]
+					if exists != (tier != TierMiss) {
+						errs <- fmt.Errorf("worker %d: key %s exists=%v tier=%v", w, k, exists, tier)
+						return
+					}
+					if exists && !bytes.Equal(v, want) {
+						errs <- fmt.Errorf("worker %d: key %s stale value", w, k)
+						return
+					}
+				}
+			}
+			// Final per-stripe sweep against the private model.
+			for i := base; i < base+stripe; i++ {
+				k := key(i)
+				v, tier, _, err := db.Get(k)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d sweep get: %w", w, err)
+					return
+				}
+				want, exists := model[string(k)]
+				if exists != (tier != TierMiss) || (exists && !bytes.Equal(v, want)) {
+					errs <- fmt.Errorf("worker %d: key %d inconsistent at sweep", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	db.DrainCompactions()
+	st := db.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("stress never compacted in background")
+	}
+	used, budget := db.NVMUsage()
+	if used > budget {
+		t.Fatalf("NVM over budget after drain: %d > %d", used, budget)
+	}
+}
+
+// TestAsyncCloseRacesMergeCommit closes the DB while merges are in flight
+// and foreground goroutines hammer it: ops must either succeed or fail
+// with ErrClosed, Close must return (worker exits after its round), and
+// nothing may deadlock or panic.
+func TestAsyncCloseRacesMergeCommit(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		o := asyncTestOptions()
+		o.Partitions = 2
+		o.NVMBudget = 256 << 10
+		db, err := Open(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := key(rng.Intn(2000))
+					var err error
+					switch i % 4 {
+					case 0:
+						_, err = db.Put(k, val(i, 400))
+					case 1:
+						_, _, _, err = db.Get(k)
+					case 2:
+						it := db.NewIterator(k, 10)
+						for it.Valid() {
+							if !it.Next() {
+								break
+							}
+						}
+						err = it.Close()
+					default:
+						_, err = db.Delete(k)
+					}
+					if err != nil && err != ErrClosed {
+						t.Errorf("op error: %v", err)
+						return
+					}
+				}
+			}(w)
+		}
+		// Let compactions start, then slam the door.
+		time.Sleep(5 * time.Millisecond)
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		close(stop)
+		wg.Wait()
+		if _, err := db.Put(key(1), val(1, 100)); err != ErrClosed {
+			t.Fatalf("put after close: %v", err)
+		}
+		// Post-close accessors must keep working.
+		_ = db.Stats()
+		db.DrainCompactions()
+	}
+}
+
+// TestAsyncWriteBackpressure floods a tiny NVM budget with fresh inserts:
+// writers must stall (virtually via matured reclaim, and in host time on
+// uncommitted merges) rather than blow past the budget unboundedly. In
+// this degenerate config (the budget is a few hundred objects and its
+// flash-metadata floor grows toward the budget itself) neither mode can
+// hold usage strictly under budget — the compactor legitimately gives up
+// when force rounds free nothing — so the property pinned here is that
+// the backpressure engages (stalls recorded, most writes host-blocking on
+// the worker) and the overshoot stays bounded near the budget rather than
+// tracking the 12 MB the flood offered.
+func TestAsyncWriteBackpressure(t *testing.T) {
+	o := asyncTestOptions()
+	o.NVMBudget = 128 << 10
+	db, _ := Open(o)
+	defer db.Close()
+	for i := 0; i < 4000; i++ {
+		if _, err := db.Put(key(i), val(i, 2000)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	db.DrainCompactions()
+	st := db.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("no compactions under pressure")
+	}
+	if st.WriteStalls == 0 && st.CompactionHardStalls == 0 {
+		t.Fatalf("no stalls recorded under a flooded budget: %+v", st)
+	}
+	used, budget := db.NVMUsage()
+	if used > budget+budget/2 {
+		t.Fatalf("usage %d far over budget %d despite backpressure", used, budget)
+	}
+}
+
+// TestAsyncIteratorDuringMerge pins a scan before heavy churn and verifies
+// it still sees exactly its creation-time snapshot while background merges
+// demote and delete beneath it.
+func TestAsyncIteratorDuringMerge(t *testing.T) {
+	o := asyncTestOptions()
+	db, _ := Open(o)
+	defer db.Close()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		db.Put(key(i), val(i, 300))
+	}
+	db.DrainCompactions()
+	it := db.NewIterator(nil, 0)
+	// Churn: overwrite and delete everything while the scan is open.
+	for i := 0; i < n; i++ {
+		db.Put(key(i), val(i+9000, 100))
+	}
+	for i := 0; i < n; i += 2 {
+		db.Delete(key(i))
+	}
+	seen := 0
+	for ; it.Valid(); it.Next() {
+		want := val(seen, 300)
+		if !bytes.Equal(it.Value(), want) {
+			t.Fatalf("scan[%d] observed post-snapshot value", seen)
+		}
+		seen++
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != n {
+		t.Fatalf("snapshot scan saw %d/%d keys", seen, n)
+	}
+}
+
+// TestAsyncSerialVirtualFidelity runs the same serial workload in sync and
+// async modes and checks the simulated elapsed time agrees within a loose
+// band — the virtual-time model (BG clock, compEndAt serialization, space
+// maturation) must be preserved by the async split, with divergence only
+// from job start times and selection state.
+func TestAsyncSerialVirtualFidelity(t *testing.T) {
+	run := func(mode CompactionMode) time.Duration {
+		o := testOptions()
+		o.CompactionMode = mode
+		db, err := Open(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 3000; i++ {
+			db.Put(key(i), val(i, 400))
+		}
+		for i := 0; i < 6000; i++ {
+			if rng.Intn(2) == 0 {
+				db.Get(key(rng.Intn(3000)))
+			} else {
+				db.Put(key(rng.Intn(3000)), val(i, 400))
+			}
+		}
+		db.AdvanceAll()
+		return db.Elapsed()
+	}
+	sync := run(CompactionSync)
+	async := run(CompactionAsync)
+	ratio := float64(async) / float64(sync)
+	if ratio < 0.75 || ratio > 1.25 {
+		t.Fatalf("async virtual time diverges from sync: sync=%v async=%v (ratio %.2f)",
+			sync, async, ratio)
+	}
+}
+
+// TestAsyncCommitConflictDetection forces a conflict: pause-free but
+// deterministic enough — run heavy overwrite traffic during async merges
+// and require that the engine recorded at least some commit conflicts
+// across rounds, proving the reconciliation path actually fires. (The
+// model-based tests prove it fires *correctly*.)
+func TestAsyncCommitConflictDetection(t *testing.T) {
+	o := asyncTestOptions()
+	o.NVMBudget = 256 << 10
+	db, _ := Open(o)
+	defer db.Close()
+	rng := rand.New(rand.NewSource(11))
+	var st Stats
+	for round := 0; round < 60; round++ {
+		for i := 0; i < 2000; i++ {
+			db.Put(key(rng.Intn(1200)), val(i+round*2000, 400))
+		}
+		if st = db.Stats(); st.CommitConflicts > 0 {
+			break
+		}
+	}
+	db.DrainCompactions()
+	st = db.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("no background compactions ran")
+	}
+	if st.CommitConflicts == 0 {
+		t.Skip("no commit conflict surfaced on this schedule (timing-dependent); correctness is pinned by the model tests")
+	}
+}
+
+// TestCompactionModeString pins the flag/INFO rendering of the modes.
+func TestCompactionModeString(t *testing.T) {
+	if CompactionAsync.String() != "async" || CompactionSync.String() != "sync" {
+		t.Fatal("CompactionMode.String mismatch")
+	}
+	var zero CompactionMode
+	if zero != CompactionAsync {
+		t.Fatal("zero value must be async (the default mode)")
+	}
+}
+
+// TestAsyncBacklogGauge checks Stats.CompactionBacklog reports in-flight
+// background work and settles to zero after a drain.
+func TestAsyncBacklogGauge(t *testing.T) {
+	o := asyncTestOptions()
+	o.NVMBudget = 256 << 10
+	db, _ := Open(o)
+	defer db.Close()
+	sawBacklog := false
+	for i := 0; i < 4000 && !sawBacklog; i++ {
+		db.Put(key(i), val(i, 800))
+		if i%50 == 0 && db.Stats().CompactionBacklog > 0 {
+			sawBacklog = true
+		}
+	}
+	db.DrainCompactions()
+	if db.Stats().CompactionBacklog != 0 {
+		t.Fatal("backlog gauge nonzero after drain")
+	}
+	if !sawBacklog {
+		t.Skip("worker drained every job between polls (fast host); gauge path still covered by drain assertion")
+	}
+}
+
+// ---- Satellite regressions ----
+
+// TestDeletedKeyNeverReentersTracker is the tombstone-resurrection
+// regression: partition.del Forgets the key, and the internal tombstone
+// write that follows must NOT touch it back into the tracker (the old
+// unconditional touch re-inserted it, evicted a live hot key, and let
+// ShouldPin pin the tombstone in NVM forever).
+func TestDeletedKeyNeverReentersTracker(t *testing.T) {
+	db, _ := Open(testOptions()) // sync mode: deterministic
+	const n = 2000
+	for i := 0; i < n; i++ {
+		db.Put(key(i), val(i, 400))
+	}
+	if db.Stats().FlashObjects == 0 {
+		t.Fatal("setup: nothing demoted to flash")
+	}
+	// Delete keys that have flash versions → tombstones route through put.
+	var deletedKeys [][]byte
+	for i := 0; i < n && len(deletedKeys) < 200; i++ {
+		_, tier, _, _ := db.Get(key(i))
+		if tier != TierFlash {
+			continue
+		}
+		if _, err := db.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+		p := db.parts[0]
+		p.mu.Lock()
+		_, tracked := p.trk.Clock(key(i))
+		p.mu.Unlock()
+		if tracked {
+			t.Fatalf("deleted key %d re-entered the popularity tracker via its tombstone write", i)
+		}
+		deletedKeys = append(deletedKeys, key(i))
+	}
+	if len(deletedKeys) == 0 {
+		t.Fatal("setup: no flash-resident keys to delete")
+	}
+	// Under continued churn the tombstones must drain, not pin.
+	for i := n; i < n+3000; i++ {
+		db.Put(key(i), val(i, 400))
+	}
+	st := db.Stats()
+	if st.DroppedTombstones == 0 {
+		t.Fatalf("tombstones never annihilated under churn: %+v", st)
+	}
+	// The deleted keys must have stayed out of the tracker and dead.
+	p := db.parts[0]
+	for _, k := range deletedKeys {
+		p.mu.Lock()
+		_, tracked := p.trk.Clock(k)
+		p.mu.Unlock()
+		if tracked {
+			t.Fatalf("deleted key %q crept back into the tracker", k)
+		}
+		if _, tier, _, _ := db.Get(k); tier != TierMiss {
+			t.Fatalf("deleted key %q resurrected (tier %v)", k, tier)
+		}
+	}
+}
+
+// TestDelLatencyComposedFromPhases pins the del-latency fix: in a
+// single-client run the reported latency must equal the partition clock
+// advance attributable to the delete itself (phase 1 + tombstone put),
+// with and without a flash-resident older version.
+func TestDelLatencyComposedFromPhases(t *testing.T) {
+	db, _ := Open(testOptions())
+	const n = 2000
+	for i := 0; i < n; i++ {
+		db.Put(key(i), val(i, 400))
+	}
+	db.AdvanceAll()
+	// NVM-only delete: no tombstone phase.
+	freshKey := key(n + 1)
+	db.Put(freshKey, val(1, 100))
+	before := db.PartitionClock(0)
+	lat, err := db.Delete(freshKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := db.PartitionClock(0)
+	if lat != after-before {
+		t.Fatalf("NVM-only del latency %v != clock advance %v", lat, after-before)
+	}
+	// Flash-resident delete: phase 1 + tombstone put must compose exactly.
+	flashKey := []byte(nil)
+	for i := 0; i < n; i++ {
+		if _, tier, _, _ := db.Get(key(i)); tier == TierFlash {
+			flashKey = key(i)
+			break
+		}
+	}
+	if flashKey == nil {
+		t.Fatal("setup: no flash-resident key")
+	}
+	before = db.PartitionClock(0)
+	lat, err = db.Delete(flashKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after = db.PartitionClock(0)
+	if lat <= 0 || lat > after-before {
+		t.Fatalf("flash del latency %v outside (0, %v]", lat, after-before)
+	}
+	// The tombstone write may trigger a compaction whose stall time is
+	// part of the delete; in the absence of one, the composition is exact.
+	if db.Stats().WriteStalls == 0 && lat != after-before {
+		t.Fatalf("flash del latency %v != clock advance %v", lat, after-before)
+	}
+}
+
+// TestPromotionCompactionEmptyManifest pins the reordered early-out:
+// invoking the promotion step with nothing on flash must do no candidate
+// work and no compaction, in both modes.
+func TestPromotionCompactionEmptyManifest(t *testing.T) {
+	for _, mode := range []CompactionMode{CompactionSync, CompactionAsync} {
+		o := testOptions()
+		o.CompactionMode = mode
+		o.Promotions = true
+		db, _ := Open(o)
+		for i := 0; i < 20; i++ {
+			db.Put(key(i), val(i, 100)) // stays well under the watermark
+		}
+		p := db.parts[0]
+		p.mu.Lock()
+		if mode == CompactionSync {
+			p.runPromotionCompaction()
+		} else {
+			p.asyncPromotionJob()
+		}
+		st := p.stats
+		p.mu.Unlock()
+		if st.Compactions != 0 || st.ReadTriggeredComps != 0 {
+			t.Fatalf("mode %v: promotion on empty manifest compacted: %+v", mode, st)
+		}
+		db.Close()
+	}
+}

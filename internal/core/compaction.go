@@ -47,16 +47,20 @@ func (p *partition) keyIdxBounds(r candRange) (uint64, uint64) {
 // buildRanges tiles the key space into candidate ranges from the current
 // SST snapshot: window i spans from table i's smallest key (window 0 from
 // -∞) to table i+RangeFiles's smallest key (last window to +∞).
+// The returned slice aliases the partition's reusable scratch: callers
+// must copy out (retainRange) anything they keep past the next call.
 func (p *partition) buildRanges(snap []*sst.Table) []candRange {
 	rf := p.opts.RangeFiles
+	out := p.rangeBuf[:0]
+	defer func() { p.rangeBuf = out }()
 	if len(snap) == 0 {
-		return []candRange{{}}
+		out = append(out, candRange{})
+		return out
 	}
 	if rf > len(snap) {
 		rf = len(snap)
 	}
 	n := len(snap) - rf + 1
-	out := make([]candRange, 0, n)
 	for i := 0; i < n; i++ {
 		var r candRange
 		if i > 0 {
@@ -72,12 +76,38 @@ func (p *partition) buildRanges(snap []*sst.Table) []candRange {
 }
 
 // maybeCompact triggers a demotion compaction when NVM usage crosses the
-// high watermark (§4.2). Called with the partition lock held.
+// high watermark (§4.2). Called with the partition lock held. In sync mode
+// the whole merge runs inline; in async mode the trigger just flags the
+// background worker and returns — the foreground op's critical section
+// stays short.
 func (p *partition) maybeCompact() {
 	if p.usage() < int64(float64(p.nvmBudget)*p.opts.HighWatermark) {
 		return
 	}
-	p.runDemotionCompaction()
+	if p.opts.CompactionMode == CompactionSync {
+		p.runDemotionCompaction()
+		return
+	}
+	if !p.bg.demotePending && !p.bg.stopping {
+		p.bg.demotePending = true
+		p.bg.demoteTriggerNs = p.clk.Now()
+		p.bg.jobCond.Signal()
+	}
+}
+
+// triggerPromotion is the read-trigger machine's invocation hook: inline in
+// sync mode, enqueued to the background worker in async mode. Called with
+// the partition lock held.
+func (p *partition) triggerPromotion() {
+	if p.opts.CompactionMode == CompactionSync {
+		p.runPromotionCompaction()
+		return
+	}
+	if !p.bg.promotePending && !p.bg.stopping {
+		p.bg.promotePending = true
+		p.bg.promoteTriggerNs = p.clk.Now()
+		p.bg.jobCond.Signal()
+	}
 }
 
 // runDemotionCompaction frees NVM down to the low watermark. The job runs
@@ -310,7 +340,7 @@ func (p *partition) compactRange(compClk *simdev.Clock, r candRange, allowDemote
 	}
 
 	// Phase 3: merge. Both inputs are sorted; NVM versions win ties.
-	out := newSSTSplitter(p, compClk)
+	out := newSSTSplitter(p, compClk, &p.stats)
 	ni, fi := 0, 0
 	emitFlash := func(rec sst.Record) {
 		idx := p.opts.KeyIndex(rec.Key)
@@ -469,15 +499,19 @@ func (p *partition) promoteToNVM(compClk *simdev.Clock, rec sst.Record) bool {
 }
 
 // sstSplitter writes merged output into SSTs of at most TargetSSTBytes.
+// Write-volume counters go to stats — the partition's own Stats for inline
+// (sync) compactions, a job-local Stats for background ones (the async
+// worker only touches p.stats under the partition lock, at commit).
 type sstSplitter struct {
 	p       *partition
 	compClk *simdev.Clock
+	stats   *Stats
 	w       *sst.Writer
 	tables  []*sst.Table
 }
 
-func newSSTSplitter(p *partition, compClk *simdev.Clock) *sstSplitter {
-	return &sstSplitter{p: p, compClk: compClk}
+func newSSTSplitter(p *partition, compClk *simdev.Clock, stats *Stats) *sstSplitter {
+	return &sstSplitter{p: p, compClk: compClk, stats: stats}
 }
 
 func (s *sstSplitter) add(rec sst.Record) {
@@ -501,7 +535,7 @@ func (s *sstSplitter) cut() {
 	if err != nil {
 		panic(fmt.Sprintf("core: sst finish: %v", err))
 	}
-	s.p.stats.FlashBytesWritten += t.Size()
+	s.stats.FlashBytesWritten += t.Size()
 	s.tables = append(s.tables, t)
 	s.w = nil
 }
@@ -520,22 +554,14 @@ func (p *partition) runPromotionCompaction() {
 
 	compClk.AdvanceTo(p.compEndAt) // serial with the demotion job
 	snap := p.man.Acquire()
-	ranges := p.buildRanges(snap.Tables())
 	if snap.Len() == 0 {
+		// Nothing on flash: nothing to promote. Checked before building
+		// candidate ranges, which would be pure wasted work here.
 		snap.Release()
 		return
 	}
-	cand := msc.PickCandidates(len(ranges), p.opts.PowerK, p.rng)
-	bestIdx, bestHot := -1, 0.0
-	for _, ci := range cand {
-		lo, hi := p.keyIdxBounds(ranges[ci])
-		s := p.bkt.Estimate(lo, hi)
-		nBuckets := int((hi-lo)/uint64(p.opts.BucketKeys)) + 1
-		p.chargeCPU(compClk, time.Duration(nBuckets)*p.opts.CPU.ApproxPerBucket)
-		if s.HotFlash > bestHot {
-			bestIdx, bestHot = ci, s.HotFlash
-		}
-	}
+	ranges := p.buildRanges(snap.Tables())
+	bestIdx := pickPromotionRange(p, compClk, ranges)
 	if bestIdx < 0 {
 		snap.Release()
 		return
@@ -615,7 +641,7 @@ func (rt *readTriggerState) onOp(p *partition, isRead bool) {
 			rt.phase = rtActive
 			rt.lastRatio = rt.ratio()
 			rt.resetWindow()
-			p.runPromotionCompaction()
+			p.triggerPromotion()
 		} else {
 			rt.resetWindow()
 		}
@@ -625,14 +651,14 @@ func (rt *readTriggerState) onOp(p *partition, isRead bool) {
 			interval = 1
 		}
 		if rt.opsInPhase%interval == 0 && rt.opsInPhase < o.Epoch {
-			p.runPromotionCompaction()
+			p.triggerPromotion()
 		}
 		if rt.opsInPhase >= o.Epoch {
 			newRatio := rt.ratio()
 			if newRatio-rt.lastRatio >= o.ImproveDelta {
 				rt.lastRatio = newRatio
 				rt.resetWindow() // keep compacting next epoch
-				p.runPromotionCompaction()
+				p.triggerPromotion()
 			} else {
 				rt.phase = rtCooldown
 				rt.resetWindow()

@@ -11,10 +11,14 @@ import (
 )
 
 // testOptions builds a small two-tier configuration that compacts readily.
+// Compaction runs in sync mode so every existing test stays deterministic:
+// stats and tier placement are exact at every step. Async-mode behavior is
+// covered separately in async_test.go.
 func testOptions() Options {
 	nvm := simdev.New(simdev.NVMParams(64 << 20))
 	flash := simdev.New(simdev.QLCParams(512 << 20))
 	return Options{
+		CompactionMode:   CompactionSync,
 		Partitions:       1,
 		NVM:              nvm,
 		Flash:            flash,

@@ -45,6 +45,11 @@ func Open(opts Options) (*DB, error) {
 		}
 		db.parts = append(db.parts, p)
 	}
+	if opts.CompactionMode == CompactionAsync {
+		for _, p := range db.parts {
+			p.startWorker()
+		}
+	}
 	return db, nil
 }
 
@@ -135,7 +140,8 @@ func (db *DB) Scan(start []byte, n int) ([]KV, time.Duration, error) {
 	return out, it.Latency(), nil
 }
 
-// Stats aggregates all partitions' counters plus live object counts.
+// Stats aggregates all partitions' counters plus live object counts and
+// the current background-compaction backlog.
 func (db *DB) Stats() Stats {
 	var s Stats
 	for _, p := range db.parts {
@@ -143,6 +149,16 @@ func (db *DB) Stats() Stats {
 		ps := p.stats
 		nvm, flash := p.objectCounts()
 		ps.NVMObjects, ps.FlashObjects = nvm, flash
+		ps.CompactionBacklog = 0
+		if p.bg.running {
+			ps.CompactionBacklog++
+		}
+		if p.bg.demotePending {
+			ps.CompactionBacklog++
+		}
+		if p.bg.promotePending {
+			ps.CompactionBacklog++
+		}
 		p.mu.Unlock()
 		s.add(ps)
 	}
@@ -177,11 +193,25 @@ func (db *DB) Elapsed() time.Duration {
 	return time.Duration(maxNs)
 }
 
+// DrainCompactions blocks (in host time) until every partition's
+// background compaction worker is idle with nothing queued. Under
+// CompactionSync it returns immediately. Tests and harnesses use it to
+// reach a settled state; it is safe to call after Close.
+func (db *DB) DrainCompactions() {
+	for _, p := range db.parts {
+		p.mu.Lock()
+		p.drainLocked()
+		p.mu.Unlock()
+	}
+}
+
 // AdvanceAll moves every partition clock to at least the global maximum,
-// including the completion of all in-flight background compactions, and
-// matures their reclaimed space. Harnesses call this between phases so
-// measurement starts from a settled state with a common time origin.
+// including the completion of all in-flight background compactions (async
+// workers are drained first), and matures their reclaimed space. Harnesses
+// call this between phases so measurement starts from a settled state with
+// a common time origin.
 func (db *DB) AdvanceAll() {
+	db.DrainCompactions()
 	now := int64(db.Elapsed())
 	for _, p := range db.parts {
 		p.mu.Lock()
@@ -270,15 +300,30 @@ func (db *DB) Partitions() int { return len(db.parts) }
 // Options returns the effective (defaulted) options.
 func (db *DB) Options() Options { return db.opts }
 
-// Close marks the DB closed. There is nothing to flush — all state is
-// already durable on the simulated devices (synchronous slab writes,
-// persisted manifests) — but after Close every operation fails with
-// ErrClosed, new iterators are born failed, and open iterators fail on
-// their next positioning call (their Close still releases pins normally).
-// Stats, Elapsed, and the other read-only accessors keep working, so a
-// shutting-down server can still report final counters. Close is
-// idempotent.
+// Close marks the DB closed and stops the background compaction workers
+// (async mode): each worker finishes the merge round it is in — a round
+// always commits or never started, so no half-applied state is left — then
+// exits; Close returns once all have. There is nothing to flush — all
+// state is already durable on the simulated devices (synchronous slab
+// writes, persisted manifests) — but after Close every operation fails
+// with ErrClosed, new iterators are born failed, and open iterators fail
+// on their next positioning call (their Close still releases pins
+// normally). Stats, Elapsed, and the other read-only accessors keep
+// working, so a shutting-down server can still report final counters.
+// Close is idempotent.
 func (db *DB) Close() error {
-	db.closed.Store(true)
+	if db.closed.Swap(true) {
+		return nil
+	}
+	for _, p := range db.parts {
+		if p.bg.done != nil {
+			p.stopWorker()
+		}
+	}
+	for _, p := range db.parts {
+		if p.bg.done != nil {
+			<-p.bg.done
+		}
+	}
 	return nil
 }

@@ -84,6 +84,40 @@ func DefaultReadTrigger(datasetKeys int) ReadTriggerOptions {
 	}
 }
 
+// CompactionMode selects where compaction work runs relative to the
+// foreground request path.
+type CompactionMode int
+
+const (
+	// CompactionAsync (the default) runs demotion and read-triggered
+	// compactions on a per-partition background worker: the trigger
+	// (watermark crossing, read-trigger state machine) enqueues a job and
+	// returns, so foreground operations only ever take short critical
+	// sections. The worker pins a manifest snapshot and a slab reclamation
+	// epoch, merges off-lock, and commits its index/bucket/tracker/manifest
+	// mutations under the partition lock with version-checked
+	// reconciliation (a key overwritten or deleted while the merge ran is
+	// never clobbered by the commit). The virtual-time model is unchanged —
+	// compaction I/O still runs on a background clock, its reclaimed space
+	// still matures at the job's virtual completion, and writers that
+	// outrun compaction still stall — but host wall-clock time no longer
+	// charges a whole multi-SST merge to one unlucky foreground write.
+	CompactionAsync CompactionMode = iota
+	// CompactionSync runs the whole compaction inline under the partition
+	// lock at the trigger point, exactly as before async compaction
+	// existed. Virtual-time results are bit-reproducible run to run, which
+	// is what the serial bench drivers and deterministic tests want.
+	CompactionSync
+)
+
+// String names the mode.
+func (m CompactionMode) String() string {
+	if m == CompactionSync {
+		return "sync"
+	}
+	return "async"
+}
+
 // Options configure a DB. NVM and Flash are required; zero values elsewhere
 // take the documented defaults.
 type Options struct {
@@ -136,6 +170,10 @@ type Options struct {
 
 	// ReadTrigger configures read-triggered compactions.
 	ReadTrigger ReadTriggerOptions
+
+	// CompactionMode selects background (async, the default) or inline
+	// (sync) compaction execution; see the constants for the trade-off.
+	CompactionMode CompactionMode
 
 	// KeyIndex maps a key to a dense index in [0, KeySpace), used for
 	// bucket statistics and range partitioning. Defaults to parsing the

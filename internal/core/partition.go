@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -49,12 +50,48 @@ type partition struct {
 
 	rt readTriggerState
 
+	// bg is the async-compaction worker state (CompactionAsync mode; the
+	// conds are tied to mu, and every field is guarded by it). Triggers
+	// set a pending flag and signal jobCond; the worker runs jobs in
+	// prepare (locked) → execute (unlocked) → commit (locked) phases and
+	// broadcasts commitCond after each round's commit and when it idles,
+	// waking admission-stalled writers and drainers.
+	bg struct {
+		jobCond    *sync.Cond
+		commitCond *sync.Cond
+
+		demotePending  bool
+		promotePending bool
+		running        bool
+		stopping       bool
+
+		// Virtual trigger timestamps: an async job's background clock
+		// starts where the sync job's would have — at the foreground
+		// clock of the op that armed it — so virtual-time results do not
+		// depend on how quickly the worker goroutine got scheduled.
+		demoteTriggerNs  int64
+		promoteTriggerNs int64
+
+		// In-flight demotion merge key range [lo, hi) (nil = ±∞). While
+		// active, a client delete inside it conservatively writes a
+		// tombstone even when flash holds no older version: the merge may
+		// be about to publish one (see del).
+		rangeActive      bool
+		rangeLo, rangeHi []byte
+
+		done chan struct{} // closed when the worker goroutine exits
+	}
+
 	// scanBufs is a small free list of NVM-cursor entry buffers recycled
 	// across iterators, and compArena the compactor's reusable
 	// demote-record buffer (both guarded by mu, like everything else on
-	// the partition).
+	// the partition). pinnedBuf and rangeBuf are likewise compaction
+	// scratch (single compaction thread), reused so the worker's LOCKED
+	// prepare phase allocates nothing per round.
 	scanBufs  [][]nvmEntry
 	compArena []byte
+	pinnedBuf [][]byte
+	rangeBuf  []candRange
 
 	// Hill-climbing threshold tuner state (§7.4 future work).
 	pinThreshold float64
@@ -121,6 +158,8 @@ func newPartition(id int, opts *Options) (*partition, error) {
 	p.bkt = buckets.New(opts.KeySpace, opts.BucketKeys)
 	p.pinThreshold = opts.PinningThreshold
 	p.tuneDir = opts.AutoTuneStep
+	p.bg.jobCond = sync.NewCond(&p.mu)
+	p.bg.commitCond = sync.NewCond(&p.mu)
 
 	var err error
 	p.slabs, err = slab.NewManager(opts.NVM, opts.Cache, fmt.Sprintf("p%d-slab", id), opts.SlabClasses)
@@ -217,16 +256,40 @@ type compJob struct {
 // admitWrite applies the rate-limiting model (§4.2): a space-consuming
 // write debits the partition's space credit; compaction reclaim matures at
 // each job's virtual completion. When credit runs dry the writer stalls
-// until the next job completes.
+// until the next job completes — virtually when a committed job's reclaim
+// is still maturing, and (async mode only) in host time when the reclaim
+// is still inside an uncommitted background merge, so a writer can never
+// outrun the worker unboundedly.
 func (p *partition) admitWrite(slotSize int64) {
 	p.matureCredit(p.clk.Now())
-	for p.spaceCredit < slotSize && len(p.compQueue) > 0 {
-		next := p.compQueue[0].endAt
-		p.stallTo(next)
-		p.matureCredit(p.clk.Now())
+	hardStalled := false
+	for p.spaceCredit < slotSize {
+		if len(p.compQueue) > 0 {
+			p.stallTo(p.compQueue[0].endAt)
+			p.matureCredit(p.clk.Now())
+			continue
+		}
+		if (p.bg.running || p.bg.demotePending) && !p.bg.stopping {
+			// A background job holds the space this write needs. Block
+			// (releasing the partition lock) until its next commit banks
+			// reclaim into compQueue, then stall virtually as usual. One
+			// write counts as one hard stall however many chunk commits
+			// it waits through.
+			if !hardStalled {
+				hardStalled = true
+				p.stats.CompactionHardStalls++
+			}
+			t0 := time.Now()
+			p.bg.commitCond.Wait()
+			p.stats.CompactionHardStallTime += time.Since(t0)
+			p.matureCredit(p.clk.Now())
+			continue
+		}
+		// No job can free anything: the bookkept space is authoritative
+		// (the watermark trigger will start a job on this very write if
+		// needed).
+		break
 	}
-	// With no pending jobs the bookkept space is authoritative (the
-	// watermark trigger will start a job on this very write if needed).
 	p.spaceCredit -= slotSize
 }
 
@@ -257,13 +320,13 @@ func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, 
 	cpu := p.opts.CPU
 	p.chargeCPU(p.clk, cpu.OpBase+cpu.IndexOp)
 
-	rec := slab.Record{Key: key, Value: value, Version: p.nextVersion, Tombstone: tomb}
+	rec := slab.Record{Key: key, Value: value, Tombstone: tomb}
 	ci := p.slabs.ClassOf(len(key), len(value))
 	if ci < 0 {
 		return 0, fmt.Errorf("core: object of %d bytes too large", len(key)+len(value))
 	}
-	p.nextVersion++
 	idx := p.opts.KeyIndex(key)
+	fastInPlace := false
 	if v, ok := p.index.Get(key); ok {
 		loc := slab.Loc(v)
 		if loc.Class() == ci && !p.slabs.Pinned() {
@@ -271,47 +334,86 @@ func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, 
 			// consumed, so they are never rate-limited (§4.1). With an
 			// open scan epoch the update instead goes copy-on-write
 			// below, so pinned iterators keep their snapshot value.
+			rec.Version = p.takeVersion()
 			if err := p.slabs.Update(p.clk, loc, rec); err != nil {
 				return 0, err
 			}
 			p.stats.InPlaceUpdates++
-		} else {
-			// Changed size class: delete + fresh insert (§6). The old
-			// slot's space returns to the admission credit immediately.
-			p.admitWrite(int64(p.slabs.ClassSize(ci)))
-			oldSlot := int64(p.slabs.SlotSize(loc))
-			if err := p.slabs.Delete(p.clk, loc); err != nil {
-				return 0, err
+			fastInPlace = true
+		}
+	}
+	if !fastInPlace {
+		// A new slot will be consumed: class change, copy-on-write under a
+		// pinned epoch, or fresh insert. Admission may release the
+		// partition lock (async hard stall on an uncommitted merge), so
+		// the index is re-consulted — and the version taken — only after
+		// it returns: a background commit may have demoted, promoted, or
+		// freed this key's slot while the writer was blocked, and stale
+		// state here would double-free a recycled slot.
+		p.admitWrite(int64(p.slabs.ClassSize(ci)))
+		rec.Version = p.takeVersion()
+		if v, ok := p.index.Get(key); ok {
+			loc := slab.Loc(v)
+			if loc.Class() == ci && !p.slabs.Pinned() {
+				// Became updatable in place while stalled (e.g. the merge
+				// holding the epoch pin committed): reuse the slot and
+				// refund the admission debit for the slot we won't take.
+				p.spaceCredit += int64(p.slabs.ClassSize(ci))
+				if err := p.slabs.Update(p.clk, loc, rec); err != nil {
+					return 0, err
+				}
+				p.stats.InPlaceUpdates++
+			} else {
+				// Changed size class (or pinned epoch): delete + fresh
+				// insert (§6). The old slot's space returns to the
+				// admission credit immediately.
+				oldSlot := int64(p.slabs.SlotSize(loc))
+				if err := p.slabs.Delete(p.clk, loc); err != nil {
+					return 0, err
+				}
+				p.spaceCredit += oldSlot
+				newLoc, err := p.slabs.Put(p.clk, rec)
+				if err != nil {
+					return 0, err
+				}
+				p.index.Insert(key, uint64(newLoc))
+				p.stats.SlabMoves++
 			}
-			p.spaceCredit += oldSlot
-			newLoc, err := p.slabs.Put(p.clk, rec)
+		} else {
+			loc, err := p.slabs.Put(p.clk, rec)
 			if err != nil {
 				return 0, err
 			}
-			p.index.Insert(key, uint64(newLoc))
-			p.stats.SlabMoves++
+			// The index retains the key slice for the life of the entry
+			// (iterator snapshots alias it), so a fresh insert takes a private
+			// copy — network callers recycle their argument buffers between
+			// commands. Existing-key paths replace only the stored value.
+			p.index.Insert(append([]byte(nil), key...), uint64(loc))
+			p.bkt.OnPut(idx)
+			p.stats.FreshInserts++
 		}
-	} else {
-		p.admitWrite(int64(p.slabs.ClassSize(ci)))
-		loc, err := p.slabs.Put(p.clk, rec)
-		if err != nil {
-			return 0, err
-		}
-		// The index retains the key slice for the life of the entry
-		// (iterator snapshots alias it), so a fresh insert takes a private
-		// copy — network callers recycle their argument buffers between
-		// commands. Existing-key paths replace only the stored value.
-		p.index.Insert(append([]byte(nil), key...), uint64(loc))
-		p.bkt.OnPut(idx)
-		p.stats.FreshInserts++
 	}
-	p.touch(key, idx, tracker.NVM)
 	if clientOp {
+		// Internal writes (the tombstone a Delete routes through here)
+		// must NOT touch the popularity tracker: the delete just Forgot
+		// the key, and re-inserting it would evict a live hot key, re-mark
+		// the bucket hot, and let ShouldPin pin the tombstone in NVM so it
+		// never demotes or annihilates.
+		p.touch(key, idx, tracker.NVM)
 		p.stats.Puts++
 	}
 	p.maybeCompact()
 	p.rt.onOp(p, false)
 	return time.Duration(p.clk.Now() - start), nil
+}
+
+// takeVersion hands out the next slab-record version. Taken at write time
+// (after any admission stall), so versions per key stay monotone in lock
+// order — what crash recovery's keep-the-newest rule depends on.
+func (p *partition) takeVersion() uint64 {
+	v := p.nextVersion
+	p.nextVersion++
+	return v
 }
 
 // touch updates the tracker and popularity bitmap for an access. The
@@ -429,7 +531,11 @@ func (p *partition) del(key []byte) (time.Duration, error) {
 		p.spaceCredit += oldSlot
 	}
 	// Does flash possibly hold an older version? (Disjoint sorted tables:
-	// binary-search the one candidate.)
+	// binary-search the one candidate.) While an async demotion merge
+	// covering this key is in flight, the answer must be a conservative
+	// yes: the merge may be about to publish an NVM version of the key to
+	// flash, and only a tombstone keeps it from resurrecting after the
+	// merge commits.
 	flashMay := false
 	snap := p.man.Acquire()
 	if t := snap.Find(key); t != nil {
@@ -437,28 +543,37 @@ func (p *partition) del(key []byte) (time.Duration, error) {
 		flashMay = t.MayContain(key)
 	}
 	snap.Release()
+	if !flashMay && p.bg.rangeActive && inRange(key, p.bg.rangeLo, p.bg.rangeHi) {
+		flashMay = true
+	}
 	p.trk.Forget(key)
 	p.bkt.OnCold(idx)
 	p.stats.Deletes++
+	// The delete's reported latency is composed from its two phases'
+	// durations, not from re-reading the shared clock after the tombstone
+	// put: ops interleaved from other clients in the unlock window would
+	// otherwise be billed to this delete.
+	lat := time.Duration(p.clk.Now() - start)
 	p.mu.Unlock()
 
 	if flashMay {
 		// Fresh tombstone insert (goes through the normal put path,
 		// including watermark checks, but as an internal write: it is
 		// part of the delete, not a client put, so it never touches the
-		// Puts counter).
-		if _, err := p.put(key, nil, true, false); err != nil {
+		// Puts counter or the popularity tracker).
+		tombLat, err := p.put(key, nil, true, false)
+		if err != nil {
 			return 0, err
 		}
-		p.mu.Lock()
-		lat := time.Duration(p.clk.Now() - start)
-		p.mu.Unlock()
-		return lat, nil
+		lat += tombLat
 	}
-	p.mu.Lock()
-	lat := time.Duration(p.clk.Now() - start)
-	p.mu.Unlock()
 	return lat, nil
+}
+
+// inRange reports whether key falls in [lo, hi), nil bounds meaning ±∞.
+func inRange(key, lo, hi []byte) bool {
+	return (lo == nil || bytes.Compare(key, lo) >= 0) &&
+		(hi == nil || bytes.Compare(key, hi) < 0)
 }
 
 // KV is a scan result element.

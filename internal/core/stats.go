@@ -66,6 +66,25 @@ type Stats struct {
 	WriteStalls    int64
 	WriteStallTime time.Duration
 
+	// Async-compaction activity (CompactionAsync mode; all zero under
+	// CompactionSync).
+	//
+	// CompactionBacklog is a gauge: background jobs currently pending or
+	// running across partitions at the moment Stats was taken.
+	CompactionBacklog int64
+	// CommitConflicts counts per-key commit skips: a key the background
+	// merge demoted (or whose tombstone it annihilated) that was
+	// overwritten or deleted by a foreground op while the merge ran, so
+	// the commit's reconciliation left the newer foreground version alone.
+	CommitConflicts int64
+	// CompactionHardStalls counts foreground writes that exhausted the
+	// space-admission credit with no matured reclaim available and
+	// host-blocked until the background worker's next commit.
+	// CompactionHardStallTime is the total host (wall-clock, not virtual)
+	// time those writes spent blocked.
+	CompactionHardStalls    int64
+	CompactionHardStallTime time.Duration
+
 	// Objects currently resident per tier.
 	NVMObjects   int64
 	FlashObjects int64
@@ -96,6 +115,10 @@ func (s *Stats) add(o Stats) {
 	s.FlashBytesWritten += o.FlashBytesWritten
 	s.WriteStalls += o.WriteStalls
 	s.WriteStallTime += o.WriteStallTime
+	s.CompactionBacklog += o.CompactionBacklog
+	s.CommitConflicts += o.CommitConflicts
+	s.CompactionHardStalls += o.CompactionHardStalls
+	s.CompactionHardStallTime += o.CompactionHardStallTime
 	s.NVMObjects += o.NVMObjects
 	s.FlashObjects += o.FlashObjects
 }

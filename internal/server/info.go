@@ -70,7 +70,17 @@ func (s *Server) info(section string) string {
 		fmt.Fprintf(&b, "read_triggered_compactions:%d\r\n", st.ReadTriggeredComps)
 		fmt.Fprintf(&b, "demoted:%d\r\n", st.Demoted)
 		fmt.Fprintf(&b, "promoted:%d\r\n", st.Promoted)
+		fmt.Fprintf(&b, "dropped_tombstones:%d\r\n", st.DroppedTombstones)
 		fmt.Fprintf(&b, "write_stalls:%d\r\n", st.WriteStalls)
+		fmt.Fprintf(&b, "write_stall_virt_ms:%.3f\r\n", float64(st.WriteStallTime)/1e6)
+		// Async-compaction health: how much background work is in flight
+		// right now, how often commits skipped keys a foreground op beat
+		// them to, and how often (and for how long, in wall-clock time)
+		// writes host-blocked on an uncommitted merge.
+		fmt.Fprintf(&b, "compaction_backlog:%d\r\n", st.CompactionBacklog)
+		fmt.Fprintf(&b, "compaction_commit_conflicts:%d\r\n", st.CommitConflicts)
+		fmt.Fprintf(&b, "compaction_hard_stalls:%d\r\n", st.CompactionHardStalls)
+		fmt.Fprintf(&b, "compaction_hard_stall_wall_ms:%.3f\r\n", float64(st.CompactionHardStallTime)/1e6)
 		fmt.Fprintf(&b, "nvm_objects:%d\r\n", st.NVMObjects)
 		fmt.Fprintf(&b, "flash_objects:%d\r\n", st.FlashObjects)
 		fmt.Fprintf(&b, "elapsed_virtual_ms:%.3f\r\n", float64(s.eng.Elapsed())/1e6)

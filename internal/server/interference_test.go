@@ -1,0 +1,194 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/prismdb/prismdb/internal/core"
+	"github.com/prismdb/prismdb/internal/metrics"
+	"github.com/prismdb/prismdb/internal/simdev"
+)
+
+// benchCompactionInterference measures foreground interference from
+// compaction on the serving path: a write-heavy SET stream (the prismload
+// shape) over loopback against an engine whose NVM budget is small enough
+// that demotion merges run steadily, reporting wall-clock SET p50/p99.
+// Under sync compaction one unlucky SET pays a whole multi-SST merge
+// inline under the partition lock — and every client with an op in flight
+// at that partition waits out the burst with it; under async compaction
+// the trigger only flags the background worker and serving continues.
+// The Sync/Async/None trio lands in BENCH_<date>.json as the PR's tracked
+// interference rows: None (budget too large to ever compact) is the
+// serving-path baseline, so each mode's p99 EXCESS over it is its
+// compaction-interference cost. On a multi-core host the async worker
+// runs on its own core and async p99 sits at the baseline; on a
+// single-core host (this repo's CI container) the worker must time-share
+// the serving core — its throttling yields keep the async tail within a
+// few× of baseline while inline merges push the sync tail roughly an
+// order of magnitude above it.
+//
+// noCompaction inflates the budget so the watermark never trips — the
+// identical client load with zero merges.
+func benchCompactionInterference(b *testing.B, mode core.CompactionMode, noCompaction bool) {
+	budget := int64(8 << 20)
+	if noCompaction {
+		budget = 512 << 20
+	}
+	opts := core.Options{
+		CompactionMode:   mode,
+		Partitions:       4,
+		NVM:              simdev.New(simdev.NVMParams(1 << 30)),
+		Flash:            simdev.New(simdev.QLCParams(1 << 30)),
+		Cache:            simdev.NewPageCache(1 << 20),
+		NVMBudget:        budget,
+		TrackerCapacity:  4096,
+		PinningThreshold: 0.7,
+		KeySpace:         1 << 20,
+		BucketKeys:       256,
+		TargetSSTBytes:   48 << 10,
+		// The paper's 98%/95% watermarks assume GBs of NVM headroom; at a
+		// scaled-down budget that band is a handful of objects wide and
+		// EVERY writer immediately exhausts its admission credit —
+		// serializing on compaction in both modes regardless of where the
+		// merge runs. A scaled band (as the bench harness uses) keeps
+		// credit headroom realistic relative to the write rate, so the
+		// modes differ by their actual mechanism: who pays the merge's
+		// wall-clock time. The narrow band keeps each demotion job small
+		// (tens of KB demoted per partition, but every round still reads
+		// and rewrites its whole SST overlap — a multi-millisecond burst)
+		// and frequent (every ~100 SETs), so the bursts a sync-mode
+		// foreground pays land squarely inside the p99 instead of hiding
+		// in the p99.9.
+		HighWatermark: 0.90,
+		LowWatermark:  0.89,
+		Seed:          1,
+	}
+	db, err := core.Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	_, dial := startServer(b, db)
+
+	// Closed-loop client (prismload's shape; depth 1 = unpipelined): each
+	// SET's wall latency is one request-reply round trip, so an inline
+	// merge shows up in exactly the op that paid it. One connection keeps
+	// the single-core CI container out of saturation — the comparison is
+	// about who pays for the merge, not about queueing at capacity; raise
+	// conns/depth on real multi-core hosts to add the convoy effects.
+	const (
+		conns   = 1
+		depth   = 1
+		perConn = 36000
+	)
+	val := bytes.Repeat([]byte{'v'}, 512)
+
+	// Keys are drawn uniformly from the whole key space: spread inserts
+	// keep every candidate range populated, so demotion jobs stay small
+	// and frequent (sequential keys would funnel all fresh data into the
+	// one unbounded tail range, turning compaction into a handful of huge
+	// merges the p99 never samples). Preload to just under the trigger so
+	// the measured stream runs in compaction steady state from its first
+	// window.
+	keyOf := func(rng *rand.Rand) []byte {
+		return []byte(fmt.Sprintf("user%08d", rng.Intn(1<<20)))
+	}
+	preRNG := rand.New(rand.NewSource(7))
+	preload := int(float64(opts.NVMBudget) * 0.85 / 768) // 768 B slab class
+	for i := 0; i < preload; i++ {
+		if _, err := db.Put(keyOf(preRNG), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	hist := metrics.NewHistogram()
+	var mu sync.Mutex
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, 2*conns)
+		for c := 0; c < conns; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				nc := dial()
+				defer nc.Close()
+				br := bufio.NewReaderSize(nc, 64<<10)
+				bw := bufio.NewWriterSize(nc, 64<<10)
+				local := metrics.NewHistogram()
+				rng := rand.New(rand.NewSource(int64(1000 + iter*conns + c)))
+				for off := 0; off < perConn; off += depth {
+					n := depth
+					if off+n > perConn {
+						n = perConn - off
+					}
+					for i := 0; i < n; i++ {
+						k := keyOf(rng)
+						fmt.Fprintf(bw, "*3\r\n$3\r\nSET\r\n$%d\r\n%s\r\n$%d\r\n", len(k), k, len(val))
+						bw.Write(val)
+						bw.WriteString("\r\n")
+					}
+					t0 := time.Now()
+					if err := bw.Flush(); err != nil {
+						errs <- err
+						return
+					}
+					for i := 0; i < n; i++ {
+						rep, err := ReadReply(br)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if rep.IsErr() {
+							errs <- fmt.Errorf("SET failed: %s", rep.Str)
+							return
+						}
+						local.Record(time.Since(t0))
+					}
+				}
+				mu.Lock()
+				hist.Merge(local)
+				mu.Unlock()
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(hist.Quantile(0.5))/1e3, "set-p50-us")
+	b.ReportMetric(float64(hist.Quantile(0.99))/1e3, "set-p99-us")
+	b.ReportMetric(float64(hist.Max())/1e3, "set-max-us")
+	st := db.Stats()
+	if !noCompaction && st.Compactions == 0 {
+		b.Fatal("interference bench never compacted; shrink the budget")
+	}
+	b.ReportMetric(float64(st.Compactions)/float64(b.N), "compaction-rounds/run")
+	b.ReportMetric(float64(st.CompactionHardStalls)/float64(b.N), "hard-stalls/run")
+}
+
+// BenchmarkCompactionInterferenceSync: write-heavy SET latency with
+// inline (foreground) compaction.
+func BenchmarkCompactionInterferenceSync(b *testing.B) {
+	benchCompactionInterference(b, core.CompactionSync, false)
+}
+
+// BenchmarkCompactionInterferenceAsync: the same stream with background
+// compaction workers (the default mode).
+func BenchmarkCompactionInterferenceAsync(b *testing.B) {
+	benchCompactionInterference(b, core.CompactionAsync, false)
+}
+
+// BenchmarkCompactionInterferenceNone: the same client load with a budget
+// too large to ever compact — the baseline the other two rows' p99 excess
+// is measured against.
+func BenchmarkCompactionInterferenceNone(b *testing.B) {
+	benchCompactionInterference(b, core.CompactionSync, true)
+}

@@ -15,12 +15,57 @@ import (
 // Device.Access with whatever clock-and-batching policy fits their layer
 // (e.g. the slab layer charges one page write per Put; the SST layer charges
 // one large sequential write per flush).
+//
+// Storage is a list of fixed-size extents rather than one contiguous
+// buffer: growing a file allocates new extents and never moves existing
+// bytes. With a single backing slice, the append that extended a multi-MB
+// slab file would periodically reallocate-and-copy the whole file — a
+// multi-millisecond stall billed to whichever foreground write triggered
+// the grow, which is exactly the class of latency artifact the simulation
+// exists to measure honestly.
 type File struct {
 	dev  *Device
 	name string
 
-	mu   sync.RWMutex
-	data []byte
+	mu      sync.RWMutex
+	size    int64
+	extents [][]byte
+}
+
+// extentBytes is the file extent size. Slab files grow in 64 KiB steps and
+// SSTs flush in one append, so 256 KiB keeps the extent count small while
+// bounding any single allocation.
+const extentBytes = 256 << 10
+
+// ensure grows the extent list (zero-filled) to cover n bytes. Caller
+// holds f.mu.
+func (f *File) ensure(n int64) {
+	need := int((n + extentBytes - 1) / extentBytes)
+	for len(f.extents) < need {
+		f.extents = append(f.extents, make([]byte, extentBytes))
+	}
+}
+
+// readLocked copies [off, off+len(buf)) into buf. Caller holds f.mu and
+// has bounds-checked.
+func (f *File) readLocked(buf []byte, off int64) {
+	for len(buf) > 0 {
+		ext := f.extents[off/extentBytes]
+		n := copy(buf, ext[off%extentBytes:])
+		buf = buf[n:]
+		off += int64(n)
+	}
+}
+
+// writeLocked copies data into [off, off+len(data)). Caller holds f.mu and
+// has bounds-checked; extents must already cover the range.
+func (f *File) writeLocked(data []byte, off int64) {
+	for len(data) > 0 {
+		ext := f.extents[off/extentBytes]
+		n := copy(ext[off%extentBytes:], data)
+		data = data[n:]
+		off += int64(n)
+	}
 }
 
 // CreateFile creates an empty file. It fails if the name exists.
@@ -66,8 +111,9 @@ func (d *Device) RemoveFile(name string) error {
 	delete(d.files, name)
 	d.mu.Unlock()
 	f.mu.Lock()
-	n := int64(len(f.data))
-	f.data = nil
+	n := f.size
+	f.size = 0
+	f.extents = nil
 	f.mu.Unlock()
 	d.release(n)
 	return nil
@@ -93,7 +139,7 @@ func (f *File) Name() string { return f.name }
 func (f *File) Size() int64 {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	return int64(len(f.data))
+	return f.size
 }
 
 // Truncate grows the file to n bytes (zero-filled), reserving capacity.
@@ -102,14 +148,15 @@ func (f *File) Size() int64 {
 func (f *File) Truncate(n int64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	grow := n - int64(len(f.data))
+	grow := n - f.size
 	if grow <= 0 {
 		return nil
 	}
 	if err := f.dev.allocate(grow); err != nil {
 		return err
 	}
-	f.data = append(f.data, make([]byte, grow)...)
+	f.ensure(n)
+	f.size = n
 	return nil
 }
 
@@ -121,8 +168,10 @@ func (f *File) Append(data []byte) (off int64, err error) {
 	if err := f.dev.allocate(int64(len(data))); err != nil {
 		return 0, err
 	}
-	off = int64(len(f.data))
-	f.data = append(f.data, data...)
+	off = f.size
+	f.ensure(off + int64(len(data)))
+	f.size = off + int64(len(data))
+	f.writeLocked(data, off)
 	return off, nil
 }
 
@@ -131,11 +180,11 @@ func (f *File) Append(data []byte) (off int64, err error) {
 func (f *File) WriteAt(data []byte, off int64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if off < 0 || off+int64(len(data)) > int64(len(f.data)) {
+	if off < 0 || off+int64(len(data)) > f.size {
 		return fmt.Errorf("simdev: WriteAt [%d,%d) out of range for %q (size %d)",
-			off, off+int64(len(data)), f.name, len(f.data))
+			off, off+int64(len(data)), f.name, f.size)
 	}
-	copy(f.data[off:], data)
+	f.writeLocked(data, off)
 	return nil
 }
 
@@ -144,11 +193,11 @@ func (f *File) WriteAt(data []byte, off int64) error {
 func (f *File) ReadAt(buf []byte, off int64) error {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	if off < 0 || off+int64(len(buf)) > int64(len(f.data)) {
+	if off < 0 || off+int64(len(buf)) > f.size {
 		return fmt.Errorf("simdev: ReadAt [%d,%d) out of range for %q (size %d)",
-			off, off+int64(len(buf)), f.name, len(f.data))
+			off, off+int64(len(buf)), f.name, f.size)
 	}
-	copy(buf, f.data[off:])
+	f.readLocked(buf, off)
 	return nil
 }
 

@@ -153,6 +153,84 @@ func (m *Manager) UnpinEpoch() {
 	m.deferred = m.deferred[:0]
 }
 
+// UnpinEpochDeferred closes an epoch like UnpinEpoch but hands the
+// finishing work to the caller: when the last pin releases, the deferred
+// slots are returned un-zeroed and un-recycled (and the deferred list is
+// reset). The caller zeroes them with ZeroSlot — which is safe to call
+// WITHOUT the owner's lock — and then returns them to the free heaps with
+// RecycleSlots under the lock. Background compaction commits use this to
+// keep the per-slot zeroing writes out of the partition's critical
+// section. While pins remain (or nothing was deferred) it returns nil.
+func (m *Manager) UnpinEpochDeferred() []Loc {
+	m.pins--
+	if m.pins > 0 {
+		return nil
+	}
+	if m.pins < 0 {
+		panic("slab: UnpinEpochDeferred without matching PinEpoch")
+	}
+	locs := m.deferred
+	m.deferred = nil
+	return locs
+}
+
+// ZeroSlot zeroes a freed slot's header (crash safety: a recovery scan
+// must not resurrect it). It touches only the slab file, which is
+// internally synchronized, so — unlike every other Manager method — it may
+// run concurrently with foreground operations, PROVIDED the slot is
+// logically free and unreachable (e.g. it came from UnpinEpochDeferred).
+// The device-time charge for this write was already taken at free time.
+func (m *Manager) ZeroSlot(loc Loc) error {
+	// No nSlots bounds check: that field is mutated by (owner-locked)
+	// grows this method must not race with; the loc's validity is the
+	// caller's contract, and the file itself still bounds-checks.
+	ci := loc.Class()
+	if ci < 0 || ci >= len(m.slabs) {
+		return fmt.Errorf("slab: bad class %d in loc", ci)
+	}
+	sf := m.slabs[ci]
+	var hdr [headerSize]byte
+	off := int64(loc.Slot()) * int64(sf.slotSize)
+	return sf.file.WriteAt(hdr[:], off)
+}
+
+// RecycleSlots returns zeroed slots to their free heaps (owner-locked,
+// like the rest of the Manager).
+func (m *Manager) RecycleSlots(locs []Loc) {
+	for _, loc := range locs {
+		heap.Push(&m.slabs[loc.Class()].free, loc.Slot())
+	}
+}
+
+// ReadSlotInto reads the record at loc into buf (grown as needed),
+// returning views into it. It deliberately avoids the Manager's shared
+// scratch buffer and touches only internally-synchronized state (the slab
+// file, the page cache, the device), so it may run concurrently with
+// foreground operations on the same Manager — the background compactor's
+// record reads use it off the partition lock. The caller must guarantee
+// loc stays valid for the duration: an open reclamation epoch covering the
+// slot (freed slots stay readable, updates go copy-on-write) is exactly
+// that guarantee.
+func (m *Manager) ReadSlotInto(clk *simdev.Clock, loc Loc, buf []byte) (Record, []byte, error) {
+	// See ZeroSlot for why there is no nSlots bounds check here.
+	ci := loc.Class()
+	if ci < 0 || ci >= len(m.slabs) {
+		return Record{}, buf, fmt.Errorf("slab: bad class %d in loc", ci)
+	}
+	sf := m.slabs[ci]
+	if cap(buf) < sf.slotSize {
+		buf = make([]byte, sf.slotSize)
+	}
+	buf = buf[:sf.slotSize]
+	off := int64(loc.Slot()) * int64(sf.slotSize)
+	if err := sf.file.ReadAt(buf, off); err != nil {
+		return Record{}, buf, err
+	}
+	m.chargeRead(clk, sf, off, int64(sf.slotSize))
+	rec, err := decodeView(buf)
+	return rec, buf, err
+}
+
 // Pinned reports whether a reclamation epoch is open. The engine's write
 // path consults it to turn in-place updates into copy-on-write ones, so a
 // pinned reader never observes a value written after its snapshot.

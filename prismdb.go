@@ -99,6 +99,51 @@
 // snapshot, values land in a reused buffer), pinned by a
 // testing.AllocsPerRun guard like the read path's.
 //
+// # Compaction
+//
+// Compactions — the demotion merges that move cold objects from NVM to
+// flash when usage crosses the high watermark, and the read-triggered
+// promotion merges that bring hot flash objects back — run in one of two
+// execution modes (Options.CompactionMode):
+//
+// CompactionAsync (default): each partition owns a background worker. The
+// trigger (watermark crossing, read-trigger state machine) enqueues a job
+// and returns, so a foreground SET never pays a multi-SST merge in
+// wall-clock time. The worker splits every merge round into prepare
+// (classify and read the demoting records under the partition lock, pin a
+// manifest snapshot and a slab reclamation epoch), execute (read the
+// overlapping SSTs, merge, and write the output SSTs with the lock
+// released — foreground gets/puts/scans proceed concurrently), and commit
+// (re-take the lock and reconcile: a key overwritten or deleted while the
+// merge ran keeps its newer foreground version — the pinned epoch forces
+// such writes copy-on-write, so an unchanged slot location proves an
+// unchanged record — and everything else flips index/bucket/tracker/
+// manifest state exactly as an inline merge would; skipped keys count in
+// Stats.CommitConflicts). Writers whose space-admission credit runs dry
+// while reclaim is still inside an uncommitted merge block until the next
+// commit (Stats.CompactionHardStalls), so writes can never outrun the
+// worker unboundedly.
+//
+// CompactionSync: the whole merge runs inline under the partition lock at
+// the trigger point. Virtual-time results are bit-reproducible, which the
+// serial bench drivers and deterministic tests rely on; the cost is that
+// one unlucky foreground write absorbs the merge's wall-clock time and
+// every other client on the partition queues behind it.
+//
+// Both modes share the same virtual-time model: compaction I/O runs on a
+// background-priority clock serialized per partition (a new job starts no
+// earlier than the previous one's virtual completion), and each round's
+// reclaimed space only becomes admissible when the round's virtual I/O
+// completes — writes that outrun compaction stall (§4.2). Knobs that
+// matter: HighWatermark/LowWatermark set the trigger point and the
+// per-job demotion target (their gap bounds how much one job does),
+// PinningThreshold and TrackerCapacity decide what demotes at all,
+// RangeFiles/PowerK/Policy shape range selection, and Promotions plus
+// ReadTrigger govern the promotion side. DrainCompactions (and
+// AdvanceAll, which calls it) waits for background workers to go idle —
+// call it before asserting on Stats or NVM usage in tests and harness
+// phase boundaries.
+//
 // # Serving
 //
 // The repo ships a network front end so the engine can serve real traffic:
@@ -149,6 +194,9 @@ type (
 	Iterator = core.Iterator
 	// CPUCosts is the engine's CPU cost model.
 	CPUCosts = core.CPUCosts
+	// CompactionMode selects background (async) or inline (sync)
+	// compaction execution; see the package docs' Compaction section.
+	CompactionMode = core.CompactionMode
 	// ReadTriggerOptions configure read-triggered compactions.
 	ReadTriggerOptions = core.ReadTriggerOptions
 	// Device is a simulated NVMe device.
@@ -174,6 +222,17 @@ const (
 	ApproxMSC  = msc.Approx
 	PreciseMSC = msc.Precise
 	RandomSel  = msc.Random
+)
+
+// Compaction execution modes.
+const (
+	// CompactionAsync runs compactions on per-partition background
+	// workers (the default).
+	CompactionAsync = core.CompactionAsync
+	// CompactionSync runs compactions inline under the partition lock
+	// (bit-reproducible virtual time; deterministic tests and serial
+	// benches).
+	CompactionSync = core.CompactionSync
 )
 
 // ErrClosed is returned by every operation issued after Close (and by
@@ -315,9 +374,13 @@ func (db *DB) ResetStats() { db.inner.ResetStats() }
 // Elapsed returns the virtual wall-clock time consumed so far.
 func (db *DB) Elapsed() time.Duration { return db.inner.Elapsed() }
 
-// AdvanceAll aligns all partition clocks to the global maximum (call
-// between experiment phases).
+// AdvanceAll aligns all partition clocks to the global maximum, draining
+// background compaction workers first (call between experiment phases).
 func (db *DB) AdvanceAll() { db.inner.AdvanceAll() }
+
+// DrainCompactions blocks until every partition's background compaction
+// worker is idle (no-op under CompactionSync).
+func (db *DB) DrainCompactions() { db.inner.DrainCompactions() }
 
 // ClockDistribution returns the tracker's clock-value histogram (Fig 5).
 func (db *DB) ClockDistribution() [tracker.MaxClock + 1]int {

@@ -32,6 +32,9 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// RecommendedConfig compacts in the background (CompactionAsync):
+	// settle the workers before asserting on compaction counters.
+	db.DrainCompactions()
 	st := db.Stats()
 	if st.Compactions == 0 {
 		t.Fatal("expected compactions at this fill level")

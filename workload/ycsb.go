@@ -20,6 +20,9 @@ const (
 	OpScan
 	// OpRMW is a read-modify-write (YCSB-F).
 	OpRMW
+	// OpDelete removes a key (tombstone churn; not part of the core YCSB
+	// letters, used by the delete-heavy mix).
+	OpDelete
 )
 
 // String names the op.
@@ -35,6 +38,8 @@ func (k OpKind) String() string {
 		return "scan"
 	case OpRMW:
 		return "rmw"
+	case OpDelete:
+		return "delete"
 	}
 	return "unknown"
 }
@@ -49,7 +54,7 @@ type Op struct {
 
 // Mix is the operation proportions of a workload.
 type Mix struct {
-	Read, Update, Insert, Scan, RMW float64
+	Read, Update, Insert, Scan, RMW, Delete float64
 }
 
 // Distribution selects the key popularity model.
@@ -112,6 +117,27 @@ func YCSB(w byte, keys, valueSize int, theta float64, seed int64) (Config, error
 		return c, fmt.Errorf("workload: unknown YCSB workload %q", w)
 	}
 	return c, nil
+}
+
+// DeleteHeavy returns a YCSB-style delete-heavy churn mix (~25% DEL): reads
+// dominate the remainder, inserts replace the deleted population so the
+// dataset size stays roughly stable, and the zipfian draw means hot keys
+// are deleted and re-created continuously — the workload that exercises
+// tombstone annihilation, tracker eviction on delete, and NVM space
+// reclaim. theta 0 takes the YCSB default 0.99.
+func DeleteHeavy(keys, valueSize int, theta float64, seed int64) Config {
+	if theta == 0 {
+		theta = 0.99
+	}
+	return Config{
+		Name:      "delete-heavy",
+		Keys:      keys,
+		Mix:       Mix{Read: 0.40, Update: 0.10, Insert: 0.25, Delete: 0.25},
+		Dist:      DistZipfian,
+		Theta:     theta,
+		ValueSize: valueSize,
+		Seed:      seed,
+	}
 }
 
 // Twitter returns a synthetic equivalent of one of the paper's three
@@ -272,6 +298,8 @@ func (g *Generator) Next() Op {
 			ln = 1 + g.rng.Intn(g.cfg.MaxScanLen)
 		}
 		return Op{Kind: OpScan, Key: KeyOf(g.nextKeyIdx()), ScanLen: ln}
+	case r < m.Read+m.Update+m.Insert+m.Scan+m.Delete:
+		return Op{Kind: OpDelete, Key: KeyOf(g.nextKeyIdx())}
 	default:
 		return Op{Kind: OpRMW, Key: KeyOf(g.nextKeyIdx()), Value: g.valueFor(g.rng)}
 	}
