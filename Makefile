@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench serve-smoke
+.PHONY: build vet test race bench bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -10,20 +10,23 @@ vet:
 
 # vet + unit tests (includes the wire-path malformed-RESP table) + a -race
 # pass over the scan-stress, parallel-driver, concurrent-pipelined-client,
-# and async-compaction tests (the paths with cross-goroutine iterators,
-# epoch pins, shared devices, one server serving many connections, and
-# background merge commits racing put/get/scan/close).
+# async-compaction, and lock-free-read tests (the paths with cross-goroutine
+# iterators, epoch pins, shared devices, one server serving many
+# connections, background merge commits racing put/get/scan/close, and
+# lock-free GETs racing all of the above plus Close).
 test: vet
 	$(GO) test ./...
 	$(GO) test -race -run 'ConcurrentScansUnderWrites|ConcurrentOpsAcrossPartitions|ParallelScanAccounting' ./internal/core/ ./bench/
 	$(GO) test -race -run 'AsyncConcurrentOpsRaceMergeCommit|AsyncCloseRacesMergeCommit|AsyncModelBasedChurn' ./internal/core/
+	$(GO) test -race -run 'LockFreeGetRacesMutators' ./internal/core/
+	$(GO) test -race -run 'SnapshotConcurrentReads' ./internal/btree/
 	$(GO) test -race -run 'ConcurrentPipelinedClients|GracefulShutdown' ./internal/server/
 
 # Race-detector pass over the packages with lock-free or multi-goroutine
-# paths (manifest snapshots, iterator epoch pins, parallel partition
-# driver, shared devices, the network server).
+# paths (manifest snapshots, read views and the COW B-tree, iterator epoch
+# pins, parallel partition driver, shared devices, the network server).
 race:
-	$(GO) test -race ./internal/core/ ./internal/sst/ ./internal/simdev/ ./internal/server/ ./bench/
+	$(GO) test -race ./internal/core/ ./internal/btree/ ./internal/sst/ ./internal/simdev/ ./internal/server/ ./bench/
 
 # Starts prismserver on loopback, drives a short pipelined prismload burst
 # against it, and verifies the generator's issued op counts match the
@@ -36,3 +39,11 @@ serve-smoke:
 # trajectory is tracked per PR. See scripts/bench.sh for knobs.
 bench:
 	./scripts/bench.sh
+
+# One fast iteration of the contended-read rows (in-process hot-partition
+# GETs at 1/8 goroutines + the GET-heavy serving row): a cheap CI tripwire
+# for regressions in the lock-free read path, without waiting for the
+# nightly bench script.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkContendedGets/goroutines=(1|8)' -benchtime 1x ./bench/
+	$(GO) test -run '^$$' -bench 'BenchmarkServerContendedGets' -benchtime 1x ./internal/server/

@@ -4,8 +4,14 @@
 // uint64). Only NVM-resident objects are indexed here; flash objects are
 // found through per-SST index and filter blocks.
 //
-// The tree is not internally synchronized: in PrismDB's shared-nothing
-// design each partition owns one tree guarded by the partition lock.
+// The tree is persistent (copy-on-write): Insert and Delete never modify a
+// node reachable from a previously published root — they path-copy, building
+// fresh nodes along the mutated spine and sharing every untouched subtree.
+// A *Tree handle is therefore single-writer (PrismDB's partition lock), but
+// a Snapshot taken from it is an immutable view that any number of readers
+// may traverse concurrently with further writes to the handle — the
+// substrate of the engine's lock-free GET path. Keys and the Item structs
+// inside shared nodes are never mutated after insert.
 package btree
 
 import "bytes"
@@ -23,12 +29,25 @@ type Item struct {
 	Val uint64
 }
 
+// node is an immutable-once-shared B-tree node. Mutating code only ever
+// touches nodes it just allocated (clone or fresh); anything reachable from
+// an older root stays bit-identical forever.
 type node struct {
 	items    []Item
 	children []*node
 }
 
 func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// clone returns a mutable copy of n with fresh item and child slices (the
+// referenced subtrees are shared — that is the point of path copying).
+func (n *node) clone() *node {
+	nn := &node{items: append([]Item(nil), n.items...)}
+	if len(n.children) > 0 {
+		nn.children = append([]*node(nil), n.children...)
+	}
+	return nn
+}
 
 // find returns the index of the first item ≥ key and whether it equals key.
 func (n *node) find(key []byte) (int, bool) {
@@ -47,7 +66,9 @@ func (n *node) find(key []byte) (int, bool) {
 	return lo, false
 }
 
-// Tree is a B-tree index. The zero value is an empty tree ready for use.
+// Tree is a B-tree index handle. The zero value is an empty tree ready for
+// use. The handle itself is not synchronized (single writer); use Snapshot
+// to hand an immutable view to concurrent readers.
 type Tree struct {
 	root *node
 	size int
@@ -55,6 +76,14 @@ type Tree struct {
 
 // New returns an empty tree.
 func New() *Tree { return &Tree{} }
+
+// Snapshot returns an O(1) immutable view of the tree: a detached handle
+// over the current root. Reads on the snapshot (Get, AscendFrom, Range,
+// Min, Max, Len) are safe concurrently with any number of later Insert and
+// Delete calls on the original handle, which never modify published nodes.
+// Mutating a snapshot is not supported (it would still be safe copy-on-write
+// but forks history — the engine never does it).
+func (t *Tree) Snapshot() *Tree { return &Tree{root: t.root, size: t.size} }
 
 // Len returns the number of entries.
 func (t *Tree) Len() int { return t.size }
@@ -76,37 +105,41 @@ func (t *Tree) Get(key []byte) (uint64, bool) {
 }
 
 // Insert stores val under key, returning the previous value and whether the
-// key already existed.
+// key already existed. The previous root (and every snapshot) is untouched.
 func (t *Tree) Insert(key []byte, val uint64) (prev uint64, replaced bool) {
 	if t.root == nil {
 		t.root = &node{items: []Item{{Key: key, Val: val}}}
 		t.size = 1
 		return 0, false
 	}
-	if len(t.root.items) == maxItems {
-		old := t.root
-		t.root = &node{children: []*node{old}}
-		t.root.splitChild(0)
+	root := t.root
+	if len(root.items) == maxItems {
+		nr := &node{children: []*node{root}}
+		nr.splitChild(0)
+		root = nr
 	}
-	prev, replaced = t.root.insertNonFull(key, val)
+	newRoot, prev, replaced := root.insert(key, val)
+	t.root = newRoot
 	if !replaced {
 		t.size++
 	}
 	return prev, replaced
 }
 
-// splitChild splits n.children[i] (which must be full) around its median.
+// splitChild splits n.children[i] (which must be full) around its median,
+// replacing it with two freshly built halves. n must be mutable (a clone or
+// a fresh node); the full child is left untouched.
 func (n *node) splitChild(i int) {
 	child := n.children[i]
 	mid := maxItems / 2
 	median := child.items[mid]
 
+	left := &node{items: append([]Item(nil), child.items[:mid]...)}
 	right := &node{items: append([]Item(nil), child.items[mid+1:]...)}
 	if !child.leaf() {
+		left.children = append([]*node(nil), child.children[:mid+1]...)
 		right.children = append([]*node(nil), child.children[mid+1:]...)
-		child.children = child.children[:mid+1]
 	}
-	child.items = child.items[:mid]
 
 	n.items = append(n.items, Item{})
 	copy(n.items[i+1:], n.items[i:])
@@ -114,91 +147,126 @@ func (n *node) splitChild(i int) {
 
 	n.children = append(n.children, nil)
 	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i] = left
 	n.children[i+1] = right
 }
 
-func (n *node) insertNonFull(key []byte, val uint64) (prev uint64, replaced bool) {
-	for {
-		i, eq := n.find(key)
-		if eq {
-			prev = n.items[i].Val
-			n.items[i].Val = val
-			return prev, true
-		}
-		if n.leaf() {
-			n.items = append(n.items, Item{})
-			copy(n.items[i+1:], n.items[i:])
-			n.items[i] = Item{Key: key, Val: val}
-			return 0, false
-		}
-		if len(n.children[i].items) == maxItems {
-			n.splitChild(i)
-			if c := bytes.Compare(key, n.items[i].Key); c == 0 {
-				prev = n.items[i].Val
-				n.items[i].Val = val
-				return prev, true
-			} else if c > 0 {
-				i++
-			}
-		}
-		n = n.children[i]
+// insert is the path-copying descent: it returns a fresh node standing in
+// for n with key inserted somewhere below. n is never modified.
+func (n *node) insert(key []byte, val uint64) (*node, uint64, bool) {
+	i, eq := n.find(key)
+	if eq {
+		nn := n.clone()
+		prev := nn.items[i].Val
+		nn.items[i].Val = val
+		return nn, prev, true
 	}
+	if n.leaf() {
+		nn := &node{items: make([]Item, len(n.items)+1)}
+		copy(nn.items, n.items[:i])
+		nn.items[i] = Item{Key: key, Val: val}
+		copy(nn.items[i+1:], n.items[i:])
+		return nn, 0, false
+	}
+	nn := n.clone()
+	if len(nn.children[i].items) == maxItems {
+		nn.splitChild(i)
+		if c := bytes.Compare(key, nn.items[i].Key); c == 0 {
+			prev := nn.items[i].Val
+			nn.items[i].Val = val
+			return nn, prev, true
+		} else if c > 0 {
+			i++
+		}
+	}
+	child, prev, replaced := nn.children[i].insert(key, val)
+	nn.children[i] = child
+	return nn, prev, replaced
 }
 
-// Delete removes key, returning its value and whether it was present.
+// Delete removes key, returning its value and whether it was present. The
+// previous root (and every snapshot) is untouched; when the key is absent
+// the tree is unchanged and no nodes are copied at all on the common paths.
 func (t *Tree) Delete(key []byte) (uint64, bool) {
 	if t.root == nil {
 		return 0, false
 	}
-	val, ok := t.root.remove(key)
-	if len(t.root.items) == 0 {
-		if t.root.leaf() {
-			t.root = nil
+	newRoot, val, ok := t.root.remove(key)
+	if !ok {
+		return 0, false
+	}
+	if len(newRoot.items) == 0 {
+		if newRoot.leaf() {
+			newRoot = nil
 		} else {
-			t.root = t.root.children[0]
+			newRoot = newRoot.children[0]
 		}
 	}
-	if ok {
-		t.size--
-	}
+	t.root = newRoot
+	t.size--
 	return val, ok
 }
 
-func (n *node) remove(key []byte) (uint64, bool) {
+// remove is the path-copying removal descent: on success it returns a fresh
+// node standing in for n with key removed below. On a miss it returns n
+// itself (shared, unmodified) — any speculative restructuring is discarded
+// by the caller returning the original tree.
+func (n *node) remove(key []byte) (*node, uint64, bool) {
 	i, eq := n.find(key)
 	if n.leaf() {
 		if !eq {
-			return 0, false
+			return n, 0, false
 		}
 		val := n.items[i].Val
-		n.items = append(n.items[:i], n.items[i+1:]...)
-		return val, true
+		nn := &node{items: make([]Item, len(n.items)-1)}
+		copy(nn.items, n.items[:i])
+		copy(nn.items[i:], n.items[i+1:])
+		return nn, val, true
 	}
 	if eq {
 		val := n.items[i].Val
-		// Replace with predecessor (max of left subtree), then delete
-		// that predecessor from the child. Grow the child first so the
-		// recursive removal cannot underflow.
+		// Replace with predecessor (max of left subtree) or successor, then
+		// delete that boundary key from the child — grow-first discipline
+		// keeps the recursive removal from underflowing.
 		if len(n.children[i].items) > minItems {
 			pred := n.children[i].max()
-			n.items[i] = pred
-			n.children[i].remove(pred.Key)
-			return val, true
+			child, _, _ := n.children[i].remove(pred.Key)
+			nn := n.clone()
+			nn.items[i] = pred
+			nn.children[i] = child
+			return nn, val, true
 		}
 		if len(n.children[i+1].items) > minItems {
 			succ := n.children[i+1].min()
-			n.items[i] = succ
-			n.children[i+1].remove(succ.Key)
-			return val, true
+			child, _, _ := n.children[i+1].remove(succ.Key)
+			nn := n.clone()
+			nn.items[i] = succ
+			nn.children[i+1] = child
+			return nn, val, true
 		}
-		n.mergeChildren(i)
-		return n.children[i].remove(key)
+		nn := n.clone()
+		nn.mergeChildren(i)
+		child, v, ok := nn.children[i].remove(key)
+		nn.children[i] = child
+		return nn, v, ok
 	}
-	// Descending: ensure the child has more than minItems first.
+	// Descending: ensure the target child has more than minItems first.
 	if len(n.children[i].items) == minItems {
-		i = n.growChild(i)
+		nn, j := n.growChild(i)
+		child, v, ok := nn.children[j].remove(key)
+		if !ok {
+			return n, 0, false // key absent: discard the restructure
+		}
+		nn.children[j] = child
+		return nn, v, ok
 	}
-	return n.children[i].remove(key)
+	child, v, ok := n.children[i].remove(key)
+	if !ok {
+		return n, 0, false
+	}
+	nn := n.clone()
+	nn.children[i] = child
+	return nn, v, ok
 }
 
 func (n *node) max() Item {
@@ -215,18 +283,20 @@ func (n *node) min() Item {
 	return n.items[0]
 }
 
-// growChild ensures children[i] has more than minItems by borrowing from a
-// sibling or merging. It returns the (possibly shifted) child index to
-// descend into.
-func (n *node) growChild(i int) int {
+// growChild returns a clone of n in which children[i] has more than
+// minItems — by borrowing from a sibling clone or merging — plus the
+// (possibly shifted) child index to descend into. n and its children are
+// never modified; the affected children are cloned into the returned node.
+func (n *node) growChild(i int) (*node, int) {
+	nn := n.clone()
 	switch {
-	case i > 0 && len(n.children[i-1].items) > minItems:
+	case i > 0 && len(nn.children[i-1].items) > minItems:
 		// Borrow from left sibling through the separator.
-		child, left := n.children[i], n.children[i-1]
+		child, left := nn.children[i].clone(), nn.children[i-1].clone()
 		child.items = append(child.items, Item{})
 		copy(child.items[1:], child.items)
-		child.items[0] = n.items[i-1]
-		n.items[i-1] = left.items[len(left.items)-1]
+		child.items[0] = nn.items[i-1]
+		nn.items[i-1] = left.items[len(left.items)-1]
 		left.items = left.items[:len(left.items)-1]
 		if !left.leaf() {
 			moved := left.children[len(left.children)-1]
@@ -235,32 +305,45 @@ func (n *node) growChild(i int) int {
 			copy(child.children[1:], child.children)
 			child.children[0] = moved
 		}
-	case i < len(n.children)-1 && len(n.children[i+1].items) > minItems:
+		nn.children[i-1] = left
+		nn.children[i] = child
+	case i < len(nn.children)-1 && len(nn.children[i+1].items) > minItems:
 		// Borrow from right sibling through the separator.
-		child, right := n.children[i], n.children[i+1]
-		child.items = append(child.items, n.items[i])
-		n.items[i] = right.items[0]
+		child, right := nn.children[i].clone(), nn.children[i+1].clone()
+		child.items = append(child.items, nn.items[i])
+		nn.items[i] = right.items[0]
 		right.items = append(right.items[:0], right.items[1:]...)
 		if !right.leaf() {
 			child.children = append(child.children, right.children[0])
 			right.children = append(right.children[:0], right.children[1:]...)
 		}
+		nn.children[i] = child
+		nn.children[i+1] = right
 	default:
-		if i == len(n.children)-1 {
+		if i == len(nn.children)-1 {
 			i--
 		}
-		n.mergeChildren(i)
+		nn.mergeChildren(i)
 	}
-	return i
+	return nn, i
 }
 
-// mergeChildren merges children[i], items[i], and children[i+1].
+// mergeChildren replaces children[i] and children[i+1] with a freshly built
+// merge of children[i], items[i], and children[i+1]. n must be mutable (a
+// clone); the merged-away children are left untouched.
 func (n *node) mergeChildren(i int) {
 	child, right := n.children[i], n.children[i+1]
-	child.items = append(child.items, n.items[i])
-	child.items = append(child.items, right.items...)
-	child.children = append(child.children, right.children...)
+	m := &node{items: make([]Item, 0, len(child.items)+1+len(right.items))}
+	m.items = append(m.items, child.items...)
+	m.items = append(m.items, n.items[i])
+	m.items = append(m.items, right.items...)
+	if !child.leaf() {
+		m.children = make([]*node, 0, len(child.children)+len(right.children))
+		m.children = append(m.children, child.children...)
+		m.children = append(m.children, right.children...)
+	}
 	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children[i] = m
 	n.children = append(n.children[:i+1], n.children[i+2:]...)
 }
 

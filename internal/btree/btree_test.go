@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -280,4 +281,164 @@ func BenchmarkGet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tr.Get(key(i % n))
 	}
+}
+
+// TestSnapshotIsolation pins the copy-on-write contract the engine's
+// lock-free GET path depends on: a Snapshot taken at any point observes
+// exactly the entries that were live at that point, bit-stable, no matter
+// how much the original handle is mutated afterwards.
+func TestSnapshotIsolation(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Insert(key(i), uint64(i))
+	}
+	snap := tr.Snapshot()
+
+	// Churn the live tree hard: overwrite, delete, and insert far past the
+	// snapshot, forcing splits, borrows, and merges at every level.
+	for i := 0; i < n; i += 2 {
+		tr.Delete(key(i))
+	}
+	for i := 0; i < n; i++ {
+		tr.Insert(key(n+i), uint64(1000000+i))
+	}
+	for i := 1; i < n; i += 2 {
+		tr.Insert(key(i), uint64(2000000+i))
+	}
+
+	if snap.Len() != n {
+		t.Fatalf("snapshot Len = %d, want %d", snap.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := snap.Get(key(i))
+		if !ok || v != uint64(i) {
+			t.Fatalf("snapshot Get(%d) = %d,%v want %d", i, v, ok, i)
+		}
+	}
+	if _, ok := snap.Get(key(n + 5)); ok {
+		t.Fatal("snapshot sees a key inserted after it was taken")
+	}
+	count := 0
+	var last []byte
+	snap.AscendFrom(nil, func(it Item) bool {
+		if last != nil && bytes.Compare(last, it.Key) >= 0 {
+			t.Fatalf("snapshot out of order: %q after %q", it.Key, last)
+		}
+		last = append(last[:0], it.Key...)
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("snapshot ascend visited %d entries, want %d", count, n)
+	}
+}
+
+// TestSnapshotDeleteIsolation drives the delete restructuring paths (borrow
+// left/right, merge, root collapse) against a model while holding snapshots,
+// verifying both the live tree and the frozen views.
+func TestSnapshotDeleteIsolation(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(42))
+	model := map[int]uint64{}
+	const span = 4000
+	for i := 0; i < span; i++ {
+		tr.Insert(key(i), uint64(i))
+		model[i] = uint64(i)
+	}
+	type frozen struct {
+		snap  *Tree
+		model map[int]uint64
+	}
+	var snaps []frozen
+	for round := 0; round < 6; round++ {
+		m := make(map[int]uint64, len(model))
+		for k, v := range model {
+			m[k] = v
+		}
+		snaps = append(snaps, frozen{tr.Snapshot(), m})
+		for i := 0; i < 1500; i++ {
+			k := rng.Intn(span)
+			if rng.Intn(3) == 0 {
+				tr.Delete(key(k))
+				delete(model, k)
+			} else {
+				v := uint64(round*10000 + i)
+				tr.Insert(key(k), v)
+				model[k] = v
+			}
+		}
+	}
+	check := func(name string, tr *Tree, model map[int]uint64) {
+		if tr.Len() != len(model) {
+			t.Fatalf("%s: Len = %d, model %d", name, tr.Len(), len(model))
+		}
+		for k, want := range model {
+			got, ok := tr.Get(key(k))
+			if !ok || got != want {
+				t.Fatalf("%s: Get(%d) = %d,%v want %d", name, k, got, ok, want)
+			}
+		}
+	}
+	check("live", tr, model)
+	for i, f := range snaps {
+		check(fmt.Sprintf("snap%d", i), f.snap, f.model)
+	}
+}
+
+// TestSnapshotConcurrentReads runs readers over snapshots while a single
+// writer churns the handle — the engine's exact sharing pattern. Run under
+// -race: any write to a reachable node is a detector hit.
+func TestSnapshotConcurrentReads(t *testing.T) {
+	tr := New()
+	const n = 1024
+	for i := 0; i < n; i++ {
+		tr.Insert(key(i), uint64(i))
+	}
+	snapCh := make(chan *Tree, 64)
+	done := make(chan struct{})
+	go func() { // single writer
+		defer close(snapCh)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 20000; i++ {
+			k := rng.Intn(2 * n)
+			if rng.Intn(4) == 0 {
+				tr.Delete(key(k))
+			} else {
+				tr.Insert(key(k), uint64(i))
+			}
+			if i%256 == 0 {
+				select {
+				case snapCh <- tr.Snapshot():
+				default:
+				}
+			}
+		}
+	}()
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for snap := range snapCh {
+				var last []byte
+				cnt := 0
+				snap.AscendFrom(nil, func(it Item) bool {
+					if last != nil && bytes.Compare(last, it.Key) >= 0 {
+						t.Errorf("snapshot out of order: %q after %q", it.Key, last)
+						return false
+					}
+					last = append(last[:0], it.Key...)
+					cnt++
+					return cnt < 4096
+				})
+				for i := 0; i < 64; i++ {
+					snap.Get(key(i * 17 % (2 * n)))
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(done)
+	_ = done
 }

@@ -525,6 +525,11 @@ func (p *partition) asyncCompactRange(compClk *simdev.Clock, r candRange, allowD
 	var freed int64
 	p.mu.Lock()
 	p.compArena = arena
+	// Pair the just-installed manifest with the current tree for lock-free
+	// readers before any NVM entries drop: a new-view reader finds demoted
+	// keys on whichever side it reaches first, and both hold the newest
+	// version (NVM entries still shadow their fresh flash copies).
+	p.publishView()
 	for _, t := range r.tables {
 		freed += t.MetaBytes()
 	}
@@ -560,7 +565,9 @@ func (p *partition) asyncCompactRange(compClk *simdev.Clock, r candRange, allowD
 		if pn > 0 && pn%commitChunk == 0 {
 			// Same breather discipline as the action loop below: a hot
 			// promotion batch must not hold the partition lock for
-			// hundreds of inserts.
+			// hundreds of inserts. Each chunk's tree growth is published
+			// before the lock drops.
+			p.publishView()
 			p.mu.Unlock()
 			bgYield()
 			p.mu.Lock()
@@ -600,7 +607,10 @@ func (p *partition) asyncCompactRange(compClk *simdev.Clock, r candRange, allowD
 			// Breather: a bare unlock/lock would let the worker barge
 			// straight back in before any queued foreground op gets
 			// scheduled; parking for a microsecond hands the core (and
-			// the netpoller) to the foreground first.
+			// the netpoller) to the foreground first. The chunk's index
+			// drops are published so new readers stop resolving freed
+			// slots (their deferred contents stay readable regardless).
+			p.publishView()
 			p.mu.Unlock()
 			bgYield()
 			p.mu.Lock()
@@ -644,6 +654,8 @@ func (p *partition) asyncCompactRange(compClk *simdev.Clock, r candRange, allowD
 		p.bkt.OnFlashDelete(idx)
 	}
 	p.stats.add(local)
+	// Final publication for the round: the last chunk's mutations.
+	p.publishView()
 	if !allowDemote {
 		return freed
 	}

@@ -151,6 +151,9 @@ func (p *partition) runDemotionCompaction() {
 	if compClk.Now() > p.compEndAt {
 		p.compEndAt = compClk.Now()
 	}
+	// The merge rewrote B-tree entries and the manifest wholesale; hand
+	// lock-free readers the post-compaction pairing.
+	p.publishView()
 }
 
 // selectRange picks the compaction key range per the configured policy,
@@ -575,6 +578,7 @@ func (p *partition) runPromotionCompaction() {
 	if compClk.Now() > p.compEndAt {
 		p.compEndAt = compClk.Now()
 	}
+	p.publishView()
 	_ = promoted
 }
 

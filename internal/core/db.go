@@ -17,8 +17,11 @@ var ErrClosed = errors.New("prismdb: database closed")
 
 // DB is a PrismDB instance: Options.Partitions shared-nothing partitions
 // over one NVM device and one flash device. Methods are safe for concurrent
-// use; each request serializes on its partition's lock, as in the paper's
-// worker-thread-per-partition design.
+// use. Mutations serialize on their partition's lock, as in the paper's
+// worker-thread-per-partition design; point reads (Get/GetBuf) are
+// lock-free against each partition's published read view, so concurrent
+// GETs on one hot partition scale with cores instead of queueing on its
+// mutex (see the package docs' Concurrency notes in prismdb.go).
 type DB struct {
 	opts   Options
 	parts  []*partition
@@ -43,6 +46,9 @@ func Open(opts Options) (*DB, error) {
 		if err := p.recover(); err != nil {
 			return nil, fmt.Errorf("core: recover partition %d: %w", i, err)
 		}
+		// First view publication: lock-free GETs are served from the moment
+		// Open returns. (Single-threaded here, so no lock is needed.)
+		p.publishView()
 		db.parts = append(db.parts, p)
 	}
 	if opts.CompactionMode == CompactionAsync {
@@ -141,11 +147,16 @@ func (db *DB) Scan(start []byte, n int) ([]KV, time.Duration, error) {
 }
 
 // Stats aggregates all partitions' counters plus live object counts and
-// the current background-compaction backlog.
+// the current background-compaction backlog. Taking stats drains the
+// lock-free read path's sharded counters and popularity touches into each
+// partition, so the returned figures include every completed GET.
 func (db *DB) Stats() Stats {
 	var s Stats
 	for _, p := range db.parts {
 		p.mu.Lock()
+		p.syncClockLocked()
+		p.drainReadsLocked()
+		p.casMaxVclock(p.clk.Now())
 		ps := p.stats
 		nvm, flash := p.objectCounts()
 		ps.NVMObjects, ps.FlashObjects = nvm, flash
@@ -170,23 +181,25 @@ func (db *DB) Stats() Stats {
 func (db *DB) ResetStats() {
 	for _, p := range db.parts {
 		p.mu.Lock()
+		p.syncClockLocked()
+		p.drainReadsLocked() // flush, then zero: pending reads don't leak into the next phase
+		p.casMaxVclock(p.clk.Now())
 		p.stats = Stats{}
 		p.mu.Unlock()
 	}
 }
 
-// Elapsed returns the simulation's wall clock: the maximum worker clock
-// across partitions. In-flight background compactions are not included —
-// their effect on foreground time is already modeled through device/CPU
-// contention and write admission (a workload that outruns compaction stalls
-// on admission, slowing the worker clocks themselves).
+// Elapsed returns the simulation's wall clock: the maximum published
+// frontier across partitions — each partition's worker clock joined with
+// the fold-backs of its completed lock-free reads. In-flight background
+// compactions are not included — their effect on foreground time is
+// already modeled through device/CPU contention and write admission (a
+// workload that outruns compaction stalls on admission, slowing the worker
+// clocks themselves).
 func (db *DB) Elapsed() time.Duration {
 	var maxNs int64
 	for _, p := range db.parts {
-		p.mu.Lock()
-		t := p.clk.Now()
-		p.mu.Unlock()
-		if t > maxNs {
+		if t := p.frontier(); t > maxNs {
 			maxNs = t
 		}
 	}
@@ -223,6 +236,7 @@ func (db *DB) AdvanceAll() {
 	for _, p := range db.parts {
 		p.mu.Lock()
 		p.clk.AdvanceTo(now)
+		p.casMaxVclock(now)
 		p.matureCredit(now)
 		p.mu.Unlock()
 	}
@@ -236,20 +250,18 @@ func (db *DB) PartitionOf(key []byte) int {
 	return db.partitionIndex(key)
 }
 
-// PartitionClock returns partition i's current worker clock.
+// PartitionClock returns partition i's current published frontier (worker
+// clock joined with completed lock-free reads).
 func (db *DB) PartitionClock(i int) time.Duration {
-	p := db.parts[i]
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return time.Duration(p.clk.Now())
+	return time.Duration(db.parts[i].frontier())
 }
 
-// PartitionClocks returns each partition's worker clock and compaction
-// horizon (diagnostics: load imbalance, compaction overhang).
+// PartitionClocks returns each partition's published frontier and
+// compaction horizon (diagnostics: load imbalance, compaction overhang).
 func (db *DB) PartitionClocks() (clocks, compEnds []time.Duration) {
 	for _, p := range db.parts {
+		clocks = append(clocks, time.Duration(p.frontier()))
 		p.mu.Lock()
-		clocks = append(clocks, time.Duration(p.clk.Now()))
 		compEnds = append(compEnds, time.Duration(p.compEndAt))
 		p.mu.Unlock()
 	}

@@ -93,6 +93,7 @@ func (db *DB) NewIterator(start []byte, limitHint int) *Iterator {
 	}
 	it.home = home
 	home.mu.Lock()
+	home.syncClockLocked() // include completed lock-free reads in the seed
 	it.clk.AdvanceTo(home.clk.Now())
 	it.startNs = it.clk.Now()
 	home.stats.Scans++
@@ -230,6 +231,7 @@ func (it *Iterator) Close() error {
 	h := it.home
 	h.mu.Lock()
 	h.clk.AdvanceTo(it.clk.Now())
+	h.casMaxVclock(h.clk.Now()) // lock-free reads issued next seed past the scan
 	h.mu.Unlock()
 	return it.err
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/prismdb/prismdb/internal/btree"
@@ -18,7 +19,9 @@ import (
 
 // partition is one shared-nothing shard: a dedicated worker clock, NVM
 // slabs indexed by an in-DRAM B-tree, a flash SST log, and the popularity
-// machinery. All access is serialized by mu (the paper's partition lock).
+// machinery. Mutations are serialized by mu (the paper's partition lock);
+// point reads never take it — they run against the published read view
+// (see readview.go and get below).
 type partition struct {
 	id   int
 	opts *Options
@@ -93,6 +96,19 @@ type partition struct {
 	pinnedBuf [][]byte
 	rangeBuf  []candRange
 
+	// Lock-free read substrate (readview.go): the published read view
+	// (atomic.Pointer, republished under mu by tree/manifest mutations),
+	// the virtual-clock frontier off-lock reads seed from and fold into,
+	// sharded read counters and the popularity touch ring (drained into
+	// stats/tracker/read-trigger state by whoever holds mu), the slot-read
+	// buffer rack, and the readers' drain-cadence counter.
+	view       atomic.Pointer[readView]
+	vclock     atomic.Int64
+	sink       [sinkShards]readShard
+	touches    *touchRing
+	readBufs   bufRack
+	sinceDrain atomic.Int64
+
 	// Hill-climbing threshold tuner state (§7.4 future work).
 	pinThreshold float64
 	tuneOps      int
@@ -155,6 +171,7 @@ func newPartition(id int, opts *Options) (*partition, error) {
 		trkCap = 16
 	}
 	p.trk = tracker.New(trkCap)
+	p.touches = newTouchRing()
 	p.bkt = buckets.New(opts.KeySpace, opts.BucketKeys)
 	p.pinThreshold = opts.PinningThreshold
 	p.tuneDir = opts.AutoTuneStep
@@ -316,6 +333,23 @@ func (p *partition) stallTo(t int64) {
 func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.syncClockLocked()
+	p.drainReadsLocked()
+	// Republish the read view when this put changed the B-tree (fresh
+	// insert, class-change move) or the manifest (a sync compaction inside
+	// maybeCompact republishes itself, but the flag keeps the put's own
+	// mutations covered even on early error paths). In-place slot updates
+	// skip the republish: the published locations still resolve and readers
+	// pick the new bytes straight off the slab file. The view goes out
+	// BEFORE the latency is returned to the client, so a GET issued after a
+	// PUT's reply always observes it (read-your-writes).
+	republish := false
+	defer func() {
+		if republish {
+			p.publishView()
+		}
+		p.casMaxVclock(p.clk.Now())
+	}()
 	start := p.clk.Now()
 	cpu := p.opts.CPU
 	p.chargeCPU(p.clk, cpu.OpBase+cpu.IndexOp)
@@ -378,6 +412,7 @@ func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, 
 				}
 				p.index.Insert(key, uint64(newLoc))
 				p.stats.SlabMoves++
+				republish = true
 			}
 		} else {
 			loc, err := p.slabs.Put(p.clk, rec)
@@ -391,6 +426,7 @@ func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, 
 			p.index.Insert(append([]byte(nil), key...), uint64(loc))
 			p.bkt.OnPut(idx)
 			p.stats.FreshInserts++
+			republish = true
 		}
 	}
 	if clientOp {
@@ -426,18 +462,147 @@ func (p *partition) touch(key []byte, idx uint64, loc tracker.Location) {
 	p.bkt.OnHot(idx)
 }
 
+// getViewRetries bounds how many stale views a lock-free GET burns through
+// before falling back to the partition lock. Staleness is proven by slot
+// validation (a freed/recycled slot under a view-resolved location); each
+// retry re-acquires the then-current view, so only a writer churning the
+// same key faster than the reader can re-read keeps failing — at which
+// point queueing on the lock is the honest outcome anyway.
+const getViewRetries = 4
+
 // get returns the newest version of key and the tier that served it. The
 // value is appended to dst (which may be nil): callers that pass a reused
-// buffer get an allocation-free NVM read path — the slab read lands in the
-// manager's scratch, the manifest snapshot load is lock- and copy-free, and
-// the tracker touch allocates only when it first meets an untracked key.
+// buffer get an allocation-free NVM read path.
+//
+// The fast path is lock-free: it never takes p.mu. It acquires the
+// partition's published read view (copy-on-write B-tree root + refcounted
+// manifest snapshot), seeds a private virtual clock from the partition's
+// published frontier, charges all CPU and device time to it, and folds the
+// end time back with one atomic max — so serial virtual-time sequencing is
+// identical to the locked path, while concurrent GETs overlap in virtual
+// time exactly as concurrent requests to a real device would. Read stats
+// land in sharded atomic counters and popularity touches in a bounded
+// lock-free ring, both drained into the guarded structures by whoever next
+// holds the lock (see readview.go for the publication and validation
+// rules).
 func (p *partition) get(key, dst []byte) ([]byte, Tier, time.Duration, error) {
+	idx := p.opts.KeyIndex(key)
+	for attempt := 0; attempt < getViewRetries; attempt++ {
+		val, tier, lat, err, ok := p.getLockFree(key, dst, idx)
+		if ok {
+			p.maybeDrainReads()
+			return val, tier, lat, err
+		}
+	}
+	return p.getLocked(key, dst, idx)
+}
+
+// getLockFree is one attempt of the lock-free read. ok=false means the
+// view was proven stale (the slot under its location was freed, recycled,
+// or mid-move) and the caller should retry against a fresh view.
+func (p *partition) getLockFree(key, dst []byte, idx uint64) (value []byte, tier Tier, lat time.Duration, err error, ok bool) {
+	v := p.acquireView()
+	defer v.release()
+	var clk simdev.Clock
+	start := p.vclock.Load()
+	clk.AdvanceTo(start)
+	cpu := p.opts.CPU
+	p.chargeCPU(&clk, cpu.OpBase+cpu.IndexOp)
+	sh := &p.sink[idx&(sinkShards-1)]
+
+	if lv, found := v.tree.Get(key); found {
+		h := p.readBufs.take()
+		before := clk.Now()
+		rec, buf, rerr := p.slabs.ReadSlotInto(&clk, slab.Loc(lv), h.b)
+		h.b = buf
+		if rerr != nil || !bytes.Equal(rec.Key, key) {
+			// Freed (zeroed header), recycled to another key, or otherwise
+			// unreadable: the view is stale. The aborted attempt's device
+			// time is discarded with its private clock.
+			p.readBufs.put(h)
+			return nil, TierMiss, 0, nil, false
+		}
+		src := TierNVM
+		if clk.Now() == before {
+			src = TierDRAM // page-cache hit: no device time
+		}
+		if rec.Tombstone {
+			p.readBufs.put(h)
+			sh.gets.Add(1)
+			sh.miss.Add(1)
+			p.casMaxVclock(clk.Now())
+			return nil, TierMiss, time.Duration(clk.Now() - start), nil, true
+		}
+		value = append(dst[:0], rec.Value...)
+		p.readBufs.put(h)
+		sh.gets.Add(1)
+		if src == TierDRAM {
+			sh.dram.Add(1)
+		} else {
+			sh.nvm.Add(1)
+		}
+		p.touches.push(key, idx, tracker.NVM)
+		p.casMaxVclock(clk.Now())
+		return value, src, time.Duration(clk.Now() - start), nil, true
+	}
+
+	// Flash lookup through the view's pinned SST snapshot: tables are
+	// disjoint and sorted by smallest key, so a binary search finds the
+	// single candidate table. The snapshot's tables cannot be deleted while
+	// the view holds its reference.
+	if t := v.snap.Find(key); t != nil {
+		p.chargeCPU(&clk, cpu.BloomCheck)
+		if t.MayContain(key) {
+			before := clk.Now()
+			rec, found, gerr := t.Get(&clk, key)
+			if gerr != nil {
+				// Count the GET (the locked path counts every GET at entry,
+				// errored or not) and fold the time it consumed; no tier
+				// counter, matching getLocked's error return.
+				sh.gets.Add(1)
+				p.casMaxVclock(clk.Now())
+				return nil, TierMiss, 0, gerr, true
+			}
+			if found && !rec.Tombstone {
+				src := TierFlash
+				if clk.Now() == before {
+					src = TierDRAM
+				}
+				value = append(dst[:0], rec.Value...)
+				sh.gets.Add(1)
+				if src == TierDRAM {
+					sh.dram.Add(1)
+				} else {
+					sh.flash.Add(1)
+				}
+				p.touches.push(key, idx, tracker.Flash)
+				p.casMaxVclock(clk.Now())
+				return value, src, time.Duration(clk.Now() - start), nil, true
+			}
+			// The filter said maybe, the table said no (or only a
+			// tombstone): a wasted flash probe.
+			sh.bloomFP.Add(1)
+		}
+	}
+	sh.gets.Add(1)
+	sh.miss.Add(1)
+	p.casMaxVclock(clk.Now())
+	return nil, TierMiss, time.Duration(clk.Now() - start), nil, true
+}
+
+// getLocked is the fallback read under the partition lock: the pre-view
+// code path, taken when repeated validation failures prove the key is being
+// churned faster than an optimistic reader can keep up (or, transitively,
+// while an inline sync compaction holds the lock and zeroes slots).
+func (p *partition) getLocked(key, dst []byte, idx uint64) ([]byte, Tier, time.Duration, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.syncClockLocked()
+	p.drainReadsLocked()
+	defer func() { p.casMaxVclock(p.clk.Now()) }()
 	start := p.clk.Now()
 	cpu := p.opts.CPU
 	p.chargeCPU(p.clk, cpu.OpBase+cpu.IndexOp)
-	idx := p.opts.KeyIndex(key)
 	p.stats.Gets++
 
 	if v, ok := p.index.Get(key); ok {
@@ -487,6 +652,7 @@ func (p *partition) get(key, dst []byte) ([]byte, Tier, time.Duration, error) {
 				p.rt.onOp(p, true)
 				return value, src, time.Duration(p.clk.Now() - start), nil
 			}
+			p.stats.BloomFalsePositives++
 		}
 	}
 	p.recordGet(TierMiss)
@@ -515,20 +681,25 @@ func (p *partition) recordGet(src Tier) {
 // merge (§6).
 func (p *partition) del(key []byte) (time.Duration, error) {
 	p.mu.Lock()
+	p.syncClockLocked()
+	p.drainReadsLocked()
 	start := p.clk.Now()
 	cpu := p.opts.CPU
 	p.chargeCPU(p.clk, cpu.OpBase+cpu.IndexOp)
 	idx := p.opts.KeyIndex(key)
 
+	republish := false
 	if v, ok := p.index.Get(key); ok {
 		oldSlot := int64(p.slabs.SlotSize(slab.Loc(v)))
 		if err := p.slabs.Delete(p.clk, slab.Loc(v)); err != nil {
+			p.casMaxVclock(p.clk.Now())
 			p.mu.Unlock()
 			return 0, err
 		}
 		p.index.Delete(key)
 		p.bkt.OnNVMDelete(idx)
 		p.spaceCredit += oldSlot
+		republish = true
 	}
 	// Does flash possibly hold an older version? (Disjoint sorted tables:
 	// binary-search the one candidate.) While an async demotion merge
@@ -554,6 +725,10 @@ func (p *partition) del(key []byte) (time.Duration, error) {
 	// put: ops interleaved from other clients in the unlock window would
 	// otherwise be billed to this delete.
 	lat := time.Duration(p.clk.Now() - start)
+	if republish {
+		p.publishView()
+	}
+	p.casMaxVclock(p.clk.Now())
 	p.mu.Unlock()
 
 	if flashMay {

@@ -9,11 +9,14 @@ import (
 	"github.com/prismdb/prismdb/internal/simdev"
 )
 
-// TestGetNVMHitZeroAlloc pins the tentpole property: an NVM/DRAM-hit GetBuf
-// with a reused value buffer performs zero heap allocations — the manifest
-// snapshot load is lock- and copy-free, the slab read lands in the
-// manager's scratch, and the tracker touch of an already-tracked key
-// allocates nothing.
+// TestGetNVMHitZeroAlloc pins the read path's perf property on what is now
+// the LOCK-FREE fast path: an NVM/DRAM-hit GetBuf with a reused value
+// buffer performs zero heap allocations and takes no lock — the read view
+// acquire is two atomics, the slab read lands in a recycled slot buffer
+// from the partition's rack, the private virtual clock lives on the stack,
+// the popularity touch goes to the bounded ring, and the read counters are
+// plain atomic adds. (TestGetZeroAllocAfterConcurrentChurn in
+// lockfree_test.go re-pins the same bound after concurrent contention.)
 func TestGetNVMHitZeroAlloc(t *testing.T) {
 	o := testOptions()
 	o.NVMBudget = 64 << 20 // everything stays NVM-resident: no compactions

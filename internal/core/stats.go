@@ -45,6 +45,14 @@ type Stats struct {
 	GetFlash int64
 	GetMiss  int64
 
+	// BloomFalsePositives counts flash probes where the SST bloom filter
+	// said the key might be present but the table read found nothing (or
+	// only a tombstone) — the wasted block I/O a filter exists to avoid.
+	// The filters target a 1% false-positive rate; a ratio far above that
+	// against GetMiss+GetFlash traffic means undersized filters or a
+	// pathological key mix.
+	BloomFalsePositives int64
+
 	// Write paths.
 	InPlaceUpdates int64
 	FreshInserts   int64
@@ -100,6 +108,7 @@ func (s *Stats) add(o Stats) {
 	s.GetNVM += o.GetNVM
 	s.GetFlash += o.GetFlash
 	s.GetMiss += o.GetMiss
+	s.BloomFalsePositives += o.BloomFalsePositives
 	s.InPlaceUpdates += o.InPlaceUpdates
 	s.FreshInserts += o.FreshInserts
 	s.SlabMoves += o.SlabMoves

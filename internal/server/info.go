@@ -102,6 +102,9 @@ func (s *Server) info(section string) string {
 		fmt.Fprintf(&b, "reads_nvm:%d\r\n", st.GetNVM)
 		fmt.Fprintf(&b, "reads_flash:%d\r\n", st.GetFlash)
 		fmt.Fprintf(&b, "reads_miss:%d\r\n", st.GetMiss)
+		// Wasted flash probes: the bloom filter passed but the table read
+		// found nothing (or only a tombstone). Filters target ~1% FP.
+		fmt.Fprintf(&b, "bloom_false_positives:%d\r\n", st.BloomFalsePositives)
 		fmt.Fprintf(&b, "dram_hit_ratio:%.4f\r\n", ratio(st.GetDRAM))
 		fmt.Fprintf(&b, "nvm_hit_ratio:%.4f\r\n", ratio(st.GetNVM))
 		fmt.Fprintf(&b, "flash_hit_ratio:%.4f\r\n", ratio(st.GetFlash))

@@ -17,7 +17,11 @@ import (
 // BENCH_<date>.json rows record exactly what explicit pipelining buys on
 // the wire (the engine work is identical).
 func benchThroughput(b *testing.B, conns, depth, ops int) {
-	db := testEngine(b, 4)
+	benchThroughputParts(b, 4, conns, depth, ops)
+}
+
+func benchThroughputParts(b *testing.B, parts, conns, depth, ops int) {
+	db := testEngine(b, parts)
 	_, dial := startServer(b, db)
 
 	const keys = 4096
@@ -103,3 +107,13 @@ func BenchmarkServerUnpipelined(b *testing.B) { benchThroughput(b, 2, 1, 4000) }
 // BenchmarkServerPipelined is the same connection count with explicit
 // pipelining (depth 64): one inbound read, 64 engine calls, one flush.
 func BenchmarkServerPipelined(b *testing.B) { benchThroughput(b, 2, 64, 40000) }
+
+// BenchmarkServerContendedGets is the GET-heavy serving row (the prismload
+// -workload c shape: 100% reads, many connections) against a SINGLE
+// partition, so every connection's goroutine lands on the same hot shard.
+// Before the lock-free GET path these 8 goroutines serialized on one
+// partition mutex around each ~µs engine read; now they only meet at the
+// read view's atomics. Tracks wall-ops/s in BENCH_<date>.json next to the
+// pipelining rows; on multi-core hosts this row is the one that scales
+// with cores.
+func BenchmarkServerContendedGets(b *testing.B) { benchThroughputParts(b, 1, 8, 16, 64000) }

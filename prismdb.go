@@ -38,11 +38,12 @@
 // snapshot: a Get acquires the snapshot with two atomic operations, no
 // lock, and no per-table refcount traffic, and the disjoint sorted tables
 // are probed with a single binary search instead of a linear overlap scan.
-// NVM slab reads land in a per-partition scratch buffer; GetBuf lets the
-// caller supply the value buffer, making an NVM- or page-cache-hit read
-// perform zero heap allocations (a testing.AllocsPerOp guard in
-// internal/core pins this at 0 allocs/op). Get is GetBuf with a nil
-// buffer: one allocation for the returned value.
+// NVM slab reads land in per-partition recycled slot buffers; GetBuf lets
+// the caller supply the value buffer, making an NVM- or page-cache-hit
+// read perform zero heap allocations — with no lock taken at all (see the
+// Concurrency section); testing.AllocsPerRun guards in internal/core pin
+// this at 0 allocs/op, including after concurrent churn. Get is GetBuf
+// with a nil buffer: one allocation for the returned value.
 //
 // Partitions are shared-nothing, so harnesses can drive them in parallel:
 // the bench package's parallel driver runs one worker goroutine per
@@ -62,7 +63,63 @@
 // BenchmarkYCSBESerial/BenchmarkYCSBEParallel — the YCSB-B read-heavy and
 // YCSB-E scan-heavy mixes on 8 partitions through each driver — and
 // records the results in BENCH_<date>.json for the repo's perf
-// trajectory.
+// trajectory. BenchmarkContendedGets (and the serving-side
+// BenchmarkServerContendedGets) track the contended-read rows below;
+// `make bench-smoke` runs one fast iteration of each.
+//
+// # Concurrency
+//
+// The paper's engine is shared-nothing with one thread per partition, so it
+// serializes everything behind the partition lock. This implementation
+// serves a goroutine-per-connection front end, where a hot partition would
+// turn that lock into a convoy around every ~µs read — so the point-read
+// path is lock-free:
+//
+//   - Get and GetBuf (and therefore MGET on the server) never take the
+//     partition lock. Each partition publishes an immutable read view
+//     behind an atomic pointer: a copy-on-write B-tree root (package btree
+//     path-copies every insert and delete, so a loaded root is a frozen
+//     index) paired with the refcounted manifest snapshot of the flash file
+//     set. A reader acquires the view with two atomics, resolves the key
+//     against the frozen index or the snapshot's tables, and releases it.
+//
+//   - Publication rule: every mutation that changes what a reader could
+//     observe structurally — a B-tree insert/delete, a manifest change, a
+//     compaction commit chunk — republishes the view under the partition
+//     lock before the operation returns, so a GET issued after a PUT's
+//     reply always observes that PUT (read-your-writes). Within a commit
+//     the manifest always installs before B-tree entries drop, so any
+//     published pairing finds a demoted key on at least one side, newest
+//     version winning. In-place slab updates do not republish: readers
+//     pick the new bytes straight off the (internally synchronized) slab
+//     file.
+//
+//   - NVM slot reads are validated, not pinned: a reader trusts a slot
+//     only if the decoded record's key equals the requested key. A slot
+//     freed, recycled, or mid-move under a stale view fails validation;
+//     the reader retries against the current view and, after a few
+//     failures, falls back to the locked path (churn that hot is already
+//     serializing on the writer side). Writes, deletes, scans, and both
+//     compaction modes keep their existing locking.
+//
+//   - Virtual-clock semantics for off-lock reads: each GET runs a private
+//     clock seeded from the partition's published frontier (an atomic
+//     max of the worker clock and every completed read's end time),
+//     charges its CPU and device time there, and folds the end time back
+//     with one atomic max. Serially that reproduces the locked path's
+//     sequencing exactly — each op begins where the previous one ended —
+//     while concurrent GETs overlap in virtual time and queue only on the
+//     simulated device channels, as real concurrent requests would.
+//
+//   - Read stats (Gets, tier counters, BloomFalsePositives) accumulate in
+//     sharded atomic counters, and popularity touches in a bounded
+//     lock-free ring (512 entries; a full ring drops touches rather than
+//     delaying a read). Whoever next takes the partition lock — any write,
+//     a stats call, or a reader's periodic non-blocking TryLock (every 16
+//     reads) — drains both into the guarded stats, tracker, buckets, and
+//     read-trigger machine. Popularity and trigger staleness is therefore
+//     bounded by roughly one drain cadence per reader plus one ring, and
+//     collapses to near zero under any write traffic.
 //
 // # Iterators
 //

@@ -14,16 +14,19 @@ out="BENCH_$(date +%Y-%m-%d).json"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-# The driver benchmarks live in ./bench, the per-figure harness
+# The driver benchmarks live in ./bench (including the contended-read
+# scaling rows BenchmarkContendedGets/goroutines=1..8 — wall-Kops of one
+# hot partition under concurrent lock-free GETs), the per-figure harness
 # benchmarks in the root package, and the wire-path benchmarks in
-# ./internal/server: pipelined vs unpipelined serving, plus the
-# compaction-interference trio (BenchmarkCompactionInterferenceSync/
-# Async/None) — a write-heavy prismload-shaped SET stream against an
-# in-process prismserver with demotion merges running steadily, whose
-# set-p99-us rows track what foreground SETs pay for compaction under
-# inline (sync) vs background (async) execution against the
-# no-compaction baseline. (|| status=$? keeps set -e from discarding
-# the captured output on failure.)
+# ./internal/server: pipelined vs unpipelined serving, the GET-heavy
+# multi-connection BenchmarkServerContendedGets row (prismload -workload c
+# shape against a single hot partition), plus the compaction-interference
+# trio (BenchmarkCompactionInterferenceSync/Async/None) — a write-heavy
+# prismload-shaped SET stream against an in-process prismserver with
+# demotion merges running steadily, whose set-p99-us rows track what
+# foreground SETs pay for compaction under inline (sync) vs background
+# (async) execution against the no-compaction baseline. (|| status=$?
+# keeps set -e from discarding the captured output on failure.)
 status=0
 go test -run '^$' -bench "${BENCH_PATTERN:-.}" -benchmem \
 	-benchtime "${BENCH_TIME:-1x}" . ./bench/... ./internal/server/ > "$tmp" || status=$?
