@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke serve-smoke
+.PHONY: build vet test race bench bench-smoke serve-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,9 @@ vet:
 # async-compaction, and lock-free-read tests (the paths with cross-goroutine
 # iterators, epoch pins, shared devices, one server serving many
 # connections, background merge commits racing put/get/scan/close, and
-# lock-free GETs racing all of the above plus Close).
+# lock-free GETs racing all of the above plus Close), plus the durability
+# tests (WAL group commit, crash recovery, fault injection) under -race —
+# the group-commit flusher and WaitDurable waiters are cross-goroutine.
 test: vet
 	$(GO) test ./...
 	$(GO) test -race -run 'ConcurrentScansUnderWrites|ConcurrentOpsAcrossPartitions|ParallelScanAccounting' ./internal/core/ ./bench/
@@ -21,18 +23,27 @@ test: vet
 	$(GO) test -race -run 'LockFreeGetRacesMutators' ./internal/core/
 	$(GO) test -race -run 'SnapshotConcurrentReads' ./internal/btree/
 	$(GO) test -race -run 'ConcurrentPipelinedClients|GracefulShutdown' ./internal/server/
+	$(GO) test -race -run 'Durable' ./internal/core/
+	$(GO) test -race ./internal/storage/
 
 # Race-detector pass over the packages with lock-free or multi-goroutine
 # paths (manifest snapshots, read views and the COW B-tree, iterator epoch
 # pins, parallel partition driver, shared devices, the network server).
 race:
-	$(GO) test -race ./internal/core/ ./internal/btree/ ./internal/sst/ ./internal/simdev/ ./internal/server/ ./bench/
+	$(GO) test -race ./internal/core/ ./internal/btree/ ./internal/sst/ ./internal/simdev/ ./internal/server/ ./internal/storage/ ./bench/
 
 # Starts prismserver on loopback, drives a short pipelined prismload burst
 # against it, and verifies the generator's issued op counts match the
 # server's INFO counters.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Durability, end to end: start prismserver with a data directory, drive a
+# write burst journaling every acknowledged write client-side, kill -9 the
+# server mid-run, restart, and verify no acknowledged write was lost; then
+# kill -9 and recover once more (recovery must be idempotent).
+crash-smoke:
+	./scripts/crash_smoke.sh
 
 # Runs the harness benchmarks (YCSB-B read-heavy and YCSB-E scan-heavy,
 # serial and parallel drivers) and emits BENCH_<date>.json so the perf

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/prismdb/prismdb/internal/core"
+	"github.com/prismdb/prismdb/internal/simdev"
+	"github.com/prismdb/prismdb/internal/storage"
+)
+
+// benchWALFsync drives a concurrent SET burst against a durable DB and
+// reports acknowledged-write throughput for one WAL sync mode. Four writers
+// share one partition's WAL, so the sync rows measure what group commit
+// buys: in SyncEvery mode every ack waits for an fsync, but concurrent
+// appenders ride the same flush, so the cost of the fdatasync is amortized
+// across whoever piled up behind it; SyncGroup acks immediately and lets a
+// background batcher fsync every FsyncEvery records; SyncNone never fsyncs
+// until Close and bounds what durability costs at all.
+func benchWALFsync(b *testing.B, mode storage.SyncMode) {
+	opts := core.Options{
+		Partitions:      1, // one WAL: the group-commit contention worst case
+		NVM:             simdev.New(simdev.NVMParams(1 << 30)),
+		Flash:           simdev.New(simdev.QLCParams(1 << 30)),
+		Cache:           simdev.NewPageCache(64 << 20),
+		NVMBudget:       256 << 20, // NVM-resident: no compactions in the timed loop
+		TrackerCapacity: 8192,
+		KeySpace:        1 << 20,
+		Seed:            1,
+		DataDir:         b.TempDir(),
+		WALSync:         mode,
+		WALFsyncEvery:   64,
+	}
+	db, err := core.Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+
+	const (
+		writers = 4
+		perW    = 500
+		keys    = 1024
+	)
+	keyBuf := make([][]byte, keys)
+	for i := 0; i < keys; i++ {
+		keyBuf[i] = []byte(fmt.Sprintf("user%08d", i))
+	}
+	val := make([]byte, 512)
+	for i := range val {
+		val[i] = 'a' + byte(i%26)
+	}
+
+	b.SetBytes(int64(writers * perW * len(val)))
+	b.ResetTimer()
+	var elapsed time.Duration
+	for iter := 0; iter < b.N; iter++ {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				for i := 0; i < perW; i++ {
+					k := keyBuf[(seed*2654435761+i*2246822519)%keys]
+					if _, err := db.Put(k, val); err != nil {
+						b.Errorf("put: %v", err)
+						return
+					}
+				}
+			}(w + 1)
+		}
+		wg.Wait()
+		elapsed += time.Since(start)
+	}
+	total := float64(writers*perW) * float64(b.N)
+	b.ReportMetric(total/elapsed.Seconds()/1e3, "acked-kops")
+	b.ReportMetric(0, "ns/op") // the burst, not b.N, is the unit of work
+}
+
+// BenchmarkWALFsyncModes is the durability-cost row for BENCH_<date>.json:
+// acknowledged SETs/s against a real data directory under the three WAL
+// sync modes. The spread between sync and nosync is the price of
+// fsync-per-ack (with group commit recouping most of it under concurrency);
+// group should land near nosync while bounding the un-fsynced window.
+func BenchmarkWALFsyncModes(b *testing.B) {
+	for _, m := range []struct {
+		name string
+		mode storage.SyncMode
+	}{
+		{"sync", storage.SyncEvery},
+		{"group", storage.SyncGroup},
+		{"nosync", storage.SyncNone},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			benchWALFsync(b, m.mode)
+		})
+	}
+}

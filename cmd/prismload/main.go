@@ -21,6 +21,16 @@
 // -check compares the generator's issued op counts against the server's
 // INFO command-counter deltas and exits non-zero on any mismatch — the
 // serve-smoke harness runs exactly that.
+//
+// Durability checking (the crash-smoke harness): -acklog FILE journals
+// every acknowledged SET/DEL key to FILE — a key is written only after its
+// reply has been read off the wire, so the file is exactly the set of
+// writes the server acknowledged. With -acklog, a run that dies on a broken
+// connection (the server was kill -9'd mid-burst) exits 0: losing the tail
+// of an in-flight window is the expected shape of a crash. After the server
+// restarts, -verify FILE GETs every unambiguous key in the journal and
+// exits non-zero if an acknowledged SET is missing (or an acknowledged DEL
+// resurfaced) — acknowledged-write durability, end to end.
 package main
 
 import (
@@ -54,7 +64,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	check := flag.Bool("check", false, "verify issued op counts against server INFO deltas")
 	dialWait := flag.Duration("wait", 5*time.Second, "how long to retry the initial connection")
+	ackLogPath := flag.String("acklog", "", "journal every acknowledged SET/DEL key to this file (crash-recovery harness); server death mid-run exits 0")
+	verifyPath := flag.String("verify", "", "verify a previous run's -acklog against the (restarted) server and exit; non-zero on any lost acknowledged write")
 	flag.Parse()
+
+	if *verifyPath != "" {
+		os.Exit(verifyAckLog(*addr, *verifyPath, *dialWait))
+	}
 
 	if *conns < 1 || *pipeline < 1 || *ops < 1 {
 		log.Fatal("prismload: -conns, -pipeline, and -ops must be positive")
@@ -71,6 +87,15 @@ func main() {
 		if err != nil {
 			log.Fatalf("prismload: %v", err)
 		}
+	}
+
+	if *ackLogPath != "" {
+		f, err := os.Create(*ackLogPath)
+		if err != nil {
+			log.Fatalf("prismload: acklog: %v", err)
+		}
+		ackJournal = &ackLog{f: f}
+		defer f.Close()
 	}
 
 	// One control connection, retried while the server starts up.
@@ -136,10 +161,26 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	died := false
 	for _, res := range results {
 		if res != nil && res.err != nil {
+			if ackJournal != nil {
+				// The crash harness kills the server mid-burst: broken
+				// connections are the run's expected ending. Everything the
+				// server acknowledged before dying is in the journal.
+				log.Printf("prismload: worker stopped: %v (expected when the server is crash-tested)", res.err)
+				died = true
+				continue
+			}
 			log.Fatalf("prismload: worker: %v", res.err)
 		}
+	}
+	if ackJournal != nil {
+		log.Printf("acklog: journaled %d acknowledged writes to %s", ackJournal.n, *ackLogPath)
+	}
+	if died {
+		report(issued, results, elapsed, *rate)
+		return
 	}
 
 	after, err := ctl.opCounts()
@@ -175,6 +216,139 @@ func main() {
 		fmt.Printf("CHECK OK: server INFO counters match issued ops (get=%d set=%d del=%d scan=%d)\n",
 			issued.gets, issued.sets, issued.dels, issued.scans)
 	}
+}
+
+// ackLog journals acknowledged writes. One "S key" or "D key" line per
+// acknowledged SET/DEL, written strictly AFTER the op's reply was read —
+// the journal never claims an acknowledgement the server didn't send.
+// Workload keys are ASCII ("user…"), so the format is plain text.
+type ackLog struct {
+	mu sync.Mutex
+	f  *os.File
+	n  int64
+}
+
+// ackJournal is nil unless -acklog was given; the op loops call record
+// unconditionally and it no-ops when disabled.
+var ackJournal *ackLog
+
+func (a *ackLog) record(kind byte, key []byte) {
+	if a == nil {
+		return
+	}
+	line := make([]byte, 0, len(key)+3)
+	if kind == 'd' {
+		line = append(line, 'D', ' ')
+	} else {
+		line = append(line, 'S', ' ')
+	}
+	line = append(line, key...)
+	line = append(line, '\n')
+	a.mu.Lock()
+	a.f.Write(line)
+	a.n++
+	a.mu.Unlock()
+}
+
+// verifyAckLog replays an -acklog journal against the (recovered) server:
+// every key whose last fate is unambiguous must be present (acknowledged
+// SET) or absent (acknowledged DEL). Keys both SET and DELed during the run
+// are skipped — concurrent connections make their server-side order
+// unknowable from the client. Returns the process exit code.
+func verifyAckLog(addr, path string, wait time.Duration) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Printf("prismload: verify: %v", err)
+		return 1
+	}
+	type fate struct{ set, del bool }
+	fates := make(map[string]*fate)
+	order := []string{} // first-seen order, for stable output
+	for _, line := range strings.Split(string(data), "\n") {
+		if len(line) < 3 || line[1] != ' ' {
+			continue
+		}
+		key := line[2:]
+		f := fates[key]
+		if f == nil {
+			f = &fate{}
+			fates[key] = f
+			order = append(order, key)
+		}
+		if line[0] == 'D' {
+			f.del = true
+		} else {
+			f.set = true
+		}
+	}
+
+	c, err := dialRetry(addr, wait)
+	if err != nil {
+		log.Printf("prismload: verify: connect %s: %v", addr, err)
+		return 1
+	}
+	defer c.close()
+
+	const depth = 128
+	var checked, skipped, lost, resurrected int
+	pending := make([]string, 0, depth)
+	flush := func() bool {
+		if err := c.bw.Flush(); err != nil {
+			log.Printf("prismload: verify: %v", err)
+			return false
+		}
+		for _, key := range pending {
+			rep, err := server.ReadReply(c.br)
+			if err != nil || rep.IsErr() {
+				log.Printf("prismload: verify GET %s: %v %s", key, err, rep.Str)
+				return false
+			}
+			f := fates[key]
+			if f.set && rep.Null {
+				fmt.Printf("VERIFY FAIL: acknowledged SET %s lost after recovery\n", key)
+				lost++
+			}
+			if f.del && !rep.Null {
+				fmt.Printf("VERIFY FAIL: acknowledged DEL %s resurfaced after recovery\n", key)
+				resurrected++
+			}
+			checked++
+		}
+		pending = pending[:0]
+		return true
+	}
+	for _, key := range order {
+		f := fates[key]
+		if f.set && f.del {
+			skipped++
+			continue
+		}
+		c.writeCmd([]byte("GET"), []byte(key))
+		pending = append(pending, key)
+		if len(pending) == depth && !flush() {
+			return 1
+		}
+	}
+	if len(pending) > 0 && !flush() {
+		return 1
+	}
+
+	// Surface the server's recovery counters alongside the verdict.
+	c.writeCmd([]byte("INFO"), []byte("persistence"))
+	if err := c.bw.Flush(); err == nil {
+		if rep, err := server.ReadReply(c.br); err == nil && !rep.IsErr() && len(rep.Str) > 0 {
+			fmt.Print(strings.ReplaceAll(string(rep.Str), "\r\n", "\n"))
+		}
+	}
+
+	if lost+resurrected > 0 {
+		fmt.Printf("VERIFY FAIL: %d lost, %d resurrected of %d checked (%d ambiguous skipped)\n",
+			lost, resurrected, checked, skipped)
+		return 1
+	}
+	fmt.Printf("VERIFY OK: %d acknowledged writes intact after recovery (%d ambiguous skipped)\n",
+		checked, skipped)
+	return 0
 }
 
 // genOp is one pre-generated request. kind: 'g' GET, 's' SET, 'd' DEL,
@@ -355,6 +529,9 @@ func (c *client) runClosed(ops []genOp, depth int, res *connResult) error {
 				ri++
 			}
 			res.histFor(g.kind).Record(time.Since(t0))
+			if g.kind == 's' || g.kind == 'd' || g.kind == 'r' {
+				ackJournal.record(g.kind, g.key)
+			}
 		}
 		if ri != replies {
 			return fmt.Errorf("reply accounting bug: read %d, expected %d", ri, replies)
@@ -369,6 +546,7 @@ func (c *client) runClosed(ops []genOp, depth int, res *connResult) error {
 func (c *client) runOpen(ops []genOp, interval time.Duration, res *connResult) error {
 	type inflight struct {
 		kind    byte
+		key     []byte
 		t0      time.Time
 		replies int
 	}
@@ -386,6 +564,9 @@ func (c *client) runOpen(ops []genOp, interval time.Duration, res *connResult) e
 				}
 			}
 			res.histFor(f.kind).Record(time.Since(f.t0))
+			if f.kind == 's' || f.kind == 'd' || f.kind == 'r' {
+				ackJournal.record(f.kind, f.key)
+			}
 		}
 	}()
 
@@ -403,7 +584,7 @@ func (c *client) runOpen(ops []genOp, interval time.Duration, res *connResult) e
 			return err
 		}
 		select {
-		case queue <- inflight{g.kind, t0, replies}:
+		case queue <- inflight{g.kind, g.key, t0, replies}:
 		case err := <-readerErr:
 			close(queue)
 			return err
@@ -530,6 +711,7 @@ func loadPhase(addr string, gen *workload.Generator, keys, conns int, wait time.
 							errs <- err
 							return
 						}
+						ackJournal.record('s', gen.LoadKey(i))
 					}
 				}
 			}

@@ -13,6 +13,8 @@
 //	prismserver                          # serve :6380, 1 GiB het10 DB
 //	prismserver -addr :7000 -total 4096  # 4 GiB database
 //	prismserver -preload 100000          # preload keys before serving
+//	prismserver -data-dir /tmp/prism     # durable: WAL + manifest journal,
+//	                                     # kill -9 safe, recovers on restart
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
 // connections, then close the DB so stragglers fail with ErrClosed instead
@@ -44,6 +46,10 @@ func main() {
 	grace := flag.Duration("grace", 5*time.Second, "graceful-shutdown drain window")
 	quiet := flag.Bool("quiet", false, "suppress per-connection log output")
 	compaction := flag.String("compaction", "async", "compaction mode: async (background workers; short foreground critical sections) or sync (inline, deterministic)")
+	dataDir := flag.String("data-dir", "", "durable data directory (empty = in-memory simulation; see the package docs' Durability section)")
+	walSync := flag.String("wal-sync", "sync", "WAL durability mode with -data-dir: sync (ack after fsync, group commit), group (background fsync window), nosync (OS-paced)")
+	fsyncEvery := flag.Int("fsync-every", 0, "group mode: fsync every N records (0 = default 64)")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "group mode: max delay before a pending batch is fsynced (0 = default 2ms)")
 	flag.Parse()
 
 	cfg0 := prismdb.RecommendedConfig(prismdb.TierSpec{
@@ -60,9 +66,26 @@ func main() {
 	default:
 		log.Fatalf("prismserver: -compaction must be async or sync, got %q", *compaction)
 	}
+	if *dataDir != "" {
+		mode, err := prismdb.ParseSyncMode(*walSync)
+		if err != nil {
+			log.Fatalf("prismserver: %v", err)
+		}
+		cfg0.DataDir = *dataDir
+		cfg0.WALSync = mode
+		cfg0.WALFsyncEvery = *fsyncEvery
+		cfg0.WALFsyncInterval = *fsyncInterval
+	}
+	openStart := time.Now()
 	db, err := prismdb.Open(cfg0)
 	if err != nil {
 		log.Fatalf("prismserver: open: %v", err)
+	}
+	if ps := db.PersistenceStats(); ps.Durable {
+		log.Printf("durable: %s (wal %s), recovered %d WAL records across %d segments in %v (truncated %d torn bytes, removed %d orphan SSTs)",
+			*dataDir, *walSync, ps.RecoveryRecords, ps.RecoverySegments,
+			time.Since(openStart).Round(time.Millisecond),
+			ps.LastRecoveryTruncatedBytes, ps.OrphanSSTsRemoved)
 	}
 
 	if *preload > 0 {

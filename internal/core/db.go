@@ -25,25 +25,36 @@ var ErrClosed = errors.New("prismdb: database closed")
 type DB struct {
 	opts   Options
 	parts  []*partition
+	dur    *durable // nil without Options.DataDir
 	closed atomic.Bool
 }
 
 // Open creates or recovers a DB. If the devices already hold this DB's
-// files (slabs, manifests, SSTs), state is rebuilt from them — PrismDB has
-// no write-ahead log; slab writes are synchronous and carry version
-// timestamps, so recovery is a parallel scan per partition (§6).
+// files (slabs, manifests, SSTs), state is rebuilt from them — slab writes
+// are synchronous and carry version timestamps, so recovery is a scan per
+// partition (§6). With Options.DataDir set, the files are real files: Open
+// locks the directory, replays the manifest journal, rebuilds each
+// partition from its recovered slab and SST files, replays the WAL tail
+// (tolerating a torn final record), and checkpoints — see durable.go.
 func Open(opts Options) (*DB, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	db := &DB{opts: opts}
+	if opts.DataDir != "" {
+		if err := db.openDurable(); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < opts.Partitions; i++ {
-		p, err := newPartition(i, &db.opts)
+		p, err := newPartition(i, &db.opts, db.dur)
 		if err != nil {
+			db.abortOpen()
 			return nil, fmt.Errorf("core: partition %d: %w", i, err)
 		}
 		if err := p.recover(); err != nil {
+			db.abortOpen()
 			return nil, fmt.Errorf("core: recover partition %d: %w", i, err)
 		}
 		// First view publication: lock-free GETs are served from the moment
@@ -52,11 +63,35 @@ func Open(opts Options) (*DB, error) {
 		db.parts = append(db.parts, p)
 	}
 	if opts.CompactionMode == CompactionAsync {
+		// Workers start before WAL replay: replayed writes go through the
+		// ordinary admission path, which may need a background commit to
+		// free space.
 		for _, p := range db.parts {
 			p.startWorker()
 		}
 	}
+	if db.dur != nil {
+		if err := db.finishDurable(); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
 	return db, nil
+}
+
+// abortOpen releases whatever a failed Open acquired (the data-directory
+// lock, most importantly).
+func (db *DB) abortOpen() {
+	db.closed.Store(true)
+	for _, p := range db.parts {
+		if p.bg.done != nil {
+			p.stopWorker()
+			<-p.bg.done
+		}
+	}
+	if db.dur != nil {
+		db.dur.dir.Close()
+	}
 }
 
 // partitionIndex routes a key to its partition index: range partitioning
@@ -315,14 +350,16 @@ func (db *DB) Options() Options { return db.opts }
 // Close marks the DB closed and stops the background compaction workers
 // (async mode): each worker finishes the merge round it is in — a round
 // always commits or never started, so no half-applied state is left — then
-// exits; Close returns once all have. There is nothing to flush — all
-// state is already durable on the simulated devices (synchronous slab
-// writes, persisted manifests) — but after Close every operation fails
-// with ErrClosed, new iterators are born failed, and open iterators fail
-// on their next positioning call (their Close still releases pins
-// normally). Stats, Elapsed, and the other read-only accessors keep
-// working, so a shutting-down server can still report final counters.
-// Close is idempotent.
+// exits; Close returns once all have. On an in-memory DB there is nothing
+// to flush — all state is already "durable" on the simulated devices. On a
+// durable DB (Options.DataDir) Close then flushes and fsyncs the WAL,
+// checkpoints the slab files, and releases the data directory's lock, so
+// a clean shutdown reopens with an empty WAL tail. Either way, after
+// Close every operation fails with ErrClosed, new iterators are born
+// failed, and open iterators fail on their next positioning call (their
+// Close still releases pins normally). Stats, Elapsed, and the other
+// read-only accessors keep working, so a shutting-down server can still
+// report final counters. Close is idempotent.
 func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return nil
@@ -336,6 +373,9 @@ func (db *DB) Close() error {
 		if p.bg.done != nil {
 			<-p.bg.done
 		}
+	}
+	if db.dur != nil {
+		return db.closeDurable()
 	}
 	return nil
 }

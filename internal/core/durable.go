@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/prismdb/prismdb/internal/storage"
+)
+
+// durable is the DB's persistence state when Options.DataDir is set: the
+// locked data directory, the manifest journal, and the write-ahead log.
+//
+// The durability scheme leans on one invariant the write path maintains:
+// an operation's slab write is issued (reaches the OS page cache) before
+// its WAL record is appended, both under the partition lock. Consequently
+// a checkpoint — fsync every slab backing file — makes every WAL record
+// appended so far redundant, and all rotated segments can be pruned. There
+// is no memtable to flush and no slab-state serialization: the WAL only
+// has to cover the window since the last checkpoint, and recovery replays
+// it through the ordinary put/del paths (idempotently — the slab state is
+// always at least as new as the log, and replay converges on the final
+// record per key).
+type durable struct {
+	dir     *storage.Dir
+	journal *storage.Journal
+	wal     *storage.WAL
+
+	openedAt     time.Time
+	recovery     storage.RecoveryStats
+	recoveryTime time.Duration
+	orphans      int
+}
+
+// PersistenceStats reports the durability layer's counters; Durable is
+// false (and everything zero) for an in-memory DB.
+type PersistenceStats struct {
+	Durable             bool
+	WALBytes            int64
+	WALRecords          int64
+	WALFsyncs           int64
+	WALSegments         int
+	GroupCommitBatchP50 int64
+	Checkpoints         int64
+
+	RecoveryDuration           time.Duration
+	RecoveryRecords            int64
+	RecoverySegments           int
+	LastRecoveryTruncatedBytes int64
+	OrphanSSTsRemoved          int
+}
+
+// PersistenceStats snapshots the persistence counters.
+func (db *DB) PersistenceStats() PersistenceStats {
+	if db.dur == nil {
+		return PersistenceStats{}
+	}
+	ws := db.dur.wal.Stats()
+	return PersistenceStats{
+		Durable:                    true,
+		WALBytes:                   ws.Bytes,
+		WALRecords:                 ws.Records,
+		WALFsyncs:                  ws.Fsyncs,
+		WALSegments:                ws.Segments,
+		GroupCommitBatchP50:        ws.BatchP50,
+		Checkpoints:                ws.Checkpoints,
+		RecoveryDuration:           db.dur.recoveryTime,
+		RecoveryRecords:            db.dur.recovery.Records,
+		RecoverySegments:           db.dur.recovery.Segments,
+		LastRecoveryTruncatedBytes: db.dur.recovery.TruncatedBytes,
+		OrphanSSTsRemoved:          db.dur.orphans,
+	}
+}
+
+// openDurable locks the data directory and rebuilds the durable metadata
+// that partition construction needs: the manifest journal's live SST sets
+// (with orphan SSTs — written but never committed — removed before the
+// flash backing adopts them) and real-file backings attached to both
+// devices so slab and SST recovery reads come off disk.
+func (db *DB) openDurable() error {
+	d := &durable{openedAt: time.Now()}
+	dir, err := storage.OpenDir(db.opts.DataDir, db.opts.Faults)
+	if err != nil {
+		return err
+	}
+	d.dir = dir
+	journal, err := storage.OpenJournal(dir)
+	if err != nil {
+		dir.Close()
+		return err
+	}
+	d.journal = journal
+	orphans, err := dir.RemoveExtraFiles(storage.DirFlash, journal.LiveAll())
+	if err != nil {
+		dir.Close()
+		return err
+	}
+	d.orphans = len(orphans)
+	wal, err := storage.OpenWAL(dir, storage.WALOptions{
+		Mode:          db.opts.WALSync,
+		FsyncEvery:    db.opts.WALFsyncEvery,
+		FsyncInterval: db.opts.WALFsyncInterval,
+		SegmentBytes:  db.opts.WALSegmentBytes,
+	})
+	if err != nil {
+		dir.Close()
+		return err
+	}
+	d.wal = wal
+	if err := db.opts.NVM.AttachBacking(dir.Backing(storage.DirNVM)); err != nil {
+		dir.Close()
+		return err
+	}
+	if err := db.opts.Flash.AttachBacking(dir.Backing(storage.DirFlash)); err != nil {
+		dir.Close()
+		return err
+	}
+	db.dur = d
+	return nil
+}
+
+// finishDurable completes recovery after the partitions have rebuilt their
+// in-memory state from the recovered files: replay the WAL tail through
+// the ordinary write paths, checkpoint so the replayed segments go away,
+// and only then attach the WAL to the partitions — replay itself must not
+// re-log. Counters touched by replay are zeroed; an Open returns a DB with
+// fresh stats either way.
+func (db *DB) finishDurable() error {
+	d := db.dur
+	_, err := d.wal.Replay(func(op byte, key, value []byte) error {
+		p := db.partitionOf(key)
+		switch op {
+		case storage.OpPut:
+			_, _, perr := p.putLocked(key, value, false, false)
+			return perr
+		case storage.OpDel:
+			_, derr := p.del(key)
+			return derr
+		}
+		return fmt.Errorf("core: wal replay: unknown op %d", op)
+	})
+	d.recovery = d.wal.Stats().Recovery
+	if err != nil {
+		return err
+	}
+	if err := d.wal.Start(db.syncSlabs); err != nil {
+		return err
+	}
+	for _, p := range db.parts {
+		p.wal = d.wal
+	}
+	db.ResetStats()
+	d.recoveryTime = time.Since(d.openedAt)
+	return nil
+}
+
+// syncSlabs is the WAL's checkpoint callback: fsync every partition's slab
+// backing files, making all previously appended WAL records redundant.
+func (db *DB) syncSlabs() error {
+	for _, p := range db.parts {
+		if err := p.slabs.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// closeDurable flushes and fsyncs the WAL, checkpoints the slabs, and —
+// only if both succeeded, making every WAL record redundant — prunes the
+// segments so the next open replays an empty tail. Then it releases the
+// directory lock.
+func (db *DB) closeDurable() error {
+	d := db.dur
+	err := d.wal.Close()
+	if serr := db.syncSlabs(); err == nil {
+		err = serr
+	}
+	if err == nil {
+		err = d.wal.Prune()
+	}
+	if derr := d.dir.Close(); err == nil {
+		err = derr
+	}
+	return err
+}
+
+// crashDurable is the test hook simulating kill -9 from inside the
+// process: stop the background workers (a real kill would stop them too,
+// only less politely — a worker's commit is crash-atomic through the
+// journal either way), drop the WAL's unflushed buffer, and release the
+// directory without syncing anything. Everything already written sits in
+// the OS page cache, exactly as after a real kill -9.
+func (db *DB) crashDurable() {
+	if db.closed.Swap(true) {
+		return
+	}
+	for _, p := range db.parts {
+		if p.bg.done != nil {
+			p.stopWorker()
+		}
+	}
+	for _, p := range db.parts {
+		if p.bg.done != nil {
+			<-p.bg.done
+		}
+	}
+	db.dur.wal.Kill()
+	db.dur.dir.Close()
+}

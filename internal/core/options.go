@@ -10,6 +10,7 @@ import (
 
 	"github.com/prismdb/prismdb/internal/msc"
 	"github.com/prismdb/prismdb/internal/simdev"
+	"github.com/prismdb/prismdb/internal/storage"
 )
 
 // CPUCosts models per-operation CPU time charged to worker and compaction
@@ -211,6 +212,34 @@ type Options struct {
 	// 4096) and AutoTuneStep the perturbation size (default 0.1).
 	AutoTuneWindow int
 	AutoTuneStep   float64
+
+	// DataDir selects the durable storage backend: when non-empty, slab
+	// and SST bytes live in real files under this directory, every write
+	// is logged to a write-ahead log, and Open recovers the directory's
+	// state (see prismdb.go's Durability section). Empty (the default)
+	// keeps the in-memory simdev backend — nothing survives the process,
+	// and simulated results stay byte-identical run to run.
+	DataDir string
+
+	// WALSync selects when acknowledged writes are durable (DataDir mode
+	// only): storage.SyncEvery (default; group-committed fsync before
+	// every ack), storage.SyncGroup (background fsync every WALFsyncEvery
+	// records or WALFsyncInterval), or storage.SyncNone.
+	WALSync storage.SyncMode
+
+	// WALFsyncEvery and WALFsyncInterval tune SyncGroup batching
+	// (defaults 64 records, 2ms).
+	WALFsyncEvery    int
+	WALFsyncInterval time.Duration
+
+	// WALSegmentBytes is the WAL segment rotation threshold (default
+	// 8 MiB); each rotation checkpoints the slab files and prunes the
+	// covered segments.
+	WALSegmentBytes int64
+
+	// Faults, when set, injects deterministic I/O failures into the file
+	// backend (testing hook; DataDir mode only).
+	Faults *storage.FaultInjector
 
 	// Seed drives the engine's random choices (candidate selection,
 	// boundary-clock sampling).

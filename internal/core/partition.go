@@ -14,6 +14,7 @@ import (
 	"github.com/prismdb/prismdb/internal/simdev"
 	"github.com/prismdb/prismdb/internal/slab"
 	"github.com/prismdb/prismdb/internal/sst"
+	"github.com/prismdb/prismdb/internal/storage"
 	"github.com/prismdb/prismdb/internal/tracker"
 )
 
@@ -39,6 +40,13 @@ type partition struct {
 
 	nextVersion uint64
 	nvmBudget   int64
+
+	// wal, when the DB is durable, receives one record per client mutation,
+	// appended under mu AFTER the slab write (the checkpoint invariant; see
+	// durable.go). Nil for in-memory DBs and during WAL replay, making the
+	// log machinery invisible to both. Acknowledgement-side durability
+	// waits happen in the put/del wrappers, off the lock.
+	wal *storage.WAL
 
 	// Background-compaction overlap model: data-structure changes apply
 	// atomically (reads stay consistent), but the SPACE a job reclaims
@@ -156,7 +164,7 @@ const (
 	rtCooldown
 )
 
-func newPartition(id int, opts *Options) (*partition, error) {
+func newPartition(id int, opts *Options, dur *durable) (*partition, error) {
 	p := &partition{
 		id:        id,
 		opts:      opts,
@@ -183,14 +191,29 @@ func newPartition(id int, opts *Options) (*partition, error) {
 	if err != nil {
 		return nil, err
 	}
-	manName := fmt.Sprintf("p%d-MANIFEST", id)
-	if _, openErr := opts.Flash.OpenFile(manName); openErr == nil {
-		p.man, err = sst.LoadManifest(opts.Flash, opts.Cache, manName, p.clk)
+	if dur != nil {
+		// Durable mode: the live SST set comes from the manifest journal,
+		// and opening each table verifies its footer — a table the journal
+		// committed but whose file is torn or missing fails Open loudly.
+		var tables []*sst.Table
+		for _, name := range dur.journal.Live(id) {
+			t, terr := sst.Open(opts.Flash, opts.Cache, name, p.clk)
+			if terr != nil {
+				return nil, fmt.Errorf("manifest journal references %s: %w", name, terr)
+			}
+			tables = append(tables, t)
+		}
+		p.man = sst.NewManifestJournaled(opts.Flash, opts.Cache, dur.journal, id, tables)
 	} else {
-		p.man, err = sst.NewManifest(opts.Flash, opts.Cache, manName)
-	}
-	if err != nil {
-		return nil, err
+		manName := fmt.Sprintf("p%d-MANIFEST", id)
+		if _, openErr := opts.Flash.OpenFile(manName); openErr == nil {
+			p.man, err = sst.LoadManifest(opts.Flash, opts.Cache, manName, p.clk)
+		} else {
+			p.man, err = sst.NewManifest(opts.Flash, opts.Cache, manName)
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
 	p.nextVersion = 1
 	return p, nil
@@ -327,10 +350,29 @@ func (p *partition) stallTo(t int64) {
 }
 
 // put writes key=value (or a tombstone when value is nil and tomb is set).
-// clientOp distinguishes client Puts from internal writes (the tombstone a
-// Delete routes through this path), so the Puts counter counts exactly the
-// client operations issued.
+// It performs the mutation under the partition lock, then — durable DBs in
+// SyncEvery mode — blocks off-lock until the write's WAL record is fsynced,
+// so the group-commit wait never serializes the partition.
 func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, error) {
+	lat, lsn, err := p.putLocked(key, value, tomb, clientOp)
+	if err != nil {
+		return lat, err
+	}
+	if err := p.wal.WaitDurable(lsn); err != nil {
+		return lat, err
+	}
+	return lat, nil
+}
+
+// putLocked is the locked body of put. clientOp distinguishes client Puts
+// from internal writes (the tombstone a Delete routes through this path,
+// WAL replay), so the Puts counter counts exactly the client operations
+// issued, internal writes never touch the popularity tracker, and only
+// client operations are WAL-logged (a tombstone is re-derived from its DEL
+// record at replay; replayed records must not re-log). The WAL append
+// happens at the end of the critical section, after the slab write it
+// describes — the ordering the checkpoint scheme depends on (durable.go).
+func (p *partition) putLocked(key, value []byte, tomb, clientOp bool) (time.Duration, uint64, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.syncClockLocked()
@@ -357,7 +399,7 @@ func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, 
 	rec := slab.Record{Key: key, Value: value, Tombstone: tomb}
 	ci := p.slabs.ClassOf(len(key), len(value))
 	if ci < 0 {
-		return 0, fmt.Errorf("core: object of %d bytes too large", len(key)+len(value))
+		return 0, 0, fmt.Errorf("core: object of %d bytes too large", len(key)+len(value))
 	}
 	idx := p.opts.KeyIndex(key)
 	fastInPlace := false
@@ -370,7 +412,7 @@ func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, 
 			// below, so pinned iterators keep their snapshot value.
 			rec.Version = p.takeVersion()
 			if err := p.slabs.Update(p.clk, loc, rec); err != nil {
-				return 0, err
+				return 0, 0, err
 			}
 			p.stats.InPlaceUpdates++
 			fastInPlace = true
@@ -394,7 +436,7 @@ func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, 
 				// refund the admission debit for the slot we won't take.
 				p.spaceCredit += int64(p.slabs.ClassSize(ci))
 				if err := p.slabs.Update(p.clk, loc, rec); err != nil {
-					return 0, err
+					return 0, 0, err
 				}
 				p.stats.InPlaceUpdates++
 			} else {
@@ -403,12 +445,12 @@ func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, 
 				// admission credit immediately.
 				oldSlot := int64(p.slabs.SlotSize(loc))
 				if err := p.slabs.Delete(p.clk, loc); err != nil {
-					return 0, err
+					return 0, 0, err
 				}
 				p.spaceCredit += oldSlot
 				newLoc, err := p.slabs.Put(p.clk, rec)
 				if err != nil {
-					return 0, err
+					return 0, 0, err
 				}
 				p.index.Insert(key, uint64(newLoc))
 				p.stats.SlabMoves++
@@ -417,7 +459,7 @@ func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, 
 		} else {
 			loc, err := p.slabs.Put(p.clk, rec)
 			if err != nil {
-				return 0, err
+				return 0, 0, err
 			}
 			// The index retains the key slice for the life of the entry
 			// (iterator snapshots alias it), so a fresh insert takes a private
@@ -438,9 +480,16 @@ func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, 
 		p.touch(key, idx, tracker.NVM)
 		p.stats.Puts++
 	}
+	var lsn uint64
+	if p.wal != nil && clientOp {
+		var werr error
+		if lsn, werr = p.wal.AppendPut(key, value); werr != nil {
+			return 0, 0, werr
+		}
+	}
 	p.maybeCompact()
 	p.rt.onOp(p, false)
-	return time.Duration(p.clk.Now() - start), nil
+	return time.Duration(p.clk.Now() - start), lsn, nil
 }
 
 // takeVersion hands out the next slab-record version. Taken at write time
@@ -720,6 +769,20 @@ func (p *partition) del(key []byte) (time.Duration, error) {
 	p.trk.Forget(key)
 	p.bkt.OnCold(idx)
 	p.stats.Deletes++
+	// One DEL record covers the whole delete, tombstone included: replay
+	// re-runs del, which re-derives the tombstone decision from the
+	// recovered state. Logged inside the locked phase (after the NVM slot
+	// removal, matching put's slab-write-before-append ordering) so the
+	// log's per-key order equals lock order.
+	var lsn uint64
+	if p.wal != nil {
+		var werr error
+		if lsn, werr = p.wal.AppendDel(key); werr != nil {
+			p.casMaxVclock(p.clk.Now())
+			p.mu.Unlock()
+			return 0, werr
+		}
+	}
 	// The delete's reported latency is composed from its two phases'
 	// durations, not from re-reading the shared clock after the tombstone
 	// put: ops interleaved from other clients in the unlock window would
@@ -735,12 +798,16 @@ func (p *partition) del(key []byte) (time.Duration, error) {
 		// Fresh tombstone insert (goes through the normal put path,
 		// including watermark checks, but as an internal write: it is
 		// part of the delete, not a client put, so it never touches the
-		// Puts counter or the popularity tracker).
+		// Puts counter or the popularity tracker, and its durability rides
+		// on this delete's DEL record rather than a log entry of its own).
 		tombLat, err := p.put(key, nil, true, false)
 		if err != nil {
 			return 0, err
 		}
 		lat += tombLat
+	}
+	if err := p.wal.WaitDurable(lsn); err != nil {
+		return lat, err
 	}
 	return lat, nil
 }

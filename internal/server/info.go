@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"github.com/prismdb/prismdb/internal/core"
 )
 
 // info renders the INFO reply: key:value lines grouped into # sections,
@@ -85,6 +87,30 @@ func (s *Server) info(section string) string {
 		fmt.Fprintf(&b, "flash_objects:%d\r\n", st.FlashObjects)
 		fmt.Fprintf(&b, "elapsed_virtual_ms:%.3f\r\n", float64(s.eng.Elapsed())/1e6)
 		b.WriteString("\r\n")
+	}
+
+	if want("persistence") {
+		// The section is present only when the engine is durable
+		// (core.Options.DataDir): an in-memory engine either lacks the
+		// method or reports Durable == false.
+		if pe, ok := s.eng.(interface{ PersistenceStats() core.PersistenceStats }); ok {
+			if ps := pe.PersistenceStats(); ps.Durable {
+				fmt.Fprintf(&b, "# persistence\r\n")
+				fmt.Fprintf(&b, "durable:1\r\n")
+				fmt.Fprintf(&b, "wal_bytes:%d\r\n", ps.WALBytes)
+				fmt.Fprintf(&b, "wal_records:%d\r\n", ps.WALRecords)
+				fmt.Fprintf(&b, "wal_fsyncs:%d\r\n", ps.WALFsyncs)
+				fmt.Fprintf(&b, "wal_segments:%d\r\n", ps.WALSegments)
+				fmt.Fprintf(&b, "group_commit_batch_p50:%d\r\n", ps.GroupCommitBatchP50)
+				fmt.Fprintf(&b, "checkpoints:%d\r\n", ps.Checkpoints)
+				fmt.Fprintf(&b, "recovery_ms:%.3f\r\n", float64(ps.RecoveryDuration)/1e6)
+				fmt.Fprintf(&b, "recovery_records:%d\r\n", ps.RecoveryRecords)
+				fmt.Fprintf(&b, "recovery_segments:%d\r\n", ps.RecoverySegments)
+				fmt.Fprintf(&b, "last_recovery_truncated_bytes:%d\r\n", ps.LastRecoveryTruncatedBytes)
+				fmt.Fprintf(&b, "orphan_ssts_removed:%d\r\n", ps.OrphanSSTsRemoved)
+				b.WriteString("\r\n")
+			}
+		}
 	}
 
 	if want("tiers") {

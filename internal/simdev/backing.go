@@ -1,0 +1,90 @@
+package simdev
+
+import "fmt"
+
+// A Backing gives a Device's files real storage. Without one, file bytes
+// live in in-memory extents and vanish with the process — the simulation's
+// default, which keeps tests deterministic. With one attached, every file
+// created on the device delegates its bytes to a BackingFile (in practice
+// an os.File under the engine's data directory), so slab and SST contents
+// survive restarts while all of the device's *timing* behaviour — lanes,
+// queueing, virtual-time charging — stays exactly the same. The layers
+// above keep calling the same File methods either way.
+type Backing interface {
+	// Create makes a new empty backing file. It fails if name exists.
+	Create(name string) (BackingFile, error)
+	// Open returns an existing backing file and its current size.
+	Open(name string) (BackingFile, int64, error)
+	// Remove deletes a backing file by name.
+	Remove(name string) error
+	// List enumerates existing backing files, for adoption at attach time.
+	List() ([]BackingInfo, error)
+}
+
+// BackingFile is the I/O surface a backed File delegates to. Reads and
+// writes are full-buffer-or-error, mirroring File's contract.
+type BackingFile interface {
+	ReadAt(p []byte, off int64) error
+	WriteAt(p []byte, off int64) error
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// BackingInfo describes one existing backing file.
+type BackingInfo struct {
+	Name string
+	Size int64
+}
+
+// AttachBacking plugs real storage into the device and adopts every file
+// the backing already holds (a recovery-time reopen sees its slab and SST
+// files again). It must be called before any file is created on the
+// device: mixing in-memory and backed files on one device would make
+// "what survives a crash" ambiguous.
+func (d *Device) AttachBacking(b Backing) error {
+	infos, err := b.List()
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.backing != nil {
+		return fmt.Errorf("simdev: device %s already has a backing", d.params.Name)
+	}
+	if len(d.files) > 0 {
+		return fmt.Errorf("simdev: device %s already has files; attach the backing before use", d.params.Name)
+	}
+	d.backing = b
+	for _, info := range infos {
+		bf, size, err := b.Open(info.Name)
+		if err != nil {
+			return err
+		}
+		d.files[info.Name] = &File{dev: d, name: info.Name, size: size, back: bf}
+		d.used += size
+		// Adopted names came from NextFileName in a previous incarnation of
+		// this device; advance the sequence past them so new names never
+		// collide with recovered files.
+		if n, ok := nameSeq(info.Name); ok && n > d.seq {
+			d.seq = n
+		}
+	}
+	return nil
+}
+
+// nameSeq extracts the numeric suffix of a NextFileName-generated name.
+func nameSeq(name string) (int64, bool) {
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i == len(name) || i == 0 || name[i-1] != '-' {
+		return 0, false
+	}
+	var n int64
+	for _, c := range name[i:] {
+		n = n*10 + int64(c-'0')
+	}
+	return n, true
+}

@@ -133,8 +133,9 @@ type Device struct {
 	stats      Stats
 	wearB      int64 // lifetime bytes written (never reset)
 	files      map[string]*File
-	used       int64 // bytes allocated across files
-	seq        int64 // for generated file names
+	backing    Backing // nil = in-memory extents (the default)
+	used       int64   // bytes allocated across files
+	seq        int64   // for generated file names
 }
 
 // New creates a device with the given parameters.

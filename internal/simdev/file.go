@@ -29,7 +29,8 @@ type File struct {
 
 	mu      sync.RWMutex
 	size    int64
-	extents [][]byte
+	extents [][]byte    // in-memory storage when back == nil
+	back    BackingFile // real storage when the device has a Backing
 }
 
 // extentBytes is the file extent size. Slab files grow in 64 KiB steps and
@@ -76,6 +77,13 @@ func (d *Device) CreateFile(name string) (*File, error) {
 		return nil, fmt.Errorf("simdev: file %q already exists on %s", name, d.params.Name)
 	}
 	f := &File{dev: d, name: name}
+	if d.backing != nil {
+		bf, err := d.backing.Create(name)
+		if err != nil {
+			return nil, err
+		}
+		f.back = bf
+	}
 	d.files[name] = f
 	return f, nil
 }
@@ -109,11 +117,17 @@ func (d *Device) RemoveFile(name string) error {
 		return fmt.Errorf("simdev: file %q not found on %s", name, d.params.Name)
 	}
 	delete(d.files, name)
+	backing := d.backing
 	d.mu.Unlock()
 	f.mu.Lock()
 	n := f.size
 	f.size = 0
 	f.extents = nil
+	if f.back != nil {
+		f.back.Close()
+		f.back = nil
+		backing.Remove(name)
+	}
 	f.mu.Unlock()
 	d.release(n)
 	return nil
@@ -155,7 +169,14 @@ func (f *File) Truncate(n int64) error {
 	if err := f.dev.allocate(grow); err != nil {
 		return err
 	}
-	f.ensure(n)
+	if f.back != nil {
+		if err := f.back.Truncate(n); err != nil {
+			f.dev.release(grow)
+			return err
+		}
+	} else {
+		f.ensure(n)
+	}
 	f.size = n
 	return nil
 }
@@ -169,9 +190,16 @@ func (f *File) Append(data []byte) (off int64, err error) {
 		return 0, err
 	}
 	off = f.size
-	f.ensure(off + int64(len(data)))
+	if f.back != nil {
+		if err := f.back.WriteAt(data, off); err != nil {
+			f.dev.release(int64(len(data)))
+			return 0, err
+		}
+	} else {
+		f.ensure(off + int64(len(data)))
+		f.writeLocked(data, off)
+	}
 	f.size = off + int64(len(data))
-	f.writeLocked(data, off)
 	return off, nil
 }
 
@@ -183,6 +211,9 @@ func (f *File) WriteAt(data []byte, off int64) error {
 	if off < 0 || off+int64(len(data)) > f.size {
 		return fmt.Errorf("simdev: WriteAt [%d,%d) out of range for %q (size %d)",
 			off, off+int64(len(data)), f.name, f.size)
+	}
+	if f.back != nil {
+		return f.back.WriteAt(data, off)
 	}
 	f.writeLocked(data, off)
 	return nil
@@ -197,8 +228,24 @@ func (f *File) ReadAt(buf []byte, off int64) error {
 		return fmt.Errorf("simdev: ReadAt [%d,%d) out of range for %q (size %d)",
 			off, off+int64(len(buf)), f.name, f.size)
 	}
+	if f.back != nil {
+		return f.back.ReadAt(buf, off)
+	}
 	f.readLocked(buf, off)
 	return nil
+}
+
+// Sync flushes the file's backing store to stable storage. It is a no-op
+// for in-memory files: the simulation's durability is the process's
+// lifetime. Checkpoints fsync slab files through this.
+func (f *File) Sync() error {
+	f.mu.RLock()
+	back := f.back
+	f.mu.RUnlock()
+	if back == nil {
+		return nil
+	}
+	return back.Sync()
 }
 
 // Device returns the device holding this file.

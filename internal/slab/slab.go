@@ -302,6 +302,20 @@ func (m *Manager) AllocatedBytes() int64 {
 	return n
 }
 
+// Sync flushes every slab file's backing store to stable storage (a no-op
+// on in-memory devices). Unlike the rest of the Manager it is safe to call
+// concurrently with slot writes: it only touches the files, which never
+// change identity after NewManager, and a checkpoint that races a write is
+// covered either by this fsync or by the write's WAL record.
+func (m *Manager) Sync() error {
+	for _, s := range m.slabs {
+		if err := s.file.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // LiveObjects returns the number of in-use slots.
 func (m *Manager) LiveObjects() int {
 	var n int

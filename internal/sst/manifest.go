@@ -29,10 +29,23 @@ type Manifest struct {
 	cache *simdev.PageCache
 	name  string
 
+	// In journaled (durable) mode, edits go to an external journal keyed
+	// by partition instead of rewriting a per-partition manifest file in
+	// place: the journal's framed appends make each compaction commit
+	// crash-atomic, which the rewrite never was.
+	journal Journal
+	part    int
+
 	// mu serializes Apply/persist and table refcount transitions. The
 	// foreground read path never takes it.
 	mu  sync.Mutex
 	cur atomic.Pointer[Snapshot]
+}
+
+// Journal records SST add/remove edits durably. Implemented by the storage
+// layer's manifest journal; defined here so sst does not depend on it.
+type Journal interface {
+	LogEdit(part int, add, remove []string) error
 }
 
 // Snapshot is an immutable view of a manifest's live tables, sorted by
@@ -125,6 +138,18 @@ func LoadManifest(dev *simdev.Device, cache *simdev.PageCache, name string, clk 
 	return m, nil
 }
 
+// NewManifestJournaled builds a manifest whose edits are recorded in j
+// under the partition's id, seeded with tables (already opened from the
+// journal's live set during recovery; may be nil). No device-side manifest
+// file exists in this mode and nothing is written at construction — the
+// journal already describes exactly this state.
+func NewManifestJournaled(dev *simdev.Device, cache *simdev.PageCache, j Journal, part int, tables []*Table) *Manifest {
+	m := &Manifest{dev: dev, cache: cache, journal: j, part: part}
+	sortTables(tables)
+	m.cur.Store(m.newSnapshot(tables))
+	return m
+}
+
 func sortTables(tables []*Table) {
 	sort.Slice(tables, func(i, j int) bool {
 		return bytes.Compare(tables[i].smallest, tables[j].smallest) < 0
@@ -175,7 +200,7 @@ func (m *Manifest) Apply(add, remove []*Table) error {
 	tables = append(tables, add...)
 	sortTables(tables)
 	next := m.newSnapshot(tables)
-	if err := m.persist(tables); err != nil {
+	if err := m.commitLocked(add, remove, tables); err != nil {
 		// Roll back the new snapshot's table references.
 		for _, t := range tables {
 			m.unrefLocked(t)
@@ -187,6 +212,29 @@ func (m *Manifest) Apply(add, remove []*Table) error {
 	m.mu.Unlock()
 	old.Release() // drop the manifest's reference on the superseded snapshot
 	return nil
+}
+
+// commitLocked makes an Apply durable. In journaled mode the added tables'
+// file contents are fsynced first — an SST must be fully on disk before
+// the journal edit that makes it live — and then the edit is one framed,
+// fsynced append. In simulation mode the per-partition manifest file is
+// rewritten as before. Caller holds m.mu.
+func (m *Manifest) commitLocked(add, remove, tables []*Table) error {
+	if m.journal == nil {
+		return m.persist(tables)
+	}
+	addN := make([]string, len(add))
+	for i, t := range add {
+		if err := t.file.Sync(); err != nil {
+			return err
+		}
+		addN[i] = t.Name()
+	}
+	rmN := make([]string, len(remove))
+	for i, t := range remove {
+		rmN[i] = t.Name()
+	}
+	return m.journal.LogEdit(m.part, addN, rmN)
 }
 
 // Acquire returns the current snapshot with a reference taken. It is

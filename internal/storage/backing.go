@@ -1,0 +1,53 @@
+package storage
+
+import (
+	"github.com/prismdb/prismdb/internal/simdev"
+)
+
+// Backing returns a simdev.Backing that stores a device's files as real
+// files under one subdirectory of the data dir (DirNVM for the slab tier,
+// DirFlash for SSTs). Engine file names contain no separators, so names
+// map 1:1 onto directory entries.
+func (d *Dir) Backing(sub string) simdev.Backing {
+	return &dirBacking{d: d, sub: sub}
+}
+
+type dirBacking struct {
+	d   *Dir
+	sub string
+}
+
+func (b *dirBacking) Create(name string) (simdev.BackingFile, error) {
+	f, err := b.d.create(b.sub, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.d.syncDir(b.sub); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func (b *dirBacking) Open(name string) (simdev.BackingFile, int64, error) {
+	return b.d.openExisting(b.sub, name)
+}
+
+func (b *dirBacking) Remove(name string) error {
+	if err := b.d.remove(b.sub, name); err != nil {
+		return err
+	}
+	return b.d.syncDir(b.sub)
+}
+
+func (b *dirBacking) List() ([]simdev.BackingInfo, error) {
+	names, sizes, err := b.d.list(b.sub)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]simdev.BackingInfo, len(names))
+	for i := range names {
+		infos[i] = simdev.BackingInfo{Name: names[i], Size: sizes[i]}
+	}
+	return infos, nil
+}

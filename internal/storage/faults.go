@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is returned by file operations that a FaultInjector failed on
+// purpose. Recovery tests match on it to distinguish injected faults from
+// real I/O errors.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultMode selects what happens when an armed FaultInjector fires.
+type FaultMode int
+
+const (
+	// FaultError fails the I/O without touching the file.
+	FaultError FaultMode = iota
+	// FaultShortWrite persists only the first half of the buffer and
+	// reports ErrInjected, like a write interrupted by an error.
+	FaultShortWrite
+	// FaultTornWrite persists only the first half of the buffer but
+	// reports success, then fails every subsequent I/O — the classic
+	// power-cut shape: the caller believes the write landed, the tail of
+	// it never did, and the machine is gone an instant later.
+	FaultTornWrite
+)
+
+// FaultInjector makes the file backend fail deterministically. Every write,
+// truncate, and sync issued through a Dir counts as one I/O; Arm(n, mode)
+// makes the nth-from-now I/O fail in the given mode. A torn write leaves
+// the injector "dead": all later I/O through the same Dir returns
+// ErrInjected until Reset, simulating the crash that follows the tear.
+//
+// The zero value is an inert injector that counts I/O but never fires.
+type FaultInjector struct {
+	mu     sync.Mutex
+	ops    int64 // I/Os observed so far
+	fireAt int64 // fire when ops reaches this value; 0 = disarmed
+	mode   FaultMode
+	fired  bool
+	dead   bool
+}
+
+// Arm schedules a fault on the nth I/O from now (n=1 is the very next one).
+func (fi *FaultInjector) Arm(n int64, mode FaultMode) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.fireAt = fi.ops + n
+	fi.mode = mode
+	fi.fired = false
+	fi.dead = false
+}
+
+// Reset disarms the injector and revives a dead one.
+func (fi *FaultInjector) Reset() {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.fireAt = 0
+	fi.fired = false
+	fi.dead = false
+}
+
+// Ops reports how many I/Os the injector has observed.
+func (fi *FaultInjector) Ops() int64 {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.ops
+}
+
+// Fired reports whether the armed fault has gone off.
+func (fi *FaultInjector) Fired() bool {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.fired
+}
+
+// onIO accounts one I/O of n payload bytes and decides its fate: allow is
+// how many bytes may actually be written (n for reads/syncs, which pass 0),
+// and err is what the operation must return. A nil fi allows everything.
+func (fi *FaultInjector) onIO(n int) (allow int, err error) {
+	if fi == nil {
+		return n, nil
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.ops++
+	if fi.dead {
+		return 0, ErrInjected
+	}
+	if fi.fireAt == 0 || fi.ops != fi.fireAt {
+		return n, nil
+	}
+	fi.fired = true
+	switch fi.mode {
+	case FaultShortWrite:
+		return n / 2, ErrInjected
+	case FaultTornWrite:
+		fi.dead = true
+		return n / 2, nil
+	default:
+		return 0, ErrInjected
+	}
+}

@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFaultError(t *testing.T) {
+	fi := &FaultInjector{}
+	d := openTestDir(t, t.TempDir(), fi)
+	defer d.Close()
+	f, err := d.create(DirNVM, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteAt([]byte("before"), 0); err != nil {
+		t.Fatal(err)
+	}
+	fi.Arm(1, FaultError)
+	if err := f.WriteAt([]byte("doomed"), 6); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed write returned %v, want ErrInjected", err)
+	}
+	if !fi.Fired() {
+		t.Fatal("injector did not record firing")
+	}
+	// FaultError touches nothing: the file still holds only the first write.
+	if err := f.WriteAt([]byte("after"), 6); err != nil {
+		t.Fatalf("injector stayed hot after firing: %v", err)
+	}
+}
+
+func TestFaultShortWrite(t *testing.T) {
+	fi := &FaultInjector{}
+	dir := t.TempDir()
+	d := openTestDir(t, dir, fi)
+	defer d.Close()
+	f, err := d.create(DirNVM, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi.Arm(1, FaultShortWrite)
+	payload := []byte("0123456789")
+	if err := f.WriteAt(payload, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write returned %v, want ErrInjected", err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, DirNVM, "victim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[:len(payload)/2]) {
+		t.Fatalf("file holds %q after short write, want first half of %q", got, payload)
+	}
+}
+
+func TestFaultTornWrite(t *testing.T) {
+	fi := &FaultInjector{}
+	dir := t.TempDir()
+	d := openTestDir(t, dir, fi)
+	defer d.Close()
+	f, err := d.create(DirNVM, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi.Arm(1, FaultTornWrite)
+	payload := []byte("0123456789")
+	// The tear is invisible to the writer: success is reported.
+	if err := f.WriteAt(payload, 0); err != nil {
+		t.Fatalf("torn write reported %v, want success", err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, DirNVM, "victim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[:len(payload)/2]) {
+		t.Fatalf("file holds %q after torn write, want first half of %q", got, payload)
+	}
+	// ...and then the machine dies: every later I/O through the Dir fails.
+	if err := f.WriteAt([]byte("x"), 20); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after tear returned %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync after tear returned %v, want ErrInjected", err)
+	}
+	fi.Reset()
+	if err := f.WriteAt([]byte("revived"), 0); err != nil {
+		t.Fatalf("write after Reset: %v", err)
+	}
+}
+
+func TestFaultInjectorCountsSyncsAndTruncates(t *testing.T) {
+	fi := &FaultInjector{}
+	d := openTestDir(t, t.TempDir(), fi)
+	defer d.Close()
+	f, err := d.create(DirNVM, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fi.Ops()
+	if err := f.WriteAt([]byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := fi.Ops() - base; got != 3 {
+		t.Fatalf("injector counted %d I/Os for write+sync+truncate, want 3", got)
+	}
+}

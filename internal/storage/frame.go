@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// WAL segments and the manifest journal share one frame format:
+//
+//	[u32 payload length][u32 CRC-32C of payload][payload]
+//
+// Frames are appended sequentially and written with positional writes, so a
+// crash can only leave a *prefix* of the intended bytes: a torn tail is an
+// incomplete final frame, never a hole in the middle. That asymmetry drives
+// the scan rules below — an incomplete frame at end-of-file is truncated
+// and forgiven, while a complete frame with a bad checksum is corruption
+// and fails loudly.
+
+const frameHeaderLen = 8
+
+// maxFrameBytes bounds a frame's payload. Real records are tiny (the
+// engine caps objects well below this); a "length" beyond the bound is
+// garbage, not data.
+const maxFrameBytes = 64 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one framed payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// scanFrames walks the frames in data, invoking fn on each payload. It
+// returns the offset just past the last whole frame, the number of frames
+// decoded, and — when the data ends mid-frame — the count of dangling tail
+// bytes.
+//
+// An incomplete final frame is tolerated only when last is true (the final
+// file of a log): a crash tears tails, it does not punch holes, so the same
+// shape in an earlier file is corruption. A complete frame whose checksum
+// does not match is corruption regardless of position — that data was
+// acknowledged as written and is now wrong, and silently skipping it would
+// drop updates.
+func scanFrames(name string, data []byte, last bool, fn func(payload []byte) error) (end int64, frames int64, torn int64, err error) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		bad := ""
+		length := 0
+		if len(rest) < frameHeaderLen {
+			bad = "incomplete frame header"
+		} else if length = int(binary.LittleEndian.Uint32(rest[0:4])); length == 0 || length > maxFrameBytes {
+			// A zero length can only come from zero fill (every real
+			// payload has at least an opcode); an absurd one from garbage.
+			// Either way no frame starts here.
+			bad = fmt.Sprintf("bad frame length %d", length)
+		} else if len(rest) < frameHeaderLen+length {
+			bad = "frame payload past end of file"
+		}
+		if bad != "" {
+			if last {
+				return int64(off), frames, int64(len(data) - off), nil
+			}
+			return 0, 0, 0, fmt.Errorf("storage: %s: frame at offset %d: %s in non-final file", name, off, bad)
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+length]
+		want := binary.LittleEndian.Uint32(rest[4:8])
+		if got := crc32.Checksum(payload, crcTable); got != want {
+			return 0, 0, 0, fmt.Errorf("storage: %s: frame at offset %d: checksum mismatch (got %08x want %08x)", name, off, got, want)
+		}
+		if err := fn(payload); err != nil {
+			return 0, 0, 0, err
+		}
+		off += frameHeaderLen + length
+		frames++
+	}
+	return int64(off), frames, 0, nil
+}

@@ -1,0 +1,229 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDir(t, dir, nil)
+	j, err := OpenJournal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(j.LogEdit(0, []string{"a.sst", "b.sst"}, nil))
+	must(j.LogEdit(1, []string{"c.sst"}, nil))
+	must(j.LogEdit(0, []string{"d.sst"}, []string{"a.sst"}))
+	if got := j.Live(0); !reflect.DeepEqual(got, []string{"b.sst", "d.sst"}) {
+		t.Fatalf("Live(0) = %v", got)
+	}
+	must(d.Close())
+
+	d = openTestDir(t, dir, nil)
+	defer d.Close()
+	j2, err := OpenJournal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.Live(0); !reflect.DeepEqual(got, []string{"b.sst", "d.sst"}) {
+		t.Fatalf("recovered Live(0) = %v", got)
+	}
+	if got := j2.Live(1); !reflect.DeepEqual(got, []string{"c.sst"}) {
+		t.Fatalf("recovered Live(1) = %v", got)
+	}
+	if all := j2.LiveAll(); len(all) != 3 {
+		t.Fatalf("LiveAll = %v", all)
+	}
+}
+
+// currentJournalPath resolves CURRENT to the live journal file's path.
+func currentJournalPath(t *testing.T, dir string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, "CURRENT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, strings.TrimSpace(string(b)))
+}
+
+func TestJournalTornEditDropped(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDir(t, dir, nil)
+	j, err := OpenJournal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogEdit(0, []string{"committed.sst"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-LogEdit leaves a prefix of the edit's frame. The commit it
+	// described was never acknowledged, so recovery drops it silently.
+	path := currentJournalPath(t, dir)
+	pre, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := pre.Size()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{50, 0, 0, 0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	d = openTestDir(t, dir, nil)
+	defer d.Close()
+	j2, err := OpenJournal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.Live(0); !reflect.DeepEqual(got, []string{"committed.sst"}) {
+		t.Fatalf("Live(0) after torn edit = %v", got)
+	}
+	if j2.Edits() != 1 {
+		t.Fatalf("edits = %d, want 1", j2.Edits())
+	}
+	// The tear was truncated away on disk, not just skipped in memory.
+	st, err := os.Stat(currentJournalPath(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != sizeBefore {
+		t.Fatalf("journal is %d bytes after recovery, want %d (tear truncated)", st.Size(), sizeBefore)
+	}
+}
+
+func TestJournalCorruptEditFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDir(t, dir, nil)
+	j, err := OpenJournal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogEdit(0, []string{"one-table-name.sst"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := currentJournalPath(t, dir)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, frameHeaderLen+3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	d = openTestDir(t, dir, nil)
+	defer d.Close()
+	if _, err := OpenJournal(d); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corrupt journal edit opened without a checksum error: %v", err)
+	}
+}
+
+func TestJournalCurrentPointsAtMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDir(t, dir, nil)
+	j, err := OpenJournal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogEdit(0, []string{"x.sst"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(currentJournalPath(t, dir)); err != nil {
+		t.Fatal(err)
+	}
+
+	// CURRENT naming a journal that does not exist is unreachable by
+	// crashing (CURRENT swings only after the new journal is fsync'd); it
+	// means lost data and must not be silently "recovered" as empty.
+	d = openTestDir(t, dir, nil)
+	defer d.Close()
+	if _, err := OpenJournal(d); err == nil || !strings.Contains(err.Error(), "missing manifest journal") {
+		t.Fatalf("missing journal opened without error: %v", err)
+	}
+}
+
+func TestJournalRotation(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDir(t, dir, nil)
+	j, err := OpenJournal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.rotateBytes = 512 // force rotation quickly
+	for i := 0; i < 100; i++ {
+		add := []string{nameFor(i)}
+		var rm []string
+		if i >= 10 {
+			rm = []string{nameFor(i - 10)}
+		}
+		if err := j.LogEdit(i%2, add, rm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantLive := j.LiveAll()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.Close())
+
+	// Rotation compacted: exactly one MANIFEST file remains and CURRENT
+	// points at it, with a sequence well past the first.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manifests []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "MANIFEST-") {
+			manifests = append(manifests, e.Name())
+		}
+	}
+	if len(manifests) != 1 {
+		t.Fatalf("manifest files on disk = %v, want exactly one", manifests)
+	}
+	if manifests[0] == journalName(1) {
+		t.Fatal("journal never rotated")
+	}
+
+	d = openTestDir(t, dir, nil)
+	defer d.Close()
+	j2, err := OpenJournal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.LiveAll(); !reflect.DeepEqual(got, wantLive) {
+		t.Fatalf("live set changed across rotation+reopen:\ngot  %v\nwant %v", got, wantLive)
+	}
+}
+
+func nameFor(i int) string {
+	return "table-" + string([]byte{byte('0' + i/100), byte('0' + i/10%10), byte('0' + i%10)}) + ".sst"
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+// Non-unix fallbacks: full fsync instead of fdatasync, and no advisory
+// locking (the LOCK file still exists, it just doesn't exclude).
+
+func fdatasync(f *os.File) error { return f.Sync() }
+
+func flockExclusive(f *os.File) error { return nil }
+
+func funlock(f *os.File) error { return nil }

@@ -1,0 +1,32 @@
+//go:build unix
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// fdatasync flushes file data (not necessarily metadata) to stable storage.
+// On Linux this is the cheap variant the WAL wants: record frames only ever
+// grow the file, and the one metadata field that matters for replay — the
+// file size — is covered by fdatasync's contract.
+func fdatasync(f *os.File) error {
+	return syscall.Fdatasync(int(f.Fd()))
+}
+
+// flockExclusive takes a non-blocking exclusive advisory lock on f. It
+// returns errLocked if another descriptor (any process, including this one)
+// holds the lock.
+func flockExclusive(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == syscall.EWOULDBLOCK {
+		return errLocked
+	}
+	return err
+}
+
+// funlock releases the advisory lock held on f.
+func funlock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -201,6 +201,53 @@
 // call it before asserting on Stats or NVM usage in tests and harness
 // phase boundaries.
 //
+// # Durability
+//
+// By default the database is a simulation: file bytes live in memory and
+// vanish with the process, which keeps tests and experiments deterministic.
+// Setting Options.DataDir turns on the real-file backend (internal/storage)
+// without changing any virtual-time behavior: the simulated devices keep
+// modeling latency and queueing exactly as before, but every slab and SST
+// byte is delegated to a real file under the data directory, and the engine
+// adds the three classic pieces of crash safety on top:
+//
+//   - A group-commit write-ahead log (wal/). Writers frame put/del records
+//     into a buffer under a short lock; a single flusher turns whatever
+//     accumulated into one write and one fdatasync, so concurrent writers
+//     share fsyncs instead of paying one each. Options.WALSync picks the
+//     acknowledgement contract: SyncEvery (default) acks only after the
+//     record's fsync — kill -9 loses nothing acknowledged; SyncGroup acks
+//     immediately and fsyncs every WALFsyncEvery records or WALFsyncInterval
+//     — a crash loses at most that window; SyncNone leaves durability to the
+//     OS (a process crash still loses nothing, since records reach the page
+//     cache promptly; only power loss is exposed).
+//
+//   - A journaled manifest (MANIFEST-NNNNNN + CURRENT). Each compaction
+//     commit appends one fsynced add/remove edit, so commits are
+//     crash-atomic: after a crash the journal contains the whole edit or
+//     none of it. The journal compacts into a fresh snapshot file once it
+//     grows, with an atomic rename swinging CURRENT.
+//
+//   - Recovery on Open. The manifest journal is replayed (a torn final edit
+//     is dropped — it was never acknowledged), SSTs not in the journal's
+//     live set are deleted as orphans of uncommitted compactions, slab and
+//     SST files are re-adopted by the devices, and the WAL tail is replayed
+//     through the ordinary write paths — tolerating a torn final record,
+//     but failing loudly on checksum corruption anywhere else. Replay is
+//     idempotent because slab writes land before their WAL records: the
+//     recovered state is always at least as new as the log.
+//
+// There is deliberately no memtable flush: a checkpoint is just "fsync the
+// slab files", which the WAL triggers at each segment rotation before
+// pruning the covered segments, bounding both log size and recovery time.
+// A LOCK file (flock) excludes concurrent opens of one data directory;
+// Close flushes and fsyncs the WAL, checkpoints, prunes, and releases the
+// lock, so a clean reopen replays nothing. PersistenceStats (and the
+// server's INFO persistence section) reports WAL bytes/fsyncs, group-commit
+// batch size, checkpoint counts, and what recovery found. The
+// fault-injection hooks (Options.Faults, FaultInjector) can fail, truncate,
+// or tear the Nth I/O to exercise these paths deterministically.
+//
 // # Serving
 //
 // The repo ships a network front end so the engine can serve real traffic:
@@ -232,6 +279,7 @@ import (
 	"github.com/prismdb/prismdb/internal/core"
 	"github.com/prismdb/prismdb/internal/msc"
 	"github.com/prismdb/prismdb/internal/simdev"
+	"github.com/prismdb/prismdb/internal/storage"
 	"github.com/prismdb/prismdb/internal/tracker"
 )
 
@@ -264,6 +312,18 @@ type (
 	PageCache = simdev.PageCache
 	// CompactionPolicy selects MSC scoring (approx, precise, random).
 	CompactionPolicy = msc.Policy
+	// SyncMode picks the WAL's durability-vs-latency contract; see the
+	// package docs' Durability section.
+	SyncMode = storage.SyncMode
+	// PersistenceStats reports the durability layer's counters (WAL
+	// volume, fsyncs, group-commit batch size, recovery findings).
+	PersistenceStats = core.PersistenceStats
+	// FaultInjector deterministically fails, short-writes, or tears the
+	// Nth file I/O of a durable DB (Options.Faults) — the hook behind the
+	// crash-recovery tests.
+	FaultInjector = storage.FaultInjector
+	// FaultMode selects what an armed FaultInjector does when it fires.
+	FaultMode = storage.FaultMode
 )
 
 // Tiers a read can be served from.
@@ -292,6 +352,36 @@ const (
 	CompactionSync = core.CompactionSync
 )
 
+// WAL sync modes (Options.WALSync).
+const (
+	// SyncEvery acknowledges a write only after its WAL record is
+	// fdatasync'd; group commit batches concurrent writers into one fsync.
+	SyncEvery = storage.SyncEvery
+	// SyncGroup acknowledges immediately and fsyncs in the background
+	// every WALFsyncEvery records or WALFsyncInterval.
+	SyncGroup = storage.SyncGroup
+	// SyncNone never fsyncs during operation (Close still does).
+	SyncNone = storage.SyncNone
+)
+
+// Fault-injection modes (FaultInjector.Arm).
+const (
+	// FaultError fails the I/O outright.
+	FaultError = storage.FaultError
+	// FaultShortWrite persists half the buffer and reports ErrInjected.
+	FaultShortWrite = storage.FaultShortWrite
+	// FaultTornWrite persists half the buffer, reports success, and then
+	// fails all subsequent I/O — a power cut mid-write.
+	FaultTornWrite = storage.FaultTornWrite
+)
+
+// ErrInjected is returned by file operations a FaultInjector failed.
+var ErrInjected = storage.ErrInjected
+
+// ParseSyncMode parses the -wal-sync flag spellings: "sync", "group", or
+// "nosync".
+func ParseSyncMode(s string) (SyncMode, error) { return storage.ParseSyncMode(s) }
+
 // ErrClosed is returned by every operation issued after Close (and by
 // iterators that outlive it).
 var ErrClosed = core.ErrClosed
@@ -314,9 +404,12 @@ type DB struct {
 }
 
 // Open creates or recovers a database. Options.NVM and Options.Flash are
-// required; reopening with devices that already hold PrismDB state recovers
-// from the slabs and manifests (PrismDB has no WAL — slab writes are
-// synchronous and versioned).
+// required. Reopening with devices that already hold PrismDB state recovers
+// from the slabs and manifests (slab writes are synchronous and versioned,
+// so in-memory "recovery" is a scan). With Options.DataDir set, Open locks
+// the data directory, replays the manifest journal and the WAL tail, and
+// rebuilds the same state from real files — see the package docs'
+// Durability section.
 func Open(opts Options) (*DB, error) {
 	inner, err := core.Open(opts)
 	if err != nil {
@@ -450,12 +543,18 @@ func (db *DB) NVMUsage() (used, budget int64) { return db.inner.NVMUsage() }
 // Partitions returns the partition count.
 func (db *DB) Partitions() int { return db.inner.Partitions() }
 
-// Close marks the database closed. There is nothing to flush (writes are
-// synchronous) — but afterwards every operation fails with ErrClosed and
+// Close marks the database closed. In-memory there is nothing to flush
+// (writes are synchronous); a durable DB flushes and fsyncs its WAL,
+// checkpoints the slab files, prunes the log, and releases the data
+// directory's lock. Afterwards every operation fails with ErrClosed and
 // open iterators fail on their next positioning call, which is what lets a
 // serving front end shut down deterministically. Stats and the other
 // read-only accessors keep working. Idempotent.
 func (db *DB) Close() error { return db.inner.Close() }
+
+// PersistenceStats reports the durability layer's counters; Durable is
+// false (and everything zero) when Options.DataDir was not set.
+func (db *DB) PersistenceStats() PersistenceStats { return db.inner.PersistenceStats() }
 
 // DefaultReadTrigger returns the paper's read-trigger defaults scaled to a
 // dataset size.

@@ -16,7 +16,11 @@ trap 'rm -f "$tmp"' EXIT
 
 # The driver benchmarks live in ./bench (including the contended-read
 # scaling rows BenchmarkContendedGets/goroutines=1..8 — wall-Kops of one
-# hot partition under concurrent lock-free GETs), the per-figure harness
+# hot partition under concurrent lock-free GETs, and the durability-cost
+# rows BenchmarkWALFsyncModes/{sync,group,nosync} — acknowledged SETs/s
+# against a real data directory under each WAL sync mode, where the
+# sync-vs-nosync spread prices fsync-per-ack and group commit should
+# recoup most of it), the per-figure harness
 # benchmarks in the root package, and the wire-path benchmarks in
 # ./internal/server: pipelined vs unpipelined serving, the GET-heavy
 # multi-connection BenchmarkServerContendedGets row (prismload -workload c

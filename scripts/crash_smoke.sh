@@ -1,0 +1,91 @@
+#!/bin/sh
+# Crash-recovery smoke test: acknowledged writes must survive kill -9.
+#
+# Build prismserver and prismload, start the server with a durable data
+# directory, drive a write-heavy burst with -acklog (every acknowledged
+# SET/DEL journaled client-side, strictly after its reply), kill -9 the
+# server mid-run, restart it on the same data directory, and run
+# prismload -verify: every unambiguous acknowledged write must still be
+# there. Then kill -9 the restarted server too and restart once more —
+# recovery must be idempotent (recover-then-recover) — before a final
+# graceful shutdown.
+#
+#   PRISM_PORT   listen port (default 16398)
+#   SMOKE_OPS    ops offered before the kill lands (default 60000)
+#   KILL_AFTER   seconds before the kill -9 (default: random in [0.5, 2.5))
+set -e
+cd "$(dirname "$0")/.."
+
+port="${PRISM_PORT:-16398}"
+ops="${SMOKE_OPS:-60000}"
+bin="$(mktemp -d)"
+data="$bin/data"
+trap 'kill -9 "$srv_pid" 2>/dev/null; rm -rf "$bin"' EXIT
+
+go build -o "$bin/prismserver" ./cmd/prismserver
+go build -o "$bin/prismload" ./cmd/prismload
+
+start_server() {
+	"$bin/prismserver" -addr "127.0.0.1:$port" -total 256 -quiet \
+		-data-dir "$data" -wal-sync sync >> "$bin/server.log" 2>&1 &
+	srv_pid=$!
+}
+
+# --- Round 1: load + write burst, kill -9 mid-run -------------------------
+start_server
+
+# Workload A (50% updates) over few keys: plenty of acknowledged SETs, and
+# hot-key overwrites exercise WAL replay ordering. The burst runs in the
+# background; the kill lands while it is in full flight.
+"$bin/prismload" -addr "127.0.0.1:$port" \
+	-load -keys 3000 -value 256 -workload a \
+	-ops "$ops" -conns 4 -pipeline 16 \
+	-acklog "$bin/acked.log" > "$bin/load.log" 2>&1 &
+load_pid=$!
+
+# Random delay so successive runs kill at different points of the burst
+# (awk, not $RANDOM — /bin/sh may be dash). The load phase plus a slice of
+# the measured run fit inside it often enough to matter either way.
+delay="${KILL_AFTER:-$(awk 'BEGIN{srand(); printf "%.2f", 0.5+2*rand()}')}"
+sleep "$delay"
+kill -9 "$srv_pid" 2>/dev/null || true
+wait "$srv_pid" 2>/dev/null || true
+
+# The client must notice the dead server and exit 0 (crash is the expected
+# ending of an -acklog run), leaving the journal of acknowledged writes.
+load_status=0
+wait "$load_pid" || load_status=$?
+cat "$bin/load.log"
+if [ "$load_status" -ne 0 ]; then
+	echo "prismload -acklog run failed (status $load_status)" >&2
+	exit "$load_status"
+fi
+if [ ! -s "$bin/acked.log" ]; then
+	echo "no acknowledged writes were journaled before the kill (killed too early?)" >&2
+	exit 1
+fi
+echo "killed server (pid $srv_pid) after ${delay}s; $(wc -l < "$bin/acked.log") acked writes journaled"
+
+# --- Round 2: restart, verify every acknowledged write --------------------
+start_server
+"$bin/prismload" -addr "127.0.0.1:$port" -verify "$bin/acked.log"
+
+# --- Round 3: kill -9 again, restart, verify again ------------------------
+# Recovery must be idempotent: recovering a directory that was itself
+# produced by recovery (and then killed) converges on the same state.
+kill -9 "$srv_pid" 2>/dev/null || true
+wait "$srv_pid" 2>/dev/null || true
+start_server
+"$bin/prismload" -addr "127.0.0.1:$port" -verify "$bin/acked.log"
+
+# --- Graceful shutdown must still work after all that ---------------------
+kill -TERM "$srv_pid"
+srv_status=0
+wait "$srv_pid" || srv_status=$?
+trap 'rm -rf "$bin"' EXIT
+if [ "$srv_status" -ne 0 ]; then
+	echo "prismserver exited with status $srv_status" >&2
+	cat "$bin/server.log" >&2
+	exit "$srv_status"
+fi
+echo "crash-smoke OK"
