@@ -72,7 +72,7 @@ func Open(opts Options) (*DB, error) {
 	}
 	if db.dur != nil {
 		if err := db.finishDurable(); err != nil {
-			db.Close()
+			db.abortOpen()
 			return nil, err
 		}
 	}
@@ -80,7 +80,12 @@ func Open(opts Options) (*DB, error) {
 }
 
 // abortOpen releases whatever a failed Open acquired (the data-directory
-// lock, most importantly).
+// lock, most importantly). It must NOT go through db.Close: closeDurable
+// checkpoints the slabs and prunes the WAL, and after a failed replay that
+// would delete segments whose records were never applied — the first Open
+// fails loudly and the second would silently succeed with acknowledged
+// writes gone. Kill drops the WAL without flushing; the segments stay on
+// disk for the next Open to replay (or fail on again).
 func (db *DB) abortOpen() {
 	db.closed.Store(true)
 	for _, p := range db.parts {
@@ -90,6 +95,7 @@ func (db *DB) abortOpen() {
 		}
 	}
 	if db.dur != nil {
+		db.dur.wal.Kill()
 		db.dur.dir.Close()
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -12,9 +13,12 @@ import (
 //
 // The durability scheme leans on one invariant the write path maintains:
 // an operation's slab write is issued (reaches the OS page cache) before
-// its WAL record is appended, both under the partition lock. Consequently
-// a checkpoint — fsync every slab backing file — makes every WAL record
-// appended so far redundant, and all rotated segments can be pruned. There
+// its WAL record is appended, both under the partition lock — for deletes
+// that includes the inline tombstone insert, and the one write that CAN
+// lag (a slot-zeroing free deferred by a pinned epoch) blocks checkpoints
+// via the DeferredDirty barrier in syncSlabs. Consequently a checkpoint —
+// fsync every slab backing file — makes every WAL record appended so far
+// redundant, and all rotated segments can be pruned. There
 // is no memtable to flush and no slab-state serialization: the WAL only
 // has to cover the window since the last checkpoint, and recovery replays
 // it through the ordinary put/del paths (idempotently — the slab state is
@@ -153,10 +157,34 @@ func (db *DB) finishDurable() error {
 	return nil
 }
 
+// errCheckpointBusy reports a checkpoint that had to be skipped: some
+// partition's slab files are not a complete image of its logical state,
+// because freed slots are still awaiting their zeroing writes (an open
+// reclamation epoch — a live iterator — or a background commit's deferred
+// batch mid-zeroing). The WAL retains its segments and retries at the next
+// rotation; Close skips pruning and lets the next open replay instead.
+var errCheckpointBusy = errors.New("core: checkpoint skipped: slab frees deferred by an open epoch")
+
 // syncSlabs is the WAL's checkpoint callback: fsync every partition's slab
 // backing files, making all previously appended WAL records redundant.
+//
+// The redundancy argument needs every record's slab effects to be in the
+// page cache before the fsync. Puts issue their writes synchronously under
+// the partition lock before appending, but a delete's slot-zeroing write is
+// DEFERRED while an epoch is pinned — so if any partition still owes
+// zeroing writes, fsyncing would declare DEL records redundant whose
+// effects never reached the files, and a crash would resurrect acknowledged
+// deletes. Refuse the checkpoint instead (errCheckpointBusy); records
+// appended after a partition's check land in the active segment, which no
+// checkpoint prunes, so the check-then-sync is race-free.
 func (db *DB) syncSlabs() error {
 	for _, p := range db.parts {
+		p.mu.Lock()
+		dirty := p.slabs.DeferredDirty()
+		p.mu.Unlock()
+		if dirty {
+			return errCheckpointBusy
+		}
 		if err := p.slabs.Sync(); err != nil {
 			return err
 		}
@@ -167,14 +195,21 @@ func (db *DB) syncSlabs() error {
 // closeDurable flushes and fsyncs the WAL, checkpoints the slabs, and —
 // only if both succeeded, making every WAL record redundant — prunes the
 // segments so the next open replays an empty tail. Then it releases the
-// directory lock.
+// directory lock. A busy checkpoint (an iterator still open at Close, its
+// epoch deferring slot frees) is not an error: the WAL is already fsync'd,
+// so the segments are simply retained and the next open replays them.
 func (db *DB) closeDurable() error {
 	d := db.dur
 	err := d.wal.Close()
-	if serr := db.syncSlabs(); err == nil {
-		err = serr
-	}
-	if err == nil {
+	serr := db.syncSlabs()
+	switch {
+	case errors.Is(serr, errCheckpointBusy):
+		// Keep the segments; replay-on-open covers the un-issued frees.
+	case serr != nil:
+		if err == nil {
+			err = serr
+		}
+	case err == nil:
 		err = d.wal.Prune()
 	}
 	if derr := d.dir.Close(); err == nil {

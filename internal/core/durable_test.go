@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/prismdb/prismdb/internal/storage"
 )
@@ -392,4 +394,110 @@ func TestDurableFaultPoisonsWrites(t *testing.T) {
 	defer db.Close()
 	// The 20 pre-fault writes were acknowledged durably and must survive.
 	checkKeys(t, db, 20, 512, nil)
+}
+
+// TestDurableFailedOpenDoesNotDestroyWAL covers the failed-recovery abort
+// path: when Open fails mid-WAL-replay (corruption), the un-replayed
+// segments must survive, so the failure stays loud on every retry. The bug
+// this pins down: aborting via the clean-shutdown path pruned the WAL, and
+// a second Open silently succeeded with the acknowledged writes gone.
+func TestDurableFailedOpenDoesNotDestroyWAL(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(durableOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		mustPut(t, db, key(i), val(i, 64))
+	}
+	db.crashDurable()
+
+	// Corrupt the first record's payload in the oldest segment: a checksum
+	// mismatch on a complete mid-log record is a hard replay error.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "*"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("wal segments after crash: %v (err %v)", segs, err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[0], os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, 10); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, err := Open(durableOptions(dir)); err == nil {
+		t.Fatal("open succeeded over a corrupt WAL record")
+	}
+	// The failed open must not have consumed the WAL: retrying fails just
+	// as loudly, and the segments are still on disk for forensics.
+	if _, err := Open(durableOptions(dir)); err == nil {
+		t.Fatal("second open silently succeeded: the failed open destroyed the WAL")
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "wal", "*"))
+	if len(left) == 0 {
+		t.Fatal("failed opens removed the WAL segments")
+	}
+}
+
+// TestDurableDeleteUnderPinnedEpochSurvivesCheckpoint covers the
+// delete-vs-checkpoint ordering: while an iterator pins the reclamation
+// epoch, a delete's slot-zeroing write is deferred, so its DEL record is
+// the only durable trace. Checkpoints must refuse to declare that record
+// redundant; pre-fix, a rotation-triggered checkpoint pruned it and a
+// crash resurrected the acknowledged delete from the un-zeroed slab slot.
+func TestDurableDeleteUnderPinnedEpochSurvivesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	o := durableOptions(dir)
+	o.WALSegmentBytes = 4096 // rotate (and attempt a checkpoint) every ~4 puts
+	db, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		mustPut(t, db, key(i), val(i, 1024))
+	}
+	it := db.NewIterator(nil, 0) // pins the epoch; deliberately never closed
+	_ = it
+	if _, err := db.Delete(key(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Filler writes force several segment rotations, each of which tries to
+	// checkpoint; the pinned epoch must refuse every one.
+	for i := 0; i < 30; i++ {
+		mustPut(t, db, key(100+i), val(100+i, 1024))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for db.PersistenceStats().WALSegments < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no WAL rotation under filler load: %+v", db.PersistenceStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ps := db.PersistenceStats(); ps.Checkpoints != 0 {
+		t.Fatalf("checkpoint ran with a pinned epoch deferring the delete's free: %+v", ps)
+	}
+	db.crashDurable()
+
+	db2, err := Open(durableOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	v, _, _, err := db2.Get(key(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("deleted key resurrected after crash with %d bytes", len(v))
+	}
+	for _, i := range []int{0, 2} {
+		v, _, _, err := db2.Get(key(i))
+		if err != nil || !bytes.Equal(v, val(i, 1024)) {
+			t.Fatalf("key %d after recovery: %d bytes, err %v", i, len(v), err)
+		}
+	}
 }

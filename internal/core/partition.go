@@ -377,6 +377,15 @@ func (p *partition) putLocked(key, value []byte, tomb, clientOp bool) (time.Dura
 	defer p.mu.Unlock()
 	p.syncClockLocked()
 	p.drainReadsLocked()
+	defer func() { p.casMaxVclock(p.clk.Now()) }()
+	return p.putBodyLocked(key, value, tomb, clientOp)
+}
+
+// putBodyLocked is the mutation body shared by putLocked and del's inline
+// tombstone insert. The caller holds p.mu with the clock synced and reads
+// drained; admission may briefly release and re-acquire the lock (see
+// admitWrite), exactly as when entered through putLocked.
+func (p *partition) putBodyLocked(key, value []byte, tomb, clientOp bool) (time.Duration, uint64, error) {
 	// Republish the read view when this put changed the B-tree (fresh
 	// insert, class-change move) or the manifest (a sync compaction inside
 	// maybeCompact republishes itself, but the flag keeps the put's own
@@ -390,7 +399,6 @@ func (p *partition) putLocked(key, value []byte, tomb, clientOp bool) (time.Dura
 		if republish {
 			p.publishView()
 		}
-		p.casMaxVclock(p.clk.Now())
 	}()
 	start := p.clk.Now()
 	cpu := p.opts.CPU
@@ -769,11 +777,37 @@ func (p *partition) del(key []byte) (time.Duration, error) {
 	p.trk.Forget(key)
 	p.bkt.OnCold(idx)
 	p.stats.Deletes++
+	// The delete's reported latency is composed from its phases' durations:
+	// phase 1 (index/slab removal) plus the tombstone insert below. Both run
+	// in one critical section, so no interleaved client op can be billed to
+	// this delete.
+	lat := time.Duration(p.clk.Now() - start)
+	if flashMay {
+		// Fresh tombstone insert (the normal put path, but as an internal
+		// write: it is part of the delete, not a client put, so it never
+		// touches the Puts counter or the popularity tracker, and its
+		// durability rides on this delete's DEL record rather than a log
+		// entry of its own). It runs inline, in the SAME critical section
+		// and BEFORE the DEL append: every slab write the delete implies
+		// must be issued before its WAL record exists, or a checkpoint
+		// racing the gap could prune the only durable trace of this delete
+		// while the slab files still lack the tombstone — and a crash would
+		// resurrect the key from flash.
+		tombLat, _, err := p.putBodyLocked(key, nil, true, false)
+		if err != nil {
+			p.casMaxVclock(p.clk.Now())
+			p.mu.Unlock()
+			return 0, err
+		}
+		lat += tombLat
+	}
 	// One DEL record covers the whole delete, tombstone included: replay
 	// re-runs del, which re-derives the tombstone decision from the
-	// recovered state. Logged inside the locked phase (after the NVM slot
-	// removal, matching put's slab-write-before-append ordering) so the
-	// log's per-key order equals lock order.
+	// recovered state. Logged after every slab write this delete issues
+	// (put's slab-write-before-append ordering), so the log's per-key order
+	// equals lock order. The NVM slot free itself may still be deferred by a
+	// pinned epoch — the DeferredDirty checkpoint barrier (durable.go) keeps
+	// this record alive until the zeroing write is issued.
 	var lsn uint64
 	if p.wal != nil {
 		var werr error
@@ -783,29 +817,11 @@ func (p *partition) del(key []byte) (time.Duration, error) {
 			return 0, werr
 		}
 	}
-	// The delete's reported latency is composed from its two phases'
-	// durations, not from re-reading the shared clock after the tombstone
-	// put: ops interleaved from other clients in the unlock window would
-	// otherwise be billed to this delete.
-	lat := time.Duration(p.clk.Now() - start)
 	if republish {
 		p.publishView()
 	}
 	p.casMaxVclock(p.clk.Now())
 	p.mu.Unlock()
-
-	if flashMay {
-		// Fresh tombstone insert (goes through the normal put path,
-		// including watermark checks, but as an internal write: it is
-		// part of the delete, not a client put, so it never touches the
-		// Puts counter or the popularity tracker, and its durability rides
-		// on this delete's DEL record rather than a log entry of its own).
-		tombLat, err := p.put(key, nil, true, false)
-		if err != nil {
-			return 0, err
-		}
-		lat += tombLat
-	}
 	if err := p.wal.WaitDurable(lsn); err != nil {
 		return lat, err
 	}

@@ -114,6 +114,11 @@ type Manager struct {
 	// would use), so time accounting is identical with and without pins.
 	pins     int
 	deferred []Loc
+	// handedOut counts slots released by UnpinEpochDeferred whose off-lock
+	// zeroing has not yet been confirmed by RecycleSlots. Together with
+	// len(deferred) it tells DeferredDirty whether the slab files are a
+	// complete image of the logical state.
+	handedOut int
 
 	// scratch is the reused slot I/O buffer. The Manager is single-owner
 	// (partition-lock discipline), so one buffer serves every read and
@@ -171,6 +176,7 @@ func (m *Manager) UnpinEpochDeferred() []Loc {
 	}
 	locs := m.deferred
 	m.deferred = nil
+	m.handedOut += len(locs)
 	return locs
 }
 
@@ -197,9 +203,21 @@ func (m *Manager) ZeroSlot(loc Loc) error {
 // RecycleSlots returns zeroed slots to their free heaps (owner-locked,
 // like the rest of the Manager).
 func (m *Manager) RecycleSlots(locs []Loc) {
+	m.handedOut -= len(locs)
 	for _, loc := range locs {
 		heap.Push(&m.slabs[loc.Class()].free, loc.Slot())
 	}
+}
+
+// DeferredDirty reports whether any freed slot's zeroing write has not yet
+// been issued to the backing file: slots parked on the deferred list by an
+// open reclamation epoch, plus slots handed out by UnpinEpochDeferred whose
+// off-lock zeroing RecycleSlots has not yet confirmed. While true, the slab
+// files are NOT a complete image of the logical state — an fsync of them
+// does not make the WAL records covering those frees redundant, so a
+// checkpoint must be refused (see core's syncSlabs).
+func (m *Manager) DeferredDirty() bool {
+	return len(m.deferred) > 0 || m.handedOut > 0
 }
 
 // ReadSlotInto reads the record at loc into buf (grown as needed),

@@ -28,6 +28,7 @@ type Journal struct {
 	size  int64
 	live  map[int]map[string]bool // partition → live SST file names
 	edits int64
+	err   error // sticky: CURRENT's on-disk referent can no longer be proven
 
 	rotateBytes int64
 }
@@ -48,6 +49,25 @@ func OpenJournal(d *Dir) (*Journal, error) {
 	cur, err := d.ReadCurrent()
 	if err != nil {
 		return nil, err
+	}
+	// Remove manifest journals CURRENT does not name: leftovers of a crash
+	// mid-rotation (an old journal whose removal didn't land, or a new one
+	// whose CURRENT swing didn't) — or, with no CURRENT at all, a crash
+	// during the very first open. They are unreferenced garbage, but a
+	// surviving next-sequence file would collide with a later O_EXCL create
+	// and wedge the journal.
+	if names, _, lerr := d.list(""); lerr == nil {
+		removed := false
+		for _, n := range names {
+			if _, ok := parseJournalName(n); ok && n != cur {
+				if d.remove("", n) == nil {
+					removed = true
+				}
+			}
+		}
+		if removed {
+			d.syncDir("")
+		}
 	}
 	if cur == "" {
 		// Fresh directory: create MANIFEST-000001 and point CURRENT at it.
@@ -193,6 +213,9 @@ func (j *Journal) applyEdit(payload []byte) error {
 func (j *Journal) LogEdit(part int, add, remove []string) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
 	frame := appendFrame(nil, appendEdit(nil, part, add, remove))
 	if err := j.f.WriteAt(frame, j.size); err != nil {
 		return err
@@ -205,7 +228,15 @@ func (j *Journal) LogEdit(part int, add, remove []string) error {
 	// Mirror the edit into the live set only after it is durable.
 	j.applyEdit(frame[frameHeaderLen:])
 	if j.size >= j.rotateBytes {
-		return j.rotateLocked()
+		// Rotation is opportunistic: the edit above is already durable in
+		// the live journal, so a cleanly-aborted rotation (partial file
+		// removed, CURRENT untouched) must not fail the commit it rode on —
+		// the journal just stays big and the next LogEdit retries. Only an
+		// ambiguous CURRENT swing (j.err latched) fails this edit too: its
+		// home journal can no longer be proven to be the one recovery reads.
+		if rerr := j.rotateLocked(); rerr != nil && j.err != nil {
+			return j.err
+		}
 	}
 	return nil
 }
@@ -214,6 +245,13 @@ func (j *Journal) LogEdit(part int, add, remove []string) error {
 // a fresh file, swings CURRENT, and removes the old file. A crash anywhere
 // in between leaves a usable journal: CURRENT flips atomically, and until
 // it flips the old journal remains complete.
+//
+// Failure discipline: every path that aborts with CURRENT provably still on
+// the old journal removes the half-written MANIFEST-(seq+1) — leaving it
+// would wedge the journal permanently, since the O_EXCL create of the same
+// name fails on every retry while j.seq never advances. Only a SetCurrent
+// failure whose outcome cannot be proven latches j.err: appending further
+// edits to a file that recovery might not read would silently lose commits.
 func (j *Journal) rotateLocked() error {
 	nextSeq := j.seq + 1
 	nf, err := j.d.create("", journalName(nextSeq))
@@ -234,21 +272,45 @@ func (j *Journal) rotateLocked() error {
 		sort.Strings(names)
 		buf = appendFrame(buf, appendEdit(nil, p, names, nil))
 	}
-	if err := nf.WriteAt(buf, 0); err == nil {
-		err = nf.Sync()
+	werr := nf.WriteAt(buf, 0)
+	if werr == nil {
+		werr = nf.Sync()
 	}
-	if err != nil {
+	if werr == nil {
+		werr = j.d.syncDir("")
+	}
+	if werr != nil {
+		// Clean abort: CURRENT was never touched, the new file is garbage.
 		nf.Close()
 		j.d.remove("", journalName(nextSeq))
-		return err
-	}
-	if err := j.d.syncDir(""); err != nil {
-		nf.Close()
-		return err
+		return werr
 	}
 	if err := j.d.SetCurrent(journalName(nextSeq)); err != nil {
-		nf.Close()
-		return err
+		// SetCurrent renames before its directory fsync, so the pointer may
+		// or may not have swung. Read the live view back to find out.
+		cur, rerr := j.d.ReadCurrent()
+		switch {
+		case rerr == nil && cur == journalName(j.seq):
+			// The rename never happened: the new file is unreferenced.
+			nf.Close()
+			j.d.remove("", journalName(nextSeq))
+			return err
+		case rerr == nil && cur == journalName(nextSeq):
+			// Renamed, but the rename's durability is unknown (the directory
+			// fsync failed). Future edits must go where the live pointer
+			// points, and the swing must be durable before any of them is
+			// acknowledged: retry the full SetCurrent (idempotent — rewrite
+			// tmp, rename, fsync dir) and adopt the new journal on success.
+			if serr := j.d.SetCurrent(journalName(nextSeq)); serr != nil {
+				nf.Close()
+				j.err = fmt.Errorf("storage: manifest rotation left CURRENT ambiguous: %w", serr)
+				return j.err
+			}
+		default:
+			nf.Close()
+			j.err = fmt.Errorf("storage: manifest rotation left CURRENT ambiguous: %w", err)
+			return j.err
+		}
 	}
 	old, oldSeq := j.f, j.seq
 	j.f, j.seq, j.size, j.edits = nf, nextSeq, int64(len(buf)), int64(len(parts))

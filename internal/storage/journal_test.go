@@ -227,3 +227,94 @@ func TestJournalRotation(t *testing.T) {
 func nameFor(i int) string {
 	return "table-" + string([]byte{byte('0' + i/100), byte('0' + i/10%10), byte('0' + i%10)}) + ".sst"
 }
+
+func TestJournalRotationFailureDoesNotWedge(t *testing.T) {
+	dir := t.TempDir()
+	fi := &FaultInjector{}
+	d := openTestDir(t, dir, fi)
+	j, err := OpenJournal(d) // fresh dir: create+sync = I/O #1 (sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.rotateBytes = 1 // every edit triggers a rotation attempt
+
+	// LogEdit costs WriteAt (#1) + Sync (#2); the rotation's snapshot
+	// WriteAt is #3. Fail it: the rotation must abort cleanly — the edit
+	// itself is already durable, so LogEdit must NOT report an error.
+	fi.Arm(3, FaultError)
+	if err := j.LogEdit(0, []string{"a.sst"}, nil); err != nil {
+		t.Fatalf("LogEdit failed on an aborted opportunistic rotation: %v", err)
+	}
+	if !fi.Fired() {
+		t.Fatal("fault never fired; the test is not exercising rotation failure")
+	}
+	// The half-written next journal must be gone, or the O_EXCL create of
+	// the same name wedges every later rotation.
+	if _, err := os.Stat(filepath.Join(dir, journalName(2))); !os.IsNotExist(err) {
+		t.Fatalf("aborted rotation left %s behind (stat err %v)", journalName(2), err)
+	}
+
+	// The next edit retries the rotation and must succeed.
+	if err := j.LogEdit(0, []string{"b.sst"}, nil); err != nil {
+		t.Fatalf("LogEdit after aborted rotation: %v", err)
+	}
+	if got := currentJournalPath(t, dir); filepath.Base(got) == journalName(1) {
+		t.Fatal("journal never rotated after the injected failure was cleared")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := openTestDir(t, dir, nil)
+	defer d2.Close()
+	j2, err := OpenJournal(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.Live(0); !reflect.DeepEqual(got, []string{"a.sst", "b.sst"}) {
+		t.Fatalf("recovered Live(0) = %v", got)
+	}
+}
+
+func TestJournalStaleManifestRemovedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDir(t, dir, nil)
+	j, err := OpenJournal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogEdit(0, []string{"a.sst"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash between a rotation's O_EXCL create and its abort cleanup
+	// leaves an unreferenced next-sequence file on disk.
+	stale := filepath.Join(dir, journalName(2))
+	if err := os.WriteFile(stale, []byte("half-written snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d = openTestDir(t, dir, nil)
+	defer d.Close()
+	j2, err := OpenJournal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale %s survived open (stat err %v)", journalName(2), err)
+	}
+	// With the stale file gone, the next rotation's create must not collide.
+	j2.rotateBytes = 1
+	if err := j2.LogEdit(0, []string{"b.sst"}, nil); err != nil {
+		t.Fatalf("rotation after stale-manifest cleanup: %v", err)
+	}
+	if got := filepath.Base(currentJournalPath(t, dir)); got != journalName(2) {
+		t.Fatalf("CURRENT = %s, want %s", got, journalName(2))
+	}
+	if got := j2.Live(0); !reflect.DeepEqual(got, []string{"a.sst", "b.sst"}) {
+		t.Fatalf("Live(0) = %v", got)
+	}
+}

@@ -427,7 +427,7 @@ func (w *WAL) flusher() {
 			force = true
 		}
 		w.flushOnce(force, &groupPending)
-		w.maybeRotate()
+		w.maybeRotate(&groupPending)
 	}
 }
 
@@ -533,7 +533,7 @@ func (w *WAL) fail(err error) {
 
 // maybeRotate swaps in a fresh segment once the active one is full, then
 // checkpoints and prunes.
-func (w *WAL) maybeRotate() {
+func (w *WAL) maybeRotate(groupPending *int) {
 	w.mu.Lock()
 	if w.segSize < w.opts.SegmentBytes || w.bufRecs > 0 || w.ioErr != nil {
 		// Rotate only between flushes so a flush buffer never spans two
@@ -553,7 +553,22 @@ func (w *WAL) maybeRotate() {
 	w.segSize = 0
 	w.oldSegs = append(w.oldSegs, prevSeq)
 	w.mu.Unlock()
+	// The outgoing segment must be made durable before the flusher abandons
+	// it: in group/nosync modes it can still hold written-but-unsynced
+	// records, and every later fsync covers only the new active file — so
+	// without this sync those LSNs would be reported durable while still
+	// volatile, and a power cut could leave a torn tail in a NON-final
+	// segment, which recovery treats as hard corruption rather than a
+	// truncatable crash artifact. (In SyncEvery mode everything written is
+	// already synced and this fdatasync is a cheap no-op.)
+	if !w.fsyncSeg(prev, *groupPending) {
+		prev.Close()
+		return
+	}
+	w.advanceDurable(w.flushedLSN)
+	*groupPending = 0
 	if err := w.d.syncDir(DirWAL); err != nil {
+		prev.Close()
 		w.fail(err)
 		return
 	}
@@ -612,8 +627,17 @@ func (w *WAL) Close() error {
 // Prune removes every segment file on disk. Valid only after Close has
 // returned cleanly and the caller has checkpointed (fsynced the slab
 // files), which makes every record redundant: a clean shutdown leaves an
-// empty WAL directory, so the next open replays nothing.
+// empty WAL directory, so the next open replays nothing. Prune refuses to
+// run in any other state — in particular after a failed or partial replay,
+// when the segments still hold the only copy of un-applied records — so a
+// confused caller cannot turn a recoverable log into silent data loss.
 func (w *WAL) Prune() error {
+	w.mu.Lock()
+	clean := w.replayed && w.started && w.stopped && !w.dropOnExit && w.ioErr == nil
+	w.mu.Unlock()
+	if !clean {
+		return errors.New("storage: prune refused: wal was not replayed, started, and cleanly closed")
+	}
 	names, _, err := w.d.list(DirWAL)
 	if err != nil {
 		return err

@@ -512,3 +512,102 @@ func TestWALTornWriteFault(t *testing.T) {
 		t.Fatal("torn write left no truncated bytes")
 	}
 }
+
+// TestWALRotationSyncsOutgoingSegment pins the rotation fsync: in SyncGroup
+// (and nosync) modes records can sit written-but-unsynced when the active
+// segment fills, and after rotation every later fdatasync covers only the
+// new file. The rotation itself must therefore sync the outgoing segment —
+// otherwise its tail stays volatile while the WAL reports those LSNs
+// durable, and a power cut could tear a NON-final segment, which recovery
+// treats as hard corruption instead of a truncatable crash artifact.
+func TestWALRotationSyncsOutgoingSegment(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDir(t, dir, nil)
+	defer d.Close()
+	w, _ := replayAll(t, d, WALOptions{
+		Mode:          SyncGroup,
+		FsyncEvery:    1 << 30,   // batch threshold never reached
+		FsyncInterval: time.Hour, // ticker never fires
+		SegmentBytes:  256,
+	})
+	if err := w.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	var lastLSN uint64
+	for i := 0; i < 40; i++ {
+		lsn, err := w.AppendPut([]byte(fmt.Sprintf("key%04d", i)), []byte("0123456789abcdef0123456789abcdef"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastLSN = lsn
+	}
+	// Segments flips under the mutex before the rotation's fsync lands, so
+	// wait for both: a rotation that never syncs is exactly the bug.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := w.Stats(); st.Segments >= 2 && st.Fsyncs >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no synced rotation after 40 appends: %+v", w.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Everything in rotated segments is genuinely durable now, so the
+	// durable frontier must cover at least the rotated records (the last
+	// few may still sit in the active segment unsynced — that is the
+	// SyncGroup contract, not a rotation leak).
+	if got := w.durable.Load(); got == 0 || got > lastLSN {
+		t.Fatalf("durable LSN %d after rotation, want in (0, %d]", got, lastLSN)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALPruneRefusedWithoutCleanClose pins the Prune guard: after a failed
+// (or never-finished) replay the segments hold the only copy of un-applied
+// records, and a confused caller must not be able to delete them.
+func TestWALPruneRefusedWithoutCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDir(t, dir, nil)
+	w, _ := replayAll(t, d, WALOptions{})
+	if err := w.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendPut([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen but never replay or start: Prune must refuse.
+	d = openTestDir(t, dir, nil)
+	defer d.Close()
+	w2, err := OpenWAL(d, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Prune(); err == nil {
+		t.Fatal("Prune succeeded on a never-replayed WAL")
+	}
+	if names, _, err := d.list(DirWAL); err != nil || len(names) == 0 {
+		t.Fatalf("segments gone after refused prune: %v, err %v", names, err)
+	}
+	// After a replay that stops at Kill (crash), Prune must still refuse.
+	w3, _ := replayAll(t, d, WALOptions{})
+	if err := w3.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	w3.Kill()
+	if err := w3.Prune(); err == nil {
+		t.Fatal("Prune succeeded after Kill")
+	}
+	if names, _, err := d.list(DirWAL); err != nil || len(names) == 0 {
+		t.Fatalf("segments gone after refused prune: %v, err %v", names, err)
+	}
+}
