@@ -10,10 +10,12 @@ vet:
 
 # vet + unit tests (includes the wire-path malformed-RESP table) + a -race
 # pass over the scan-stress, parallel-driver, concurrent-pipelined-client,
-# async-compaction, and lock-free-read tests (the paths with cross-goroutine
-# iterators, epoch pins, shared devices, one server serving many
-# connections, background merge commits racing put/get/scan/close, and
-# lock-free GETs racing all of the above plus Close), plus the durability
+# async-compaction, lock-free-read, and write-queue tests (the paths with
+# cross-goroutine iterators, epoch pins, shared devices, one server serving
+# many connections, background merge commits racing put/get/scan/close,
+# lock-free GETs racing all of the above plus Close, and the owner-queue
+# write path: 8 producers × SET/DEL/MSET racing lock-free GETs, an open
+# iterator, an async compaction commit, and Close), plus the durability
 # tests (WAL group commit, crash recovery, fault injection) under -race —
 # the group-commit flusher and WaitDurable waiters are cross-goroutine.
 test: vet
@@ -21,6 +23,7 @@ test: vet
 	$(GO) test -race -run 'ConcurrentScansUnderWrites|ConcurrentOpsAcrossPartitions|ParallelScanAccounting' ./internal/core/ ./bench/
 	$(GO) test -race -run 'AsyncConcurrentOpsRaceMergeCommit|AsyncCloseRacesMergeCommit|AsyncModelBasedChurn' ./internal/core/
 	$(GO) test -race -run 'LockFreeGetRacesMutators' ./internal/core/
+	$(GO) test -race -run 'WriteQueueRacesMutators' ./internal/core/
 	$(GO) test -race -run 'SnapshotConcurrentReads' ./internal/btree/
 	$(GO) test -race -run 'ConcurrentPipelinedClients|GracefulShutdown' ./internal/server/
 	$(GO) test -race -run 'Durable' ./internal/core/
@@ -51,10 +54,13 @@ crash-smoke:
 bench:
 	./scripts/bench.sh
 
-# One fast iteration of the contended-read rows (in-process hot-partition
-# GETs at 1/8 goroutines + the GET-heavy serving row): a cheap CI tripwire
-# for regressions in the lock-free read path, without waiting for the
+# One fast iteration of the contended-read and contended-write rows
+# (in-process hot-partition GETs and SETs at 1/8 goroutines — the SET rows
+# in both write modes so the owner-queue-vs-locked margin is visible — plus
+# the GET-heavy serving row): a cheap CI tripwire for regressions in the
+# lock-free read path and the batched write path, without waiting for the
 # nightly bench script.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkContendedGets/goroutines=(1|8)' -benchtime 1x ./bench/
+	$(GO) test -run '^$$' -bench 'BenchmarkContendedSets(Locked)?/goroutines=(1|8)' -benchtime 1x ./bench/
 	$(GO) test -run '^$$' -bench 'BenchmarkServerContendedGets' -benchtime 1x ./internal/server/

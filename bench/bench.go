@@ -358,7 +358,14 @@ func build(setup Setup, sc Scale, wl workload.Config) (*rig, error) {
 			return nil, err
 		}
 		opts := core.Options{
-			CompactionMode:   cmode,
+			CompactionMode: cmode,
+			// The lockstep drivers are serial: the owner-queue write path
+			// would never batch (one op in flight) and its drain cadence
+			// would shift read-trigger timing between runs under study.
+			// Virtual-time measurements pin the deterministic locked path;
+			// the wall-clock contended benches (contended_test.go) choose
+			// their WriteMode explicitly.
+			WriteMode:        core.WriteSync,
 			Partitions:       parts,
 			NVM:              r.nvm,
 			Flash:            r.flash,

@@ -17,6 +17,14 @@
 //	prismload -conns 16 -pipeline 64 -workload a
 //	prismload -rate 50000 -workload c            # open loop, 50k ops/s
 //	prismload -load -check                       # verify counts vs INFO
+//	prismload -workload a -batch 8               # MSET-coalesced writes
+//
+// -batch N rewrites each connection's stream, merging every run of
+// consecutive SETs into one MSET of up to N pairs — the explicit form of
+// the server's pipelined-write batching, exercising the engine's
+// owner-goroutine group-commit path. Reads keep their position in the
+// stream, and -check still balances: the server counts each MSET pair as
+// a set.
 //
 // -check compares the generator's issued op counts against the server's
 // INFO command-counter deltas and exits non-zero on any mismatch — the
@@ -58,6 +66,7 @@ func main() {
 	valueSize := flag.Int("value", 128, "object size in bytes")
 	conns := flag.Int("conns", 8, "client connections")
 	pipeline := flag.Int("pipeline", 1, "closed-loop pipeline depth per connection (1 = unpipelined)")
+	batch := flag.Int("batch", 1, "coalesce runs of consecutive SETs into MSET batches of up to N pairs (1 = plain SET)")
 	rate := flag.Float64("rate", 0, "open-loop target ops/s across all connections (0 = closed loop)")
 	doLoad := flag.Bool("load", false, "preload the dataset via SET before measuring")
 	theta := flag.Float64("theta", 0, "zipfian parameter (0 = YCSB default 0.99)")
@@ -130,6 +139,14 @@ func main() {
 		g := toGenOp(op)
 		issued.add(g)
 		streams[i%*conns] = append(streams[i%*conns], g)
+	}
+	if *batch > 1 {
+		// Rewrite each stream AFTER counting: an MSET's pairs count as
+		// sets on both sides (the server tallies cmd_set per element), so
+		// -check stays balanced under batching.
+		for c := range streams {
+			streams[c] = coalesceSets(streams[c], *batch)
+		}
 	}
 
 	var interval time.Duration
@@ -352,12 +369,46 @@ func verifyAckLog(addr, path string, wait time.Duration) int {
 }
 
 // genOp is one pre-generated request. kind: 'g' GET, 's' SET, 'd' DEL,
-// 'r' RMW (GET + SET), 'c' SCAN.
+// 'r' RMW (GET + SET), 'c' SCAN, 'm' MSET (a -batch coalesced run of
+// SETs; mkeys/mvals hold its pairs).
 type genOp struct {
 	kind    byte
 	key     []byte
 	value   []byte
 	scanLen int
+	mkeys   [][]byte
+	mvals   [][]byte
+}
+
+// coalesceSets rewrites one connection's stream, merging each run of
+// consecutive SETs into MSET ops of up to max pairs. Other op kinds pass
+// through unchanged, so the wire-visible mix (and its ordering relative to
+// the reads) is preserved — only the SET framing changes.
+func coalesceSets(ops []genOp, max int) []genOp {
+	out := make([]genOp, 0, len(ops))
+	for i := 0; i < len(ops); {
+		if ops[i].kind != 's' {
+			out = append(out, ops[i])
+			i++
+			continue
+		}
+		j := i
+		for j < len(ops) && ops[j].kind == 's' && j-i < max {
+			j++
+		}
+		if j-i == 1 {
+			out = append(out, ops[i])
+		} else {
+			m := genOp{kind: 'm', mkeys: make([][]byte, 0, j-i), mvals: make([][]byte, 0, j-i)}
+			for k := i; k < j; k++ {
+				m.mkeys = append(m.mkeys, ops[k].key)
+				m.mvals = append(m.mvals, ops[k].value)
+			}
+			out = append(out, m)
+		}
+		i = j
+	}
+	return out
 }
 
 func toGenOp(op workload.Op) genOp {
@@ -401,8 +452,8 @@ func (o opCounts) minus(b opCounts) opCounts {
 // connResult is one worker's private histograms (merged after the run, as
 // the bench parallel driver does).
 type connResult struct {
-	get, set, del, scan *metrics.Histogram
-	err                 error
+	get, set, del, scan, mset *metrics.Histogram
+	err                       error
 }
 
 func newConnResult() *connResult {
@@ -411,6 +462,7 @@ func newConnResult() *connResult {
 		set:  metrics.NewHistogram(),
 		del:  metrics.NewHistogram(),
 		scan: metrics.NewHistogram(),
+		mset: metrics.NewHistogram(),
 	}
 }
 
@@ -422,6 +474,8 @@ func (r *connResult) histFor(kind byte) *metrics.Histogram {
 		return r.del
 	case 'c':
 		return r.scan
+	case 'm':
+		return r.mset
 	default:
 		return r.set
 	}
@@ -480,6 +534,14 @@ func (c *client) writeOp(g genOp) int {
 	case 'd':
 		c.writeCmd([]byte("DEL"), g.key)
 		return 1
+	case 'm':
+		args := make([][]byte, 0, 1+2*len(g.mkeys))
+		args = append(args, []byte("MSET"))
+		for i := range g.mkeys {
+			args = append(args, g.mkeys[i], g.mvals[i])
+		}
+		c.writeCmd(args...)
+		return 1
 	default: // RMW: read, then write what the generator produced
 		c.writeCmd([]byte("GET"), g.key)
 		c.writeCmd([]byte("SET"), g.key, g.value)
@@ -529,8 +591,14 @@ func (c *client) runClosed(ops []genOp, depth int, res *connResult) error {
 				ri++
 			}
 			res.histFor(g.kind).Record(time.Since(t0))
-			if g.kind == 's' || g.kind == 'd' || g.kind == 'r' {
+			switch g.kind {
+			case 's', 'd', 'r':
 				ackJournal.record(g.kind, g.key)
+			case 'm':
+				// One MSET reply acknowledges every pair in it.
+				for _, k := range g.mkeys {
+					ackJournal.record('s', k)
+				}
 			}
 		}
 		if ri != replies {
@@ -547,6 +615,7 @@ func (c *client) runOpen(ops []genOp, interval time.Duration, res *connResult) e
 	type inflight struct {
 		kind    byte
 		key     []byte
+		mkeys   [][]byte // 'm' only: the MSET's acknowledged pairs
 		t0      time.Time
 		replies int
 	}
@@ -564,8 +633,13 @@ func (c *client) runOpen(ops []genOp, interval time.Duration, res *connResult) e
 				}
 			}
 			res.histFor(f.kind).Record(time.Since(f.t0))
-			if f.kind == 's' || f.kind == 'd' || f.kind == 'r' {
+			switch f.kind {
+			case 's', 'd', 'r':
 				ackJournal.record(f.kind, f.key)
+			case 'm':
+				for _, k := range f.mkeys {
+					ackJournal.record('s', k)
+				}
 			}
 		}
 	}()
@@ -584,7 +658,7 @@ func (c *client) runOpen(ops []genOp, interval time.Duration, res *connResult) e
 			return err
 		}
 		select {
-		case queue <- inflight{g.kind, g.key, t0, replies}:
+		case queue <- inflight{g.kind, g.key, g.mkeys, t0, replies}:
 		case err := <-readerErr:
 			close(queue)
 			return err
@@ -644,6 +718,7 @@ func report(issued opCounts, results []*connResult, elapsed time.Duration, rate 
 		total.set.Merge(r.set)
 		total.del.Merge(r.del)
 		total.scan.Merge(r.scan)
+		total.mset.Merge(r.mset)
 	}
 	n := issued.gets + issued.sets + issued.dels + issued.scans
 	fmt.Printf("issued %d wire ops in %v: %.0f ops/s", n, elapsed.Round(time.Millisecond),
@@ -655,7 +730,7 @@ func report(issued opCounts, results []*connResult, elapsed time.Duration, rate 
 	for _, row := range []struct {
 		name string
 		h    *metrics.Histogram
-	}{{"get", total.get}, {"set", total.set}, {"del", total.del}, {"scan", total.scan}} {
+	}{{"get", total.get}, {"set", total.set}, {"del", total.del}, {"scan", total.scan}, {"mset", total.mset}} {
 		if row.h.Count() == 0 {
 			continue
 		}

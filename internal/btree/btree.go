@@ -4,10 +4,14 @@
 // uint64). Only NVM-resident objects are indexed here; flash objects are
 // found through per-SST index and filter blocks.
 //
-// The tree is persistent (copy-on-write): Insert and Delete never modify a
-// node reachable from a previously published root — they path-copy, building
-// fresh nodes along the mutated spine and sharing every untouched subtree.
-// A *Tree handle is therefore single-writer (PrismDB's partition lock), but
+// The tree is persistent (copy-on-write) with epoch-scoped transients:
+// every node carries the epoch of the Snapshot window it was created in,
+// and Snapshot bumps the handle's epoch. Insert and Delete never modify a
+// node reachable from a previously published root — any node with an older
+// epoch is path-copied — but nodes already created since the last Snapshot
+// are mutated in place, so a batch of writes between two Snapshots copies
+// each spine node at most once instead of once per operation.
+// A *Tree handle is therefore single-writer (PrismDB's partition lock), and
 // a Snapshot taken from it is an immutable view that any number of readers
 // may traverse concurrently with further writes to the handle — the
 // substrate of the engine's lock-free GET path. Keys and the Item structs
@@ -29,24 +33,37 @@ type Item struct {
 	Val uint64
 }
 
-// node is an immutable-once-shared B-tree node. Mutating code only ever
-// touches nodes it just allocated (clone or fresh); anything reachable from
-// an older root stays bit-identical forever.
+// node is an immutable-once-shared B-tree node. ep records the Snapshot
+// epoch the node was created in; mutating code only ever touches nodes
+// whose epoch matches the handle's current epoch (clone or fresh), so
+// anything reachable from an older root stays bit-identical forever.
 type node struct {
+	ep       uint64
 	items    []Item
 	children []*node
 }
 
 func (n *node) leaf() bool { return len(n.children) == 0 }
 
-// clone returns a mutable copy of n with fresh item and child slices (the
-// referenced subtrees are shared — that is the point of path copying).
-func (n *node) clone() *node {
-	nn := &node{items: append([]Item(nil), n.items...)}
+// clone returns a mutable copy of n stamped with epoch ep, with fresh item
+// and child slices (the referenced subtrees are shared — that is the point
+// of path copying).
+func (n *node) clone(ep uint64) *node {
+	nn := &node{ep: ep, items: append([]Item(nil), n.items...)}
 	if len(n.children) > 0 {
 		nn.children = append([]*node(nil), n.children...)
 	}
 	return nn
+}
+
+// mut returns a node standing in for n that is safe to mutate in epoch ep:
+// n itself when it was already created this epoch (no published snapshot
+// can reach it), otherwise a clone.
+func (n *node) mut(ep uint64) *node {
+	if n.ep == ep {
+		return n
+	}
+	return n.clone(ep)
 }
 
 // find returns the index of the first item ≥ key and whether it equals key.
@@ -70,8 +87,9 @@ func (n *node) find(key []byte) (int, bool) {
 // use. The handle itself is not synchronized (single writer); use Snapshot
 // to hand an immutable view to concurrent readers.
 type Tree struct {
-	root *node
-	size int
+	root  *node
+	size  int
+	epoch uint64
 }
 
 // New returns an empty tree.
@@ -80,10 +98,17 @@ func New() *Tree { return &Tree{} }
 // Snapshot returns an O(1) immutable view of the tree: a detached handle
 // over the current root. Reads on the snapshot (Get, AscendFrom, Range,
 // Min, Max, Len) are safe concurrently with any number of later Insert and
-// Delete calls on the original handle, which never modify published nodes.
+// Delete calls on the original handle, which never modify published nodes:
+// Snapshot advances the handle's epoch, so every node the snapshot can
+// reach carries an older epoch and is path-copied rather than mutated.
+// Snapshot is a writer-side operation (it stamps the handle) and must be
+// called under the same single-writer discipline as Insert/Delete.
 // Mutating a snapshot is not supported (it would still be safe copy-on-write
 // but forks history — the engine never does it).
-func (t *Tree) Snapshot() *Tree { return &Tree{root: t.root, size: t.size} }
+func (t *Tree) Snapshot() *Tree {
+	t.epoch++
+	return &Tree{root: t.root, size: t.size, epoch: t.epoch}
+}
 
 // Len returns the number of entries.
 func (t *Tree) Len() int { return t.size }
@@ -105,20 +130,21 @@ func (t *Tree) Get(key []byte) (uint64, bool) {
 }
 
 // Insert stores val under key, returning the previous value and whether the
-// key already existed. The previous root (and every snapshot) is untouched.
+// key already existed. Previously snapshotted roots are untouched; nodes
+// created since the last Snapshot are updated in place.
 func (t *Tree) Insert(key []byte, val uint64) (prev uint64, replaced bool) {
 	if t.root == nil {
-		t.root = &node{items: []Item{{Key: key, Val: val}}}
+		t.root = &node{ep: t.epoch, items: []Item{{Key: key, Val: val}}}
 		t.size = 1
 		return 0, false
 	}
 	root := t.root
 	if len(root.items) == maxItems {
-		nr := &node{children: []*node{root}}
+		nr := &node{ep: t.epoch, children: []*node{root}}
 		nr.splitChild(0)
 		root = nr
 	}
-	newRoot, prev, replaced := root.insert(key, val)
+	newRoot, prev, replaced := root.insert(t.epoch, key, val)
 	t.root = newRoot
 	if !replaced {
 		t.size++
@@ -128,14 +154,14 @@ func (t *Tree) Insert(key []byte, val uint64) (prev uint64, replaced bool) {
 
 // splitChild splits n.children[i] (which must be full) around its median,
 // replacing it with two freshly built halves. n must be mutable (a clone or
-// a fresh node); the full child is left untouched.
+// a fresh node in the current epoch); the full child is left untouched.
 func (n *node) splitChild(i int) {
 	child := n.children[i]
 	mid := maxItems / 2
 	median := child.items[mid]
 
-	left := &node{items: append([]Item(nil), child.items[:mid]...)}
-	right := &node{items: append([]Item(nil), child.items[mid+1:]...)}
+	left := &node{ep: n.ep, items: append([]Item(nil), child.items[:mid]...)}
+	right := &node{ep: n.ep, items: append([]Item(nil), child.items[mid+1:]...)}
 	if !child.leaf() {
 		left.children = append([]*node(nil), child.children[:mid+1]...)
 		right.children = append([]*node(nil), child.children[mid+1:]...)
@@ -151,24 +177,31 @@ func (n *node) splitChild(i int) {
 	n.children[i+1] = right
 }
 
-// insert is the path-copying descent: it returns a fresh node standing in
-// for n with key inserted somewhere below. n is never modified.
-func (n *node) insert(key []byte, val uint64) (*node, uint64, bool) {
+// insert is the path-copying descent: it returns a node standing in for n
+// with key inserted somewhere below — n itself, mutated, when it already
+// belongs to epoch ep, or a fresh copy otherwise.
+func (n *node) insert(ep uint64, key []byte, val uint64) (*node, uint64, bool) {
 	i, eq := n.find(key)
 	if eq {
-		nn := n.clone()
+		nn := n.mut(ep)
 		prev := nn.items[i].Val
 		nn.items[i].Val = val
 		return nn, prev, true
 	}
 	if n.leaf() {
-		nn := &node{items: make([]Item, len(n.items)+1)}
+		if n.ep == ep {
+			n.items = append(n.items, Item{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = Item{Key: key, Val: val}
+			return n, 0, false
+		}
+		nn := &node{ep: ep, items: make([]Item, len(n.items)+1)}
 		copy(nn.items, n.items[:i])
 		nn.items[i] = Item{Key: key, Val: val}
 		copy(nn.items[i+1:], n.items[i:])
 		return nn, 0, false
 	}
-	nn := n.clone()
+	nn := n.mut(ep)
 	if len(nn.children[i].items) == maxItems {
 		nn.splitChild(i)
 		if c := bytes.Compare(key, nn.items[i].Key); c == 0 {
@@ -179,19 +212,20 @@ func (n *node) insert(key []byte, val uint64) (*node, uint64, bool) {
 			i++
 		}
 	}
-	child, prev, replaced := nn.children[i].insert(key, val)
+	child, prev, replaced := nn.children[i].insert(ep, key, val)
 	nn.children[i] = child
 	return nn, prev, replaced
 }
 
-// Delete removes key, returning its value and whether it was present. The
-// previous root (and every snapshot) is untouched; when the key is absent
-// the tree is unchanged and no nodes are copied at all on the common paths.
+// Delete removes key, returning its value and whether it was present.
+// Previously snapshotted roots are untouched; when the key is absent the
+// tree's contents are unchanged (nodes created since the last Snapshot may
+// have been rebalanced in place, which is invisible to Get/iteration).
 func (t *Tree) Delete(key []byte) (uint64, bool) {
 	if t.root == nil {
 		return 0, false
 	}
-	newRoot, val, ok := t.root.remove(key)
+	newRoot, val, ok := t.root.remove(t.epoch, key)
 	if !ok {
 		return 0, false
 	}
@@ -207,18 +241,25 @@ func (t *Tree) Delete(key []byte) (uint64, bool) {
 	return val, ok
 }
 
-// remove is the path-copying removal descent: on success it returns a fresh
-// node standing in for n with key removed below. On a miss it returns n
-// itself (shared, unmodified) — any speculative restructuring is discarded
-// by the caller returning the original tree.
-func (n *node) remove(key []byte) (*node, uint64, bool) {
+// remove is the path-copying removal descent: on success it returns a node
+// standing in for n with key removed below (n itself when it belongs to
+// epoch ep). On a miss it returns n unchanged in content — speculative
+// restructuring is either discarded (copied spine) or harmless (an
+// in-place rebalance preserves the entry set).
+func (n *node) remove(ep uint64, key []byte) (*node, uint64, bool) {
 	i, eq := n.find(key)
 	if n.leaf() {
 		if !eq {
 			return n, 0, false
 		}
 		val := n.items[i].Val
-		nn := &node{items: make([]Item, len(n.items)-1)}
+		if n.ep == ep {
+			copy(n.items[i:], n.items[i+1:])
+			n.items[len(n.items)-1] = Item{} // release the vacated slot's refs
+			n.items = n.items[:len(n.items)-1]
+			return n, val, true
+		}
+		nn := &node{ep: ep, items: make([]Item, len(n.items)-1)}
 		copy(nn.items, n.items[:i])
 		copy(nn.items[i:], n.items[i+1:])
 		return nn, val, true
@@ -230,41 +271,41 @@ func (n *node) remove(key []byte) (*node, uint64, bool) {
 		// keeps the recursive removal from underflowing.
 		if len(n.children[i].items) > minItems {
 			pred := n.children[i].max()
-			child, _, _ := n.children[i].remove(pred.Key)
-			nn := n.clone()
+			child, _, _ := n.children[i].remove(ep, pred.Key)
+			nn := n.mut(ep)
 			nn.items[i] = pred
 			nn.children[i] = child
 			return nn, val, true
 		}
 		if len(n.children[i+1].items) > minItems {
 			succ := n.children[i+1].min()
-			child, _, _ := n.children[i+1].remove(succ.Key)
-			nn := n.clone()
+			child, _, _ := n.children[i+1].remove(ep, succ.Key)
+			nn := n.mut(ep)
 			nn.items[i] = succ
 			nn.children[i+1] = child
 			return nn, val, true
 		}
-		nn := n.clone()
+		nn := n.mut(ep)
 		nn.mergeChildren(i)
-		child, v, ok := nn.children[i].remove(key)
+		child, v, ok := nn.children[i].remove(ep, key)
 		nn.children[i] = child
 		return nn, v, ok
 	}
 	// Descending: ensure the target child has more than minItems first.
 	if len(n.children[i].items) == minItems {
-		nn, j := n.growChild(i)
-		child, v, ok := nn.children[j].remove(key)
+		nn, j := n.growChild(ep, i)
+		child, v, ok := nn.children[j].remove(ep, key)
 		if !ok {
-			return n, 0, false // key absent: discard the restructure
+			return n, 0, false // key absent: the rebalance changed no content
 		}
 		nn.children[j] = child
 		return nn, v, ok
 	}
-	child, v, ok := n.children[i].remove(key)
+	child, v, ok := n.children[i].remove(ep, key)
 	if !ok {
 		return n, 0, false
 	}
-	nn := n.clone()
+	nn := n.mut(ep)
 	nn.children[i] = child
 	return nn, v, ok
 }
@@ -283,20 +324,22 @@ func (n *node) min() Item {
 	return n.items[0]
 }
 
-// growChild returns a clone of n in which children[i] has more than
-// minItems — by borrowing from a sibling clone or merging — plus the
-// (possibly shifted) child index to descend into. n and its children are
-// never modified; the affected children are cloned into the returned node.
-func (n *node) growChild(i int) (*node, int) {
-	nn := n.clone()
+// growChild returns a stand-in for n in which children[i] has more than
+// minItems — by borrowing from a sibling or merging — plus the (possibly
+// shifted) child index to descend into. Nodes from older epochs are never
+// modified; the affected children are made mutable (in place or cloned)
+// inside the returned node.
+func (n *node) growChild(ep uint64, i int) (*node, int) {
+	nn := n.mut(ep)
 	switch {
 	case i > 0 && len(nn.children[i-1].items) > minItems:
 		// Borrow from left sibling through the separator.
-		child, left := nn.children[i].clone(), nn.children[i-1].clone()
+		child, left := nn.children[i].mut(ep), nn.children[i-1].mut(ep)
 		child.items = append(child.items, Item{})
 		copy(child.items[1:], child.items)
 		child.items[0] = nn.items[i-1]
 		nn.items[i-1] = left.items[len(left.items)-1]
+		left.items[len(left.items)-1] = Item{}
 		left.items = left.items[:len(left.items)-1]
 		if !left.leaf() {
 			moved := left.children[len(left.children)-1]
@@ -309,10 +352,12 @@ func (n *node) growChild(i int) (*node, int) {
 		nn.children[i] = child
 	case i < len(nn.children)-1 && len(nn.children[i+1].items) > minItems:
 		// Borrow from right sibling through the separator.
-		child, right := nn.children[i].clone(), nn.children[i+1].clone()
+		child, right := nn.children[i].mut(ep), nn.children[i+1].mut(ep)
 		child.items = append(child.items, nn.items[i])
 		nn.items[i] = right.items[0]
-		right.items = append(right.items[:0], right.items[1:]...)
+		copy(right.items, right.items[1:])
+		right.items[len(right.items)-1] = Item{}
+		right.items = right.items[:len(right.items)-1]
 		if !right.leaf() {
 			child.children = append(child.children, right.children[0])
 			right.children = append(right.children[:0], right.children[1:]...)
@@ -329,11 +374,11 @@ func (n *node) growChild(i int) (*node, int) {
 }
 
 // mergeChildren replaces children[i] and children[i+1] with a freshly built
-// merge of children[i], items[i], and children[i+1]. n must be mutable (a
-// clone); the merged-away children are left untouched.
+// merge of children[i], items[i], and children[i+1]. n must be mutable (the
+// current epoch); the merged-away children are left untouched.
 func (n *node) mergeChildren(i int) {
 	child, right := n.children[i], n.children[i+1]
-	m := &node{items: make([]Item, 0, len(child.items)+1+len(right.items))}
+	m := &node{ep: n.ep, items: make([]Item, 0, len(child.items)+1+len(right.items))}
 	m.items = append(m.items, child.items...)
 	m.items = append(m.items, n.items[i])
 	m.items = append(m.items, right.items...)

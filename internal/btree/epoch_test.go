@@ -1,0 +1,136 @@
+package btree
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestEpochInPlaceLeafMutation pins the transient contract the batched
+// write path depends on: between two Snapshots, repeated inserts into the
+// same leaf reuse the nodes built by the first insert (one spine copy per
+// batch), instead of allocating a fresh spine per operation.
+func TestEpochInPlaceLeafMutation(t *testing.T) {
+	tr := New()
+	tr.Insert(key(0), 0)
+	tr.Snapshot() // seal epoch 0; subsequent writes are epoch 1 transients
+
+	tr.Insert(key(1), 1)
+	r1 := tr.root
+	for i := 2; i < maxItems; i++ { // stay below a root split
+		tr.Insert(key(i), uint64(i))
+		if tr.root != r1 {
+			t.Fatalf("insert %d replaced the same-epoch root", i)
+		}
+	}
+	for i := 3; i < maxItems; i += 2 {
+		tr.Delete(key(i))
+		if tr.root != r1 {
+			t.Fatalf("delete %d replaced the same-epoch root", i)
+		}
+	}
+}
+
+// TestEpochSnapshotSealsNodes verifies the flip side: after a Snapshot the
+// very next write must copy the spine, never touch the sealed root.
+func TestEpochSnapshotSealsNodes(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Insert(key(i), uint64(i))
+	}
+	snap := tr.Snapshot()
+	sealed := tr.root
+	tr.Insert(key(100), 100)
+	if tr.root == sealed {
+		t.Fatal("post-snapshot insert mutated the sealed root in place")
+	}
+	if snap.root != sealed {
+		t.Fatal("snapshot root moved")
+	}
+}
+
+// TestEpochBatchSnapshotIsolation drives interleaved batches — mutate a
+// burst in place, snapshot, mutate again — and checks every frozen view
+// against its model. This is the engine's publish-once-per-batch pattern.
+func TestEpochBatchSnapshotIsolation(t *testing.T) {
+	tr := New()
+	model := map[string]uint64{}
+	type frozen struct {
+		snap  *Tree
+		model map[string]uint64
+	}
+	var snaps []frozen
+	n := 0
+	for batch := 0; batch < 40; batch++ {
+		for i := 0; i < 100; i++ {
+			k := key((batch*37 + i*11) % 1500)
+			if (batch+i)%4 == 0 {
+				tr.Delete(k)
+				delete(model, string(k))
+			} else {
+				v := uint64(batch*1000 + i)
+				tr.Insert(k, v)
+				model[string(k)] = v
+			}
+			n++
+		}
+		m := make(map[string]uint64, len(model))
+		for k, v := range model {
+			m[k] = v
+		}
+		snaps = append(snaps, frozen{tr.Snapshot(), m})
+	}
+	for i, f := range snaps {
+		if f.snap.Len() != len(f.model) {
+			t.Fatalf("snap%d: Len = %d, model %d", i, f.snap.Len(), len(f.model))
+		}
+		for k, want := range f.model {
+			got, ok := f.snap.Get([]byte(k))
+			if !ok || got != want {
+				t.Fatalf("snap%d: Get(%q) = %d,%v want %d", i, k, got, ok, want)
+			}
+		}
+		count := 0
+		f.snap.AscendFrom(nil, func(it Item) bool {
+			if want, ok := f.model[string(it.Key)]; !ok || it.Val != want {
+				t.Fatalf("snap%d: ascend saw %q=%d, model %d,%v", i, it.Key, it.Val, want, ok)
+			}
+			count++
+			return true
+		})
+		if count != len(f.model) {
+			t.Fatalf("snap%d: ascend visited %d, want %d", i, count, len(f.model))
+		}
+	}
+	_ = fmt.Sprintf("%d ops", n)
+}
+
+// TestEpochDeleteMissLeavesContent checks the miss path after in-place
+// rebalancing: a Delete of an absent key may reshape same-epoch nodes but
+// must leave the entry set (and every snapshot) intact.
+func TestEpochDeleteMissLeavesContent(t *testing.T) {
+	tr := New()
+	const n = 500
+	for i := 0; i < n; i += 2 {
+		tr.Insert(key(i), uint64(i))
+	}
+	snap := tr.Snapshot()
+	for i := 0; i < n; i += 2 { // rebuild a same-epoch spine
+		tr.Insert(key(i), uint64(i)+1)
+	}
+	for i := 1; i < n; i += 2 { // absent keys: force grow/merge probes
+		if _, ok := tr.Delete(key(i)); ok {
+			t.Fatalf("deleted absent key %d", i)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	for i := 0; i < n; i += 2 {
+		if v, ok := tr.Get(key(i)); !ok || v != uint64(i)+1 {
+			t.Fatalf("live Get(%d) = %d,%v", i, v, ok)
+		}
+		if v, ok := snap.Get(key(i)); !ok || v != uint64(i) {
+			t.Fatalf("snap Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}

@@ -70,6 +70,14 @@ func Open(opts Options) (*DB, error) {
 			p.startWorker()
 		}
 	}
+	if opts.WriteMode == WriteAsync {
+		// Owner goroutines idle until client traffic arrives: WAL replay
+		// bypasses the queue (putLocked/delLocked), so start order against
+		// finishDurable is immaterial.
+		for _, p := range db.parts {
+			p.startWriteOwner()
+		}
+	}
 	if db.dur != nil {
 		if err := db.finishDurable(); err != nil {
 			db.abortOpen()
@@ -88,6 +96,11 @@ func Open(opts Options) (*DB, error) {
 // disk for the next Open to replay (or fail on again).
 func (db *DB) abortOpen() {
 	db.closed.Store(true)
+	// Write owners stop before compaction workers: a batch mid-apply may
+	// be hard-stalled on the worker's next commit (see stopWriteOwner).
+	for _, p := range db.parts {
+		p.stopWriteOwner()
+	}
 	for _, p := range db.parts {
 		if p.bg.done != nil {
 			p.stopWorker()
@@ -134,6 +147,65 @@ func (db *DB) Put(key, value []byte) (time.Duration, error) {
 		return 0, ErrClosed
 	}
 	return db.partitionOf(key).put(key, value, false, true)
+}
+
+// PutBatch writes every pair and returns the summed simulated latency of
+// the individual writes (the MSET latency model: one batch is billed what
+// its ops would have cost serially). In WriteAsync mode the pairs are
+// enqueued together, so a single-partition batch is applied as one owner
+// batch — one critical section, one WAL group append, one view
+// republication — which is the RESP pipelined-write fast path's whole
+// point. On error the batch may be partially applied (each pair is an
+// independent write, exactly as if the caller had looped over Put); the
+// first error is returned after every enqueued intent has completed.
+func (db *DB) PutBatch(pairs []KV) (time.Duration, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	if len(pairs) == 0 {
+		return 0, nil
+	}
+	var total time.Duration
+	if db.opts.WriteMode != WriteAsync {
+		for _, kv := range pairs {
+			lat, err := db.partitionOf(kv.Key).put(kv.Key, kv.Value, false, true)
+			if err != nil {
+				return total, err
+			}
+			total += lat
+		}
+		return total, nil
+	}
+	intents := make([]*writeIntent, 0, len(pairs))
+	parts := make([]*partition, 0, len(pairs))
+	var firstErr error
+	for _, kv := range pairs {
+		p := db.partitionOf(kv.Key)
+		it := getIntent()
+		it.op, it.key, it.value = intentPut, kv.Key, kv.Value
+		if err := p.wq.enqueue(it); err != nil {
+			putIntent(it)
+			firstErr = err
+			break
+		}
+		intents = append(intents, it)
+		parts = append(parts, p)
+	}
+	// Wait out every enqueued intent even after an error: the owner still
+	// holds references to their buffers until the done signals.
+	for i, it := range intents {
+		<-it.done
+		total += it.lat
+		if it.err != nil {
+			if firstErr == nil {
+				firstErr = it.err
+			}
+		} else if err := parts[i].wal.WaitDurable(it.lsn); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		putIntent(it)
+	}
+	return total, firstErr
 }
 
 // Get returns the value for key, the tier that served the read, and the
@@ -193,6 +265,7 @@ func (db *DB) Scan(start []byte, n int) ([]KV, time.Duration, error) {
 // partition, so the returned figures include every completed GET.
 func (db *DB) Stats() Stats {
 	var s Stats
+	var wbHist [16]int64
 	for _, p := range db.parts {
 		p.mu.Lock()
 		p.syncClockLocked()
@@ -211,10 +284,43 @@ func (db *DB) Stats() Stats {
 		if p.bg.promotePending {
 			ps.CompactionBacklog++
 		}
+		if p.wq != nil {
+			ps.WriteQueueDepth = p.wq.depth()
+			ps.ProducerParks = p.wq.parks.Load()
+		}
+		for i, c := range p.wbHist {
+			wbHist[i] += c
+		}
 		p.mu.Unlock()
 		s.add(ps)
 	}
+	s.WriteBatchP50 = histPercentile(wbHist[:], 50)
+	s.WriteBatchP99 = histPercentile(wbHist[:], 99)
 	return s
+}
+
+// histPercentile returns the representative value (1 << (i-1), matching
+// the WAL's group-commit BatchP50 convention) of the bucket holding the
+// pct-th percentile of a bits.Len-bucketed histogram.
+func histPercentile(hist []int64, pct int64) int64 {
+	var total int64
+	for _, c := range hist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	var cum int64
+	for i, c := range hist {
+		cum += c
+		if cum*100 >= total*pct {
+			if i == 0 {
+				return 0
+			}
+			return 1 << (i - 1)
+		}
+	}
+	return 0
 }
 
 // ResetStats zeroes all partition counters (between warm-up and
@@ -226,6 +332,10 @@ func (db *DB) ResetStats() {
 		p.drainReadsLocked() // flush, then zero: pending reads don't leak into the next phase
 		p.casMaxVclock(p.clk.Now())
 		p.stats = Stats{}
+		p.wbHist = [16]int64{}
+		if p.wq != nil {
+			p.wq.parks.Store(0)
+		}
 		p.mu.Unlock()
 	}
 }
@@ -369,6 +479,14 @@ func (db *DB) Options() Options { return db.opts }
 func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return nil
+	}
+	// Write owners stop first: each fails its pending intents with
+	// ErrClosed (no enqueuer is left parked or waiting forever) and must
+	// outlive-stop the compaction worker its in-flight batch may be
+	// hard-stalled on. Producers already past their apply and blocked in
+	// WaitDurable resolve when closeDurable's final WAL drain fsyncs.
+	for _, p := range db.parts {
+		p.stopWriteOwner()
 	}
 	for _, p := range db.parts {
 		if p.bg.done != nil {

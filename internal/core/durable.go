@@ -137,7 +137,7 @@ func (db *DB) finishDurable() error {
 			_, _, perr := p.putLocked(key, value, false, false)
 			return perr
 		case storage.OpDel:
-			_, derr := p.del(key)
+			_, _, derr := p.delLocked(key)
 			return derr
 		}
 		return fmt.Errorf("core: wal replay: unknown op %d", op)
@@ -227,6 +227,13 @@ func (db *DB) closeDurable() error {
 func (db *DB) crashDurable() {
 	if db.closed.Swap(true) {
 		return
+	}
+	// Stop the write owners first (pending intents fail with ErrClosed —
+	// they were never acknowledged); producers blocked in WaitDurable are
+	// woken by the WAL Kill below. Owner-before-worker order matters, as
+	// in Close: an in-flight batch may be stalled on the worker's commit.
+	for _, p := range db.parts {
+		p.stopWriteOwner()
 	}
 	for _, p := range db.parts {
 		if p.bg.done != nil {

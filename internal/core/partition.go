@@ -117,6 +117,25 @@ type partition struct {
 	readBufs   bufRack
 	sinceDrain atomic.Int64
 
+	// Owner-goroutine write path (Options.WriteMode == WriteAsync; see
+	// writequeue.go). wq is nil in WriteSync mode, making the queue
+	// machinery invisible to the legacy locked path. curBatch is non-nil
+	// only inside applyBatch's critical section; putBodyLocked and
+	// delBodyLocked route their WAL records and view republication through
+	// it so the whole batch shares one append and one publish. wbHist is
+	// the batch-size histogram (guarded by mu, bits.Len-bucketed like the
+	// WAL's group-commit histogram).
+	// wdrain (guarded by mu) is the write-side drain cadence: direct
+	// (uncontended fast path) writes fold read state every drainEvery ops
+	// or when the touch ring crowds, mirroring the reader cadence and the
+	// owner's once-per-batch drain, instead of paying the full fold on
+	// every op the way the legacy locked path does.
+	wq           *writeQueue
+	curBatch     *pendingBatch
+	batchScratch pendingBatch
+	wbHist       [16]int64
+	wdrain       int
+
 	// Hill-climbing threshold tuner state (§7.4 future work).
 	pinThreshold float64
 	tuneOps      int
@@ -350,10 +369,29 @@ func (p *partition) stallTo(t int64) {
 }
 
 // put writes key=value (or a tombstone when value is nil and tomb is set).
-// It performs the mutation under the partition lock, then — durable DBs in
-// SyncEvery mode — blocks off-lock until the write's WAL record is fsynced,
+// In WriteAsync mode client puts are handed to the partition's owner
+// goroutine (writequeue.go), which applies them in arrival-order batches;
+// otherwise — WriteSync mode, and internal writes either way — the mutation
+// runs under the partition lock right here. Both paths then block off-lock
+// (durable DBs in SyncEvery mode) until the write's WAL record is fsynced,
 // so the group-commit wait never serializes the partition.
 func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, error) {
+	if p.wq != nil && clientOp && !tomb {
+		// Uncontended fast path: with no intents queued and the lock free,
+		// handing this op to the owner would buy nothing — the batch would
+		// hold only us — and cost two scheduler handoffs. Become a batch of
+		// one instead: apply directly under the lock we just got. Under
+		// contention TryLock fails and the op takes the queue, where real
+		// batches form.
+		if p.wq.idle() && p.mu.TryLock() {
+			lat, lsn, err := p.putDirectLocked(key, value)
+			if err != nil {
+				return lat, err
+			}
+			return lat, p.wal.WaitDurable(lsn)
+		}
+		return p.enqueueWait(intentPut, key, value)
+	}
 	lat, lsn, err := p.putLocked(key, value, tomb, clientOp)
 	if err != nil {
 		return lat, err
@@ -381,6 +419,19 @@ func (p *partition) putLocked(key, value []byte, tomb, clientOp bool) (time.Dura
 	return p.putBodyLocked(key, value, tomb, clientOp)
 }
 
+// putDirectLocked is the WriteAsync uncontended fast path's body: the caller
+// already holds p.mu via TryLock. It differs from putLocked in one way: read
+// state is folded on the write path's batch cadence (writerDrainLocked)
+// rather than on every op — a batch of one still pays its own mutation in
+// full, but shares the drain duty the way owner batches do.
+func (p *partition) putDirectLocked(key, value []byte) (time.Duration, uint64, error) {
+	defer p.mu.Unlock()
+	p.syncClockLocked()
+	p.writerDrainLocked()
+	defer func() { p.casMaxVclock(p.clk.Now()) }()
+	return p.putBodyLocked(key, value, false, true)
+}
+
 // putBodyLocked is the mutation body shared by putLocked and del's inline
 // tombstone insert. The caller holds p.mu with the clock synced and reads
 // drained; admission may briefly release and re-acquire the lock (see
@@ -393,10 +444,17 @@ func (p *partition) putBodyLocked(key, value []byte, tomb, clientOp bool) (time.
 	// skip the republish: the published locations still resolve and readers
 	// pick the new bytes straight off the slab file. The view goes out
 	// BEFORE the latency is returned to the client, so a GET issued after a
-	// PUT's reply always observes it (read-your-writes).
+	// PUT's reply always observes it (read-your-writes). Inside an owner
+	// batch the publish is deferred to the batch boundary instead — still
+	// before any of the batch's done signals, so the guarantee holds.
 	republish := false
 	defer func() {
-		if republish {
+		if !republish {
+			return
+		}
+		if b := p.curBatch; b != nil {
+			b.dirty = true
+		} else {
 			p.publishView()
 		}
 	}()
@@ -490,9 +548,17 @@ func (p *partition) putBodyLocked(key, value []byte, tomb, clientOp bool) (time.
 	}
 	var lsn uint64
 	if p.wal != nil && clientOp {
-		var werr error
-		if lsn, werr = p.wal.AppendPut(key, value); werr != nil {
-			return 0, 0, werr
+		// Inside an owner batch the record joins the batch's group append
+		// (issued after every slab write in the batch — the checkpoint
+		// invariant holds batch-wide); otherwise it is appended here, after
+		// this op's own slab write.
+		if b := p.curBatch; b != nil {
+			b.recs = append(b.recs, storage.BatchEntry{Op: storage.OpPut, Key: key, Value: value})
+		} else {
+			var werr error
+			if lsn, werr = p.wal.AppendPut(key, value); werr != nil {
+				return 0, 0, werr
+			}
 		}
 	}
 	p.maybeCompact()
@@ -735,23 +801,72 @@ func (p *partition) recordGet(src Tier) {
 
 // del removes key. NVM versions are deleted directly; if an older version
 // may remain on flash a tombstone is inserted to NVM, to die in a later
-// merge (§6).
+// merge (§6). In WriteAsync mode client deletes ride the owner queue like
+// puts; WAL replay and WriteSync mode go through delLocked directly.
 func (p *partition) del(key []byte) (time.Duration, error) {
+	if p.wq != nil {
+		// Same uncontended fast path as put: a lone deleter is a batch of
+		// one, applied directly; contended deleters ride the queue.
+		if p.wq.idle() && p.mu.TryLock() {
+			lat, lsn, err := p.delDirectLocked(key)
+			if err != nil {
+				return lat, err
+			}
+			return lat, p.wal.WaitDurable(lsn)
+		}
+		return p.enqueueWait(intentDel, key, nil)
+	}
+	lat, lsn, err := p.delLocked(key)
+	if err != nil {
+		return lat, err
+	}
+	return lat, p.wal.WaitDurable(lsn)
+}
+
+// delLocked is the locked wrapper of delBodyLocked, mirroring putLocked.
+func (p *partition) delLocked(key []byte) (time.Duration, uint64, error) {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.syncClockLocked()
 	p.drainReadsLocked()
+	defer func() { p.casMaxVclock(p.clk.Now()) }()
+	return p.delBodyLocked(key)
+}
+
+// delDirectLocked mirrors putDirectLocked for deletes: p.mu already held,
+// read state folded on the write-batch cadence.
+func (p *partition) delDirectLocked(key []byte) (time.Duration, uint64, error) {
+	defer p.mu.Unlock()
+	p.syncClockLocked()
+	p.writerDrainLocked()
+	defer func() { p.casMaxVclock(p.clk.Now()) }()
+	return p.delBodyLocked(key)
+}
+
+// delBodyLocked is the delete mutation body shared by delLocked and the
+// owner's applyBatch. The caller holds p.mu with the clock synced and reads
+// drained.
+func (p *partition) delBodyLocked(key []byte) (time.Duration, uint64, error) {
+	republish := false
+	defer func() {
+		if !republish {
+			return
+		}
+		if b := p.curBatch; b != nil {
+			b.dirty = true
+		} else {
+			p.publishView()
+		}
+	}()
 	start := p.clk.Now()
 	cpu := p.opts.CPU
 	p.chargeCPU(p.clk, cpu.OpBase+cpu.IndexOp)
 	idx := p.opts.KeyIndex(key)
 
-	republish := false
 	if v, ok := p.index.Get(key); ok {
 		oldSlot := int64(p.slabs.SlotSize(slab.Loc(v)))
 		if err := p.slabs.Delete(p.clk, slab.Loc(v)); err != nil {
-			p.casMaxVclock(p.clk.Now())
-			p.mu.Unlock()
-			return 0, err
+			return 0, 0, err
 		}
 		p.index.Delete(key)
 		p.bkt.OnNVMDelete(idx)
@@ -795,37 +910,31 @@ func (p *partition) del(key []byte) (time.Duration, error) {
 		// resurrect the key from flash.
 		tombLat, _, err := p.putBodyLocked(key, nil, true, false)
 		if err != nil {
-			p.casMaxVclock(p.clk.Now())
-			p.mu.Unlock()
-			return 0, err
+			return 0, 0, err
 		}
 		lat += tombLat
 	}
 	// One DEL record covers the whole delete, tombstone included: replay
-	// re-runs del, which re-derives the tombstone decision from the
+	// re-runs the delete, which re-derives the tombstone decision from the
 	// recovered state. Logged after every slab write this delete issues
 	// (put's slab-write-before-append ordering), so the log's per-key order
-	// equals lock order. The NVM slot free itself may still be deferred by a
-	// pinned epoch — the DeferredDirty checkpoint barrier (durable.go) keeps
-	// this record alive until the zeroing write is issued.
+	// equals lock order; inside an owner batch the record joins the batch's
+	// group append, which happens after the batch's last slab write. The
+	// NVM slot free itself may still be deferred by a pinned epoch — the
+	// DeferredDirty checkpoint barrier (durable.go) keeps this record alive
+	// until the zeroing write is issued.
 	var lsn uint64
 	if p.wal != nil {
-		var werr error
-		if lsn, werr = p.wal.AppendDel(key); werr != nil {
-			p.casMaxVclock(p.clk.Now())
-			p.mu.Unlock()
-			return 0, werr
+		if b := p.curBatch; b != nil {
+			b.recs = append(b.recs, storage.BatchEntry{Op: storage.OpDel, Key: key})
+		} else {
+			var werr error
+			if lsn, werr = p.wal.AppendDel(key); werr != nil {
+				return 0, 0, werr
+			}
 		}
 	}
-	if republish {
-		p.publishView()
-	}
-	p.casMaxVclock(p.clk.Now())
-	p.mu.Unlock()
-	if err := p.wal.WaitDurable(lsn); err != nil {
-		return lat, err
-	}
-	return lat, nil
+	return lat, lsn, nil
 }
 
 // inRange reports whether key falls in [lo, hi), nil bounds meaning ±∞.

@@ -89,6 +89,7 @@ func (v *readView) release() {
 func (p *partition) publishView() {
 	nv := &readView{tree: p.index.Snapshot(), snap: p.man.Acquire()}
 	nv.refs.Store(1) // the publisher's reference
+	p.stats.ViewRepublishes++
 	old := p.view.Swap(nv)
 	if old != nil {
 		old.release()
@@ -160,8 +161,9 @@ func (p *partition) drainReadsLocked() {
 	// Any drain restarts the readers' cadence: without this, a writer-heavy
 	// phase (where writers win every drain) would leave sinceDrain
 	// saturated and every subsequent GET would burn a TryLock CAS on the
-	// contended mutex line.
+	// contended mutex line. The write-side cadence restarts too.
 	p.sinceDrain.Store(0)
+	p.wdrain = 0
 	var gets, dram, nvm, flash, miss, fp int64
 	for i := range p.sink {
 		s := &p.sink[i]
@@ -188,6 +190,19 @@ func (p *partition) drainReadsLocked() {
 	p.rt.flashReads += flash
 	for i := int64(0); i < gets; i++ {
 		p.rt.onOp(p, true)
+	}
+}
+
+// writerDrainLocked is the write path's cadence-driven fold, used by the
+// WriteAsync direct (uncontended) fast path: a batch of one drains read
+// state every drainEvery writes or when the touch ring crowds, the same
+// bounded staleness the reader cadence and the owner's once-per-batch drain
+// already accept. The legacy WriteSync path keeps its deterministic
+// fold-on-every-op behavior. Caller holds p.mu.
+func (p *partition) writerDrainLocked() {
+	p.wdrain++
+	if p.wdrain >= drainEvery || p.touches.crowded() {
+		p.drainReadsLocked()
 	}
 }
 

@@ -93,6 +93,25 @@ type Stats struct {
 	CompactionHardStalls    int64
 	CompactionHardStallTime time.Duration
 
+	// Owner-goroutine write path (Options.WriteMode == WriteAsync; all
+	// zero under WriteSync).
+	//
+	// WriteBatches counts owner batch applications; ViewRepublishes counts
+	// read-view publications (one per mutating batch rather than one per
+	// mutating op — the batching win the write path exists for).
+	// ProducerParks counts enqueuers that found the intent ring full and
+	// parked. WriteQueueDepth is a gauge: intents queued across partitions
+	// at the moment Stats was taken.
+	WriteBatches    int64
+	ViewRepublishes int64
+	ProducerParks   int64
+	WriteQueueDepth int64
+	// WriteBatchP50/P99 are representative batch sizes at those
+	// percentiles, computed by DB.Stats from the merged histogram (not
+	// summed in add — a percentile of percentiles would be meaningless).
+	WriteBatchP50 int64
+	WriteBatchP99 int64
+
 	// Objects currently resident per tier.
 	NVMObjects   int64
 	FlashObjects int64
@@ -128,6 +147,10 @@ func (s *Stats) add(o Stats) {
 	s.CommitConflicts += o.CommitConflicts
 	s.CompactionHardStalls += o.CompactionHardStalls
 	s.CompactionHardStallTime += o.CompactionHardStallTime
+	s.WriteBatches += o.WriteBatches
+	s.ViewRepublishes += o.ViewRepublishes
+	s.ProducerParks += o.ProducerParks
+	s.WriteQueueDepth += o.WriteQueueDepth
 	s.NVMObjects += o.NVMObjects
 	s.FlashObjects += o.FlashObjects
 }

@@ -16,12 +16,22 @@ import (
 // accumulated replies go out in one write and the goroutine blocks in Read.
 // One flush per inbound batch, and no deadlock when a client trickles half
 // a command and waits for earlier replies.
+//
+// beforeRead runs first: it flushes the connection's pending engine SET
+// batch, so the batched writes' replies land in bw before bw itself is
+// flushed. The same valve that bounds reply latency therefore also bounds
+// write-batch latency — a client that stops pipelining gets its OKs (and
+// its writes applied) before the server blocks on the socket, never after.
 type flushReader struct {
-	nc net.Conn
-	bw *bufio.Writer
+	nc         net.Conn
+	bw         *bufio.Writer
+	beforeRead func() // flushes the pending SET batch; set by handleConn
 }
 
 func (f *flushReader) Read(p []byte) (int, error) {
+	if f.beforeRead != nil {
+		f.beforeRead()
+	}
 	if f.bw.Buffered() > 0 {
 		if err := f.bw.Flush(); err != nil {
 			return 0, err
@@ -43,7 +53,8 @@ func (s *Server) handleConn(nc net.Conn) {
 	}()
 
 	bw := bufio.NewWriterSize(nc, s.cfg.WriteBuffer)
-	br := bufio.NewReaderSize(&flushReader{nc: nc, bw: bw}, s.cfg.ReadBuffer)
+	fr := &flushReader{nc: nc, bw: bw}
+	br := bufio.NewReaderSize(fr, s.cfg.ReadBuffer)
 	r := newReader(br)
 	w := &writer{bw: bw}
 	cm := newConnMetrics()
@@ -62,27 +73,53 @@ func (s *Server) handleConn(nc net.Conn) {
 	// both are recycled across commands, so warm reads and scans allocate
 	// nothing on the server side.
 	st := &connState{val: make([]byte, 0, 4096)}
+	fr.beforeRead = func() { s.flushSetBatch(w, cm, st) }
 
 	for {
 		if s.closed.Load() {
+			s.flushSetBatch(w, cm, st)
 			bw.Flush()
 			return
 		}
 		args, err := r.ReadCommand()
 		if err != nil {
+			// A well-formed SET batched just before a protocol error (or
+			// EOF mid-stream) still executes and gets its reply: the batch
+			// flush precedes the diagnostic, mirroring the unbatched path's
+			// ordering. Usually a no-op — beforeRead already flushed at the
+			// last socket read.
+			s.flushSetBatch(w, cm, st)
 			if perr, ok := err.(ProtocolError); ok {
 				// One diagnostic, then hang up: a desynced RESP stream
 				// cannot be safely resumed.
 				s.logf("server: %s: %v", nc.RemoteAddr(), perr)
 				s.errCount.Add(1)
 				w.err("ERR " + perr.Error())
-				bw.Flush()
 			}
+			bw.Flush()
 			return
 		}
 		if len(args) == 0 {
 			continue
 		}
+		// The pipelined-write fast path: a SET that arrived with more
+		// commands behind it (or while a batch is already open) is
+		// deferred into the connection's batch instead of executing — the
+		// whole run reaches the engine as ONE PutBatch, so N pipelined
+		// SETs cost one owner-queue handoff per partition, one WAL group
+		// append, and one view republication. A lone SET on an idle
+		// connection executes immediately: batching it would only add
+		// latency with nothing to coalesce.
+		if len(args) == 3 && cmdIs(args[0], "SET") && (len(st.bpairs) > 0 || br.Buffered() > 0) {
+			st.addSet(args[1], args[2])
+			if len(st.bpairs) >= setBatchMax {
+				s.flushSetBatch(w, cm, st)
+			}
+			continue
+		}
+		// Any other command first forces the pending batch out, preserving
+		// per-connection order (a GET after a batched SET sees its write).
+		s.flushSetBatch(w, cm, st)
 		if !s.execute(args, w, cm, st) {
 			bw.Flush()
 			return
@@ -94,6 +131,64 @@ func (s *Server) handleConn(nc net.Conn) {
 type connState struct {
 	val  []byte // GetBuf value scratch
 	scan []byte // SCAN's encoded key/value pairs
+
+	// The pipelined SET batch. The parser's argument arena is recycled by
+	// the next ReadCommand, so a deferred SET's key and value are copied
+	// into barena (one growable arena, recycled per flush) and bpairs
+	// holds the slices handed to Engine.PutBatch. bpairs doubles as MSET's
+	// pair scratch — it is always empty when execute runs.
+	bpairs []core.KV
+	barena []byte
+}
+
+// setBatchMax bounds the deferred SET batch; it matches the engine's
+// per-partition owner batch cap, past which a longer server-side batch
+// would only split downstream anyway.
+const setBatchMax = 128
+
+// addSet copies one SET's key and value out of the parse arena and into
+// the connection's batch. Growing barena mid-batch is fine: earlier pairs
+// keep the old backing array alive, and appends never write inside an
+// existing pair's bounds.
+func (st *connState) addSet(key, value []byte) {
+	off := len(st.barena)
+	st.barena = append(st.barena, key...)
+	k := st.barena[off:len(st.barena):len(st.barena)]
+	off = len(st.barena)
+	st.barena = append(st.barena, value...)
+	v := st.barena[off:len(st.barena):len(st.barena)]
+	st.bpairs = append(st.bpairs, core.KV{Key: k, Value: v})
+}
+
+// flushSetBatch hands the connection's deferred SETs to the engine as one
+// PutBatch and writes their replies. No-op when the batch is empty. The
+// batch's wall and virtual time are split evenly across its ops for the
+// per-op histograms — the composition the engine maintains internally.
+func (s *Server) flushSetBatch(w *writer, cm *connMetrics, st *connState) {
+	n := len(st.bpairs)
+	if n == 0 {
+		return
+	}
+	s.cmdCounts[opSet].Add(int64(n))
+	t0 := time.Now()
+	vlat, err := s.eng.PutBatch(st.bpairs)
+	st.bpairs = st.bpairs[:0]
+	st.barena = st.barena[:0]
+	if err != nil {
+		// All-or-nothing reporting: PutBatch surfaces the first failure,
+		// and a failed batch (in practice: the engine closed) errors every
+		// op in it rather than guessing which prefix landed.
+		for i := 0; i < n; i++ {
+			s.errorReply(w, err)
+		}
+		return
+	}
+	wall, per := time.Since(t0), vlat/time.Duration(n)
+	wper := wall / time.Duration(n)
+	for i := 0; i < n; i++ {
+		cm.record(opSet, wper, per)
+		w.simple("OK")
+	}
 }
 
 // cmdIs compares a command name case-insensitively against an upper-case
@@ -161,6 +256,32 @@ func (s *Server) execute(args [][]byte, w *writer, cm *connMetrics, st *connStat
 			n++
 		}
 		w.integer(int64(n))
+	case cmdIs(name, "MSET"):
+		if len(args) < 3 || len(args)%2 != 1 {
+			s.argErr(w, "mset")
+			return true
+		}
+		// The pairs may alias the parse arena: PutBatch is synchronous and
+		// the engine copies what it keeps before acknowledging, exactly as
+		// with Put. bpairs is free scratch here — handleConn flushed the
+		// deferred batch before dispatching.
+		pairs := st.bpairs[:0]
+		for i := 1; i+1 < len(args); i += 2 {
+			pairs = append(pairs, core.KV{Key: args[i], Value: args[i+1]})
+		}
+		// Each pair counts as a set (prismload's -check compares element
+		// counts); cmd_mset counts the wire command itself.
+		s.cmdCounts[opMSet].Add(1)
+		s.cmdCounts[opSet].Add(int64(len(pairs)))
+		t0 := time.Now()
+		vlat, err := s.eng.PutBatch(pairs)
+		st.bpairs = pairs[:0]
+		if err != nil {
+			s.errorReply(w, err)
+			return true
+		}
+		cm.record(opMSet, time.Since(t0), vlat)
+		w.simple("OK")
 	case cmdIs(name, "MGET"):
 		if len(args) < 2 {
 			s.argErr(w, "mget")

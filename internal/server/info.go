@@ -89,6 +89,22 @@ func (s *Server) info(section string) string {
 		b.WriteString("\r\n")
 	}
 
+	if want("writes") {
+		st := s.eng.Stats()
+		// Owner-goroutine write path health: how well writes are batching
+		// (batch size percentiles and the republish-per-batch economy), how
+		// deep the intent queues are right now, and whether producers are
+		// hitting the ring's backpressure (parks).
+		fmt.Fprintf(&b, "# writes\r\n")
+		fmt.Fprintf(&b, "write_batches:%d\r\n", st.WriteBatches)
+		fmt.Fprintf(&b, "write_batch_p50:%d\r\n", st.WriteBatchP50)
+		fmt.Fprintf(&b, "write_batch_p99:%d\r\n", st.WriteBatchP99)
+		fmt.Fprintf(&b, "write_queue_depth:%d\r\n", st.WriteQueueDepth)
+		fmt.Fprintf(&b, "producer_parks:%d\r\n", st.ProducerParks)
+		fmt.Fprintf(&b, "view_republishes:%d\r\n", st.ViewRepublishes)
+		b.WriteString("\r\n")
+	}
+
 	if want("persistence") {
 		// The section is present only when the engine is durable
 		// (core.Options.DataDir): an in-memory engine either lacks the

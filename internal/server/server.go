@@ -15,7 +15,15 @@
 // path through a per-connection scratch buffer, and replies are formatted
 // into the write buffer without intermediate allocations.
 //
-// Protocol subset: GET, SET, DEL, MGET, SCAN, PING, INFO, COMMAND, QUIT.
+// Writes ride the engine's owner-goroutine batch path: a pipelined run of
+// SETs is accumulated per connection and handed to the engine as ONE
+// PutBatch the moment a non-SET command or the flush-on-read valve forces
+// it out — so a pipelined write burst costs one engine enqueue per
+// partition, one WAL group append, and one view republication. MSET is the
+// explicit form of the same batch.
+//
+// Protocol subset: GET, SET, DEL, MGET, MSET, SCAN, PING, INFO, COMMAND,
+// QUIT.
 // SCAN is PrismDB's range scan (SCAN start count → a flat array of
 // alternating keys and values), not Redis's cursor iteration. INFO reports
 // server counters, engine Stats, tier hit ratios, and per-op latency
@@ -38,6 +46,12 @@ import (
 // so cmd/prismserver can hand the facade straight in.
 type Engine interface {
 	Put(key, value []byte) (time.Duration, error)
+	// PutBatch applies a group of puts as one engine batch: under the
+	// owner-goroutine write path all pairs enqueue together, so the engine
+	// can apply them in one critical section with one WAL group append and
+	// one view republication. The returned latency is the batch's summed
+	// per-op virtual time.
+	PutBatch(pairs []core.KV) (time.Duration, error)
 	GetBuf(key, buf []byte) ([]byte, core.Tier, time.Duration, error)
 	Delete(key []byte) (time.Duration, error)
 	NewIterator(start []byte, limitHint int) *core.Iterator
@@ -69,11 +83,12 @@ const (
 	opDel
 	opMGet
 	opScan
-	opOther
+	opMSet
+	opOther // must stay last: the INFO latency loop skips it by position
 	opKinds
 )
 
-var opNames = [opKinds]string{"get", "set", "del", "mget", "scan", "other"}
+var opNames = [opKinds]string{"get", "set", "del", "mget", "scan", "mset", "other"}
 
 // connMetrics are one connection's latency histograms: wall-clock around
 // the engine call and the engine's own virtual-time latency, per op kind.

@@ -390,3 +390,118 @@ func TestGracefulShutdown(t *testing.T) {
 		}
 	}
 }
+
+// TestMSET drives the explicit batch-write command: values land, arity
+// errors reject, and the counters tally pairs as sets (prismload's -check
+// contract) with the command itself under cmd_mset.
+func TestMSET(t *testing.T) {
+	db := testEngine(t, 2)
+	srv, dial := startServer(t, db)
+	nc := dial()
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	if rep := roundTrip(t, nc, br, "MSET", "m1", "v1", "m2", "v2", "m3", "v3"); string(rep.Str) != "OK" {
+		t.Fatalf("MSET → %+v", rep)
+	}
+	for i := 1; i <= 3; i++ {
+		k, v := fmt.Sprintf("m%d", i), fmt.Sprintf("v%d", i)
+		if rep := roundTrip(t, nc, br, "GET", k); string(rep.Str) != v {
+			t.Fatalf("GET %s → %q, want %q", k, rep.Str, v)
+		}
+	}
+	if rep := roundTrip(t, nc, br, "MSET", "k"); !rep.IsErr() {
+		t.Fatalf("MSET with no pairs → %+v, want error", rep)
+	}
+	if rep := roundTrip(t, nc, br, "MSET", "k", "v", "odd"); !rep.IsErr() {
+		t.Fatalf("MSET with odd tail → %+v, want error", rep)
+	}
+	if got := srv.cmdCounts[opSet].Load(); got != 3 {
+		t.Fatalf("cmd_set = %d, want 3 (one per pair)", got)
+	}
+	if got := srv.cmdCounts[opMSet].Load(); got != 1 {
+		t.Fatalf("cmd_mset = %d, want 1", got)
+	}
+	if st := db.Stats(); st.Puts != 3 {
+		t.Fatalf("engine puts = %d, want 3", st.Puts)
+	}
+}
+
+// TestSetBatchFlush unit-drives the pipelined-write fast path's machinery:
+// addSet must copy out of the (recycled) parse arena, flushSetBatch must
+// apply every pair through one PutBatch and write one OK per SET, and the
+// batch state must come back empty for reuse.
+func TestSetBatchFlush(t *testing.T) {
+	db := testEngine(t, 2)
+	srv, err := New(Config{Engine: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	w := &writer{bw: bufio.NewWriter(&out)}
+	cm := newConnMetrics()
+	st := &connState{}
+
+	const n = 10
+	arena := make([]byte, 0, 64) // stands in for the parser's recycled arena
+	for i := 0; i < n; i++ {
+		arena = arena[:0]
+		arena = append(arena, []byte(fmt.Sprintf("bk%02d", i))...)
+		arena = append(arena, []byte(fmt.Sprintf("bv%02d", i))...)
+		st.addSet(arena[:4], arena[4:])
+	}
+	s := srv
+	s.flushSetBatch(w, cm, st)
+	s.flushSetBatch(w, cm, st) // idempotent on an empty batch
+	if err := w.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if want := repeat("+OK\r\n", n); out.String() != want {
+		t.Fatalf("replies = %q, want %d OKs", out.String(), n)
+	}
+	if len(st.bpairs) != 0 || len(st.barena) != 0 {
+		t.Fatalf("batch not recycled: %d pairs, %d arena bytes", len(st.bpairs), len(st.barena))
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("bk%02d", i)
+		v, tier, _, err := db.Get([]byte(k))
+		if err != nil || tier == core.TierMiss {
+			t.Fatalf("Get %s: %v tier=%v", k, err, tier)
+		}
+		if want := fmt.Sprintf("bv%02d", i); string(v) != want {
+			t.Fatalf("Get %s = %q, want %q (arena aliasing?)", k, v, want)
+		}
+	}
+	if got := s.cmdCounts[opSet].Load(); got != n {
+		t.Fatalf("cmd_set = %d, want %d", got, n)
+	}
+	if cm.wall[opSet].Count() != n || cm.virt[opSet].Count() != n {
+		t.Fatalf("histogram counts = %d/%d, want %d", cm.wall[opSet].Count(), cm.virt[opSet].Count(), n)
+	}
+}
+
+// TestInfoWritesSection checks INFO surfaces the owner write path's
+// telemetry.
+func TestInfoWritesSection(t *testing.T) {
+	db := testEngine(t, 1)
+	_, dial := startServer(t, db)
+	nc := dial()
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	roundTrip(t, nc, br, "MSET", "wk1", "v", "wk2", "v")
+	rep := roundTrip(t, nc, br, "INFO", "writes")
+	for _, field := range []string{
+		"# writes", "write_batches:", "write_batch_p50:", "write_batch_p99:",
+		"write_queue_depth:", "producer_parks:", "view_republishes:",
+	} {
+		if !bytes.Contains(rep.Str, []byte(field)) {
+			t.Fatalf("INFO writes missing %q:\n%s", field, rep.Str)
+		}
+	}
+	var batches int64
+	fmt.Sscanf(string(rep.Str[bytes.Index(rep.Str, []byte("write_batches:")):]), "write_batches:%d", &batches)
+	if batches == 0 {
+		t.Fatalf("write_batches = 0 after MSET:\n%s", rep.Str)
+	}
+}

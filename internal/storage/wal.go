@@ -299,6 +299,54 @@ func (w *WAL) AppendDel(key []byte) (uint64, error) {
 	return w.append(OpDel, key, nil)
 }
 
+// BatchEntry is one record of an AppendBatch. Key and Value are copied
+// into the WAL's frame buffer before AppendBatch returns, so the caller may
+// reuse the slices immediately.
+type BatchEntry struct {
+	Op         byte
+	Key, Value []byte
+}
+
+// AppendBatch frames a batch of records under one mutex hold and one
+// flusher wakeup, returning the LSN of the first record; entry i has LSN
+// first+i. The whole batch lands in a single flush, so in SyncEvery mode
+// the batch shares one group-commit fsync — the engine's write batch and
+// the WAL's fsync group become the same unit. An empty batch returns (0,
+// nil), the "nothing was logged" LSN WaitDurable ignores.
+func (w *WAL) AppendBatch(entries []BatchEntry) (uint64, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return 0, errWALClosed
+	}
+	if w.ioErr != nil {
+		err := w.ioErr
+		w.mu.Unlock()
+		return 0, err
+	}
+	first := w.nextLSN
+	before := len(w.buf)
+	for _, e := range entries {
+		w.buf = appendRecord(w.buf, e.Op, e.Key, e.Value)
+	}
+	n := int64(len(w.buf) - before)
+	w.nextLSN += uint64(len(entries))
+	w.bufRecs += len(entries)
+	w.bufLastLSN = first + uint64(len(entries)) - 1
+	w.segSize += n
+	w.stBytes += n
+	w.stRecords += int64(len(entries))
+	w.mu.Unlock()
+	select {
+	case w.work <- struct{}{}:
+	default:
+	}
+	return first, nil
+}
+
 func (w *WAL) append(op byte, key, value []byte) (uint64, error) {
 	w.mu.Lock()
 	if w.stopped {

@@ -611,3 +611,104 @@ func TestWALPruneRefusedWithoutCleanClose(t *testing.T) {
 		t.Fatalf("segments gone after refused prune: %v, err %v", names, err)
 	}
 }
+
+// TestWALAppendBatch pins the batch framing contract: contiguous LSNs from
+// the returned first, one WaitDurable barrier covering the whole batch,
+// mutation order preserved across replay, and caller buffers free for reuse
+// the moment AppendBatch returns.
+func TestWALAppendBatch(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDir(t, dir, nil)
+	w, _ := replayAll(t, d, WALOptions{Mode: SyncEvery})
+	if err := w.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if lsn, err := w.AppendBatch(nil); lsn != 0 || err != nil {
+		t.Fatalf("empty batch = %d,%v", lsn, err)
+	}
+	first0, err := w.AppendPut([]byte("solo"), []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("reused-key")
+	val := []byte("reused-val")
+	var want []walRec
+	want = append(want, walRec{OpPut, "solo", "v"})
+	var lastFirst uint64
+	for b := 0; b < 8; b++ {
+		var entries []BatchEntry
+		for i := 0; i < 5; i++ {
+			copy(key[7:], fmt.Sprintf("%d%d", b, i))
+			copy(val[7:], fmt.Sprintf("%d%d", b, i))
+			if i == 4 {
+				entries = append(entries, BatchEntry{Op: OpDel, Key: append([]byte(nil), key...)})
+				want = append(want, walRec{OpDel, string(key), ""})
+			} else {
+				entries = append(entries, BatchEntry{Op: OpPut, Key: append([]byte(nil), key...), Value: append([]byte(nil), val...)})
+				want = append(want, walRec{OpPut, string(key), string(val)})
+			}
+		}
+		// Hand the WAL aliases of the scratch buffers to prove it copies.
+		aliased := make([]BatchEntry, len(entries))
+		for i, e := range entries {
+			copy(key[7:], fmt.Sprintf("%d%d", b, i))
+			copy(val[7:], fmt.Sprintf("%d%d", b, i))
+			aliased[i] = BatchEntry{Op: e.Op, Key: key, Value: e.Value}
+			if e.Op == OpDel {
+				aliased[i].Value = nil
+			}
+			first, err := w.AppendBatch(aliased[i : i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == 0 && i == 0 && first != first0+1 {
+				t.Fatalf("first batch LSN = %d, want %d", first, first0+1)
+			}
+			lastFirst = first
+		}
+	}
+	if err := w.WaitDurable(lastFirst); err != nil {
+		t.Fatal(err)
+	}
+	// One true multi-entry batch: contiguous LSNs, one durability barrier.
+	multi := []BatchEntry{
+		{Op: OpPut, Key: []byte("m1"), Value: []byte("x")},
+		{Op: OpPut, Key: []byte("m2"), Value: []byte("y")},
+		{Op: OpDel, Key: []byte("m1")},
+	}
+	first, err := w.AppendBatch(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != lastFirst+1 {
+		t.Fatalf("multi-batch first LSN = %d, want %d", first, lastFirst+1)
+	}
+	if err := w.WaitDurable(first + 2); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want,
+		walRec{OpPut, "m1", "x"},
+		walRec{OpPut, "m2", "y"},
+		walRec{OpDel, "m1", ""})
+	if st := w.Stats(); st.Records != int64(len(want)) {
+		t.Fatalf("Records = %d, want %d", st.Records, len(want))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-open WITHOUT pruning so the segments replay.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d = openTestDir(t, dir, nil)
+	defer d.Close()
+	_, got := replayAll(t, d, WALOptions{})
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -99,8 +99,34 @@
 //     freed, recycled, or mid-move under a stale view fails validation;
 //     the reader retries against the current view and, after a few
 //     failures, falls back to the locked path (churn that hot is already
-//     serializing on the writer side). Writes, deletes, scans, and both
-//     compaction modes keep their existing locking.
+//     serializing on the writer side). Scans and both compaction modes
+//     keep their existing locking.
+//
+//   - Writes are BATCHED PER PARTITION (Options.WriteMode, default
+//     WriteAsync). An uncontended Put or Delete — intent ring empty, lock
+//     free — applies directly as a batch of one, folding read state on
+//     the batch cadence instead of per op. Under contention the op frames
+//     a write intent into the partition's bounded lock-free MPSC ring
+//     (Vyukov-style, 1024 slots; a producer that finds it full parks on a
+//     condvar rather than dropping — writes are lossless) and waits for
+//     the owner goroutine's completion signal. The owner drains up to 128
+//     intents at a time and applies the whole batch as ONE critical
+//     section: one lock acquisition, one B-tree spine copy (same-epoch
+//     nodes mutate in place between snapshots), one WAL group append
+//     carrying every record (one fsync under group commit), and one
+//     read-view republication — so N concurrent writers cost ~1/N of the
+//     per-operation locking, logging, and publication work. Ack semantics
+//     are unchanged: the caller unblocks only after its own op is applied
+//     (and durable, per Options.WALSync), each op is charged its own
+//     virtual-time interval on the partition clock exactly as if applied
+//     serially, and the view republishes before any ack — read-your-
+//     writes holds. A serial caller stays on the direct path and matches
+//     WriteSync virtual time within a few percent. WriteSync keeps the
+//     legacy take-the-lock-yourself path (bit-reproducible serial
+//     benches). PutBatch (the server's MSET and pipelined-SET fast path)
+//     hands a whole group of pairs to the queues in one call.
+//     Stats reports WriteBatches, batch-size percentiles, queue depth,
+//     and ProducerParks; the server's INFO writes section mirrors them.
 //
 //   - Virtual-clock semantics for off-lock reads: each GET runs a private
 //     clock seeded from the partition's published frontier (an atomic
@@ -302,6 +328,9 @@ type (
 	// CompactionMode selects background (async) or inline (sync)
 	// compaction execution; see the package docs' Compaction section.
 	CompactionMode = core.CompactionMode
+	// WriteMode selects the owner-goroutine (async) or legacy locked
+	// (sync) write path; see the package docs' Concurrency section.
+	WriteMode = core.WriteMode
 	// ReadTriggerOptions configure read-triggered compactions.
 	ReadTriggerOptions = core.ReadTriggerOptions
 	// Device is a simulated NVMe device.
@@ -351,6 +380,22 @@ const (
 	// benches).
 	CompactionSync = core.CompactionSync
 )
+
+// Write-path execution modes (Options.WriteMode).
+const (
+	// WriteAsync routes each partition's mutations through its owner
+	// goroutine: writers enqueue intents into a bounded MPSC ring, the
+	// owner applies a whole batch in one critical section with one WAL
+	// group append and one view republication (the default).
+	WriteAsync = core.WriteAsync
+	// WriteSync keeps the legacy path: each writer takes the partition
+	// lock, applies, logs, and republishes its own operation.
+	WriteSync = core.WriteSync
+)
+
+// ParseWriteMode parses the -write-mode flag spellings: "async" (aliases
+// "queue", "owner") or "sync" (alias "locked").
+func ParseWriteMode(s string) (WriteMode, error) { return core.ParseWriteMode(s) }
 
 // WAL sync modes (Options.WALSync).
 const (
@@ -478,6 +523,17 @@ func RecommendedConfig(spec TierSpec) Options {
 // Put writes key=value, returning the simulated operation latency.
 func (db *DB) Put(key, value []byte) (time.Duration, error) {
 	return db.inner.Put(key, value)
+}
+
+// PutBatch writes a group of pairs, returning their summed simulated
+// latency. Under WriteAsync all pairs enqueue onto their partitions' owner
+// queues together, so a batch costs one critical section, one WAL group
+// append, and one view republication per touched partition; the server's
+// MSET and pipelined-SET fast path ride this. Pairs land in batch order
+// per partition, and the call returns only after every pair is applied
+// (and durable, per Options.WALSync).
+func (db *DB) PutBatch(pairs []KV) (time.Duration, error) {
+	return db.inner.PutBatch(pairs)
 }
 
 // Get returns the newest value for key, the tier that served the read, and

@@ -35,11 +35,14 @@ start_server() {
 start_server
 
 # Workload A (50% updates) over few keys: plenty of acknowledged SETs, and
-# hot-key overwrites exercise WAL replay ordering. The burst runs in the
-# background; the kill lands while it is in full flight.
+# hot-key overwrites exercise WAL replay ordering. -batch 8 coalesces SET
+# runs into MSETs so the acked-write journal covers batched group commits:
+# each MSET reply acknowledges all of its pairs at once, and none of them
+# may be lost. The burst runs in the background; the kill lands while it is
+# in full flight.
 "$bin/prismload" -addr "127.0.0.1:$port" \
 	-load -keys 3000 -value 256 -workload a \
-	-ops "$ops" -conns 4 -pipeline 16 \
+	-ops "$ops" -conns 4 -pipeline 16 -batch 8 \
 	-acklog "$bin/acked.log" > "$bin/load.log" 2>&1 &
 load_pid=$!
 
