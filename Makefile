@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke serve-smoke crash-smoke
+.PHONY: build vet test race bench bench-smoke serve-smoke crash-smoke metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,14 @@ race:
 # server's INFO counters.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Telemetry, end to end: start prismserver with -metrics-addr and a data
+# directory, drive a write-heavy prismload burst, scrape /metrics, and
+# assert the key series exist and observed the burst (per-op latencies,
+# write batching, WAL fsync latency, group-commit batch size), plus /events
+# and the pprof mux.
+metrics-smoke:
+	./scripts/metrics_smoke.sh
 
 # Durability, end to end: start prismserver with a data directory, drive a
 # write burst journaling every acknowledged write client-side, kill -9 the

@@ -78,6 +78,16 @@ func benchWALFsync(b *testing.B, mode storage.SyncMode) {
 	total := float64(writers*perW) * float64(b.N)
 	b.ReportMetric(total/elapsed.Seconds()/1e3, "acked-kops")
 	b.ReportMetric(0, "ns/op") // the burst, not b.N, is the unit of work
+	// The durability shape behind the throughput row, from the engine's
+	// always-on telemetry: how long each fdatasync took and how many
+	// records each group commit amortized it across. bench.sh records
+	// every ReportMetric unit into BENCH_<date>.json, so these land next
+	// to the acked-kops rows.
+	ps := db.PersistenceStats()
+	b.ReportMetric(float64(ps.FsyncP50)/1e3, "fsync-p50-us")
+	b.ReportMetric(float64(ps.FsyncP99)/1e3, "fsync-p99-us")
+	b.ReportMetric(float64(ps.GroupCommitBatchP50), "gc-batch-p50")
+	b.ReportMetric(float64(ps.GroupCommitBatchP99), "gc-batch-p99")
 }
 
 // BenchmarkWALFsyncModes is the durability-cost row for BENCH_<date>.json:

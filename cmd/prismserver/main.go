@@ -15,6 +15,8 @@
 //	prismserver -preload 100000          # preload keys before serving
 //	prismserver -data-dir /tmp/prism     # durable: WAL + manifest journal,
 //	                                     # kill -9 safe, recovers on restart
+//	prismserver -metrics-addr :9090      # Prometheus /metrics + /events +
+//	                                     # net/http/pprof on a side listener
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
 // connections, then close the DB so stragglers fail with ErrClosed instead
@@ -22,9 +24,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +55,9 @@ func main() {
 	walSync := flag.String("wal-sync", "sync", "WAL durability mode with -data-dir: sync (ack after fsync, group commit), group (background fsync window), nosync (OS-paced)")
 	fsyncEvery := flag.Int("fsync-every", 0, "group mode: fsync every N records (0 = default 64)")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "group mode: max delay before a pending batch is fsynced (0 = default 2ms)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, /events, and net/http/pprof on this address (empty = off)")
+	traceSample := flag.Int("trace-sample", 0, "trace 1 in N commands into SLOWLOG/TRACE (0 = default 64, negative = off)")
+	slowlogLen := flag.Int("slowlog-len", 0, "SLOWLOG retained-entry cap (0 = default 32)")
 	flag.Parse()
 
 	cfg0 := prismdb.RecommendedConfig(prismdb.TierSpec{
@@ -82,6 +89,13 @@ func main() {
 		cfg0.WALFsyncEvery = *fsyncEvery
 		cfg0.WALFsyncInterval = *fsyncInterval
 	}
+	// One registry and one event log shared by the engine and the server,
+	// so /metrics and INFO expose the whole stack from a single source.
+	reg := prismdb.NewMetricsRegistry()
+	events := prismdb.NewEventLog(256)
+	cfg0.Metrics = reg
+	cfg0.Events = events
+
 	openStart := time.Now()
 	db, err := prismdb.Open(cfg0)
 	if err != nil {
@@ -110,13 +124,35 @@ func main() {
 		log.Printf("preloaded %d keys in %v", *preload, time.Since(start).Round(time.Millisecond))
 	}
 
-	cfg := server.Config{Engine: db, MaxScanLen: *maxScan}
+	cfg := server.Config{
+		Engine:      db,
+		MaxScanLen:  *maxScan,
+		Metrics:     reg,
+		Events:      events,
+		TraceSample: *traceSample,
+		SlowlogLen:  *slowlogLen,
+	}
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("prismserver: %v", err)
+	}
+
+	var msrv *http.Server
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("prismserver: metrics listen: %v", err)
+		}
+		msrv = &http.Server{Handler: prismdb.NewMetricsMux(reg, events)}
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				log.Printf("prismserver: metrics: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics (events at /events, pprof at /debug/pprof/)", mln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -141,6 +177,13 @@ func main() {
 	}
 	if err := srv.Shutdown(*grace); err != nil {
 		log.Printf("prismserver: shutdown: %v", err)
+	}
+	if msrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := msrv.Shutdown(ctx); err != nil {
+			log.Printf("prismserver: metrics shutdown: %v", err)
+		}
+		cancel()
 	}
 	if err := <-serveErr; err != nil {
 		log.Printf("prismserver: serve: %v", err)

@@ -265,6 +265,17 @@ func addYield(out *sstSplitter, rec sst.Record) {
 // merge, SST writes, and freed-slot zeroing all run off-lock against
 // internally-synchronized layers.
 func (p *partition) asyncCompactRange(compClk *simdev.Clock, r candRange, allowDemote, allowPromote, forceAll bool) int64 {
+	host0 := time.Now()
+	defer func() {
+		// Host wall time of the whole round (prepare+execute+commit),
+		// including the yields — the foreground-visible cost of background
+		// work, as opposed to CompactionTime's virtual-clock figure.
+		d := time.Since(host0)
+		p.obs.compRound.Record(d)
+		p.obs.events.Emit("compaction_round",
+			"partition", p.id, "demote", allowDemote, "promote", allowPromote,
+			"took_ms", d)
+	}()
 	cpu := p.opts.CPU
 	decider := p.pinDecider()
 	promoteWM := p.opts.HighWatermark
@@ -308,6 +319,7 @@ func (p *partition) asyncCompactRange(compClk *simdev.Clock, r candRange, allowD
 	p.pinnedBuf = pinnedKeys
 	if allowDemote {
 		p.slabs.PinEpoch()
+		p.obs.epochPins.Inc()
 		p.bg.rangeActive = true
 		p.bg.rangeLo, p.bg.rangeHi = r.lo, r.hi
 	}

@@ -26,6 +26,7 @@ type DB struct {
 	opts   Options
 	parts  []*partition
 	dur    *durable // nil without Options.DataDir
+	obs    *engineObs
 	closed atomic.Bool
 }
 
@@ -41,14 +42,14 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{opts: opts}
+	db := &DB{opts: opts, obs: newEngineObs(opts.Metrics, opts.Events)}
 	if opts.DataDir != "" {
 		if err := db.openDurable(); err != nil {
 			return nil, err
 		}
 	}
 	for i := 0; i < opts.Partitions; i++ {
-		p, err := newPartition(i, &db.opts, db.dur)
+		p, err := newPartition(i, &db.opts, db.dur, db.obs)
 		if err != nil {
 			db.abortOpen()
 			return nil, fmt.Errorf("core: partition %d: %w", i, err)
@@ -84,6 +85,7 @@ func Open(opts Options) (*DB, error) {
 			return nil, err
 		}
 	}
+	db.registerCollector()
 	return db, nil
 }
 

@@ -44,7 +44,13 @@ type PersistenceStats struct {
 	WALFsyncs           int64
 	WALSegments         int
 	GroupCommitBatchP50 int64
+	GroupCommitBatchP99 int64
 	Checkpoints         int64
+
+	// Fsync latency quantiles from the flusher's lock-free histogram
+	// (ROADMAP item 2: data for -wal-sync group tuning).
+	FsyncP50 time.Duration
+	FsyncP99 time.Duration
 
 	RecoveryDuration           time.Duration
 	RecoveryRecords            int64
@@ -59,6 +65,8 @@ func (db *DB) PersistenceStats() PersistenceStats {
 		return PersistenceStats{}
 	}
 	ws := db.dur.wal.Stats()
+	fsync := db.obs.fsyncLatency.Snapshot()
+	batch := db.obs.walBatch.Snapshot()
 	return PersistenceStats{
 		Durable:                    true,
 		WALBytes:                   ws.Bytes,
@@ -66,7 +74,10 @@ func (db *DB) PersistenceStats() PersistenceStats {
 		WALFsyncs:                  ws.Fsyncs,
 		WALSegments:                ws.Segments,
 		GroupCommitBatchP50:        ws.BatchP50,
+		GroupCommitBatchP99:        int64(batch.Quantile(0.99)),
 		Checkpoints:                ws.Checkpoints,
+		FsyncP50:                   fsync.Quantile(0.5),
+		FsyncP99:                   fsync.Quantile(0.99),
 		RecoveryDuration:           db.dur.recoveryTime,
 		RecoveryRecords:            db.dur.recovery.Records,
 		RecoverySegments:           db.dur.recovery.Segments,
@@ -104,6 +115,9 @@ func (db *DB) openDurable() error {
 		FsyncEvery:    db.opts.WALFsyncEvery,
 		FsyncInterval: db.opts.WALFsyncInterval,
 		SegmentBytes:  db.opts.WALSegmentBytes,
+		FsyncLatency:  db.obs.fsyncLatency,
+		BatchRecords:  db.obs.walBatch,
+		Events:        db.obs.events,
 	})
 	if err != nil {
 		dir.Close()
@@ -154,6 +168,12 @@ func (db *DB) finishDurable() error {
 	}
 	db.ResetStats()
 	d.recoveryTime = time.Since(d.openedAt)
+	db.obs.events.Emit("recovery",
+		"segments", d.recovery.Segments,
+		"records", d.recovery.Records,
+		"truncated_bytes", d.recovery.TruncatedBytes,
+		"orphan_ssts", d.orphans,
+		"took_ms", d.recoveryTime)
 	return nil
 }
 

@@ -275,6 +275,7 @@ func (c *partCursor) acquire(start []byte) {
 	p := c.p
 	p.mu.Lock()
 	p.slabs.PinEpoch()
+	p.obs.epochPins.Inc()
 	c.snap = p.man.Acquire()
 	c.collectLocked(start)
 	p.mu.Unlock()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/prismdb/prismdb/internal/msc"
+	"github.com/prismdb/prismdb/internal/obs"
 	"github.com/prismdb/prismdb/internal/simdev"
 	"github.com/prismdb/prismdb/internal/storage"
 )
@@ -289,6 +290,19 @@ type Options struct {
 	// Faults, when set, injects deterministic I/O failures into the file
 	// backend (testing hook; DataDir mode only).
 	Faults *storage.FaultInjector
+
+	// Metrics, when set, is the obs registry the DB registers its
+	// instruments and collectors into, so an embedding server can serve
+	// engine and server series from one /metrics endpoint. Nil makes the
+	// DB create a private registry (instruments are always live —
+	// benchmark numbers include their cost); reach it via DB.Registry.
+	Metrics *obs.Registry
+
+	// Events, when set, receives the engine's structured events
+	// (compaction rounds, checkpoints, WAL rotations, recovery outcomes,
+	// write stalls). Nil makes the DB create a private bounded log;
+	// reach it via DB.Events.
+	Events *obs.EventLog
 
 	// Seed drives the engine's random choices (candidate selection,
 	// boundary-clock sampling).

@@ -136,6 +136,10 @@ type partition struct {
 	wbHist       [16]int64
 	wdrain       int
 
+	// obs holds the DB-wide telemetry instruments (shared across
+	// partitions; every instrument is lock-free or nil-safe).
+	obs *engineObs
+
 	// Hill-climbing threshold tuner state (§7.4 future work).
 	pinThreshold float64
 	tuneOps      int
@@ -183,9 +187,10 @@ const (
 	rtCooldown
 )
 
-func newPartition(id int, opts *Options, dur *durable) (*partition, error) {
+func newPartition(id int, opts *Options, dur *durable, eo *engineObs) (*partition, error) {
 	p := &partition{
 		id:        id,
+		obs:       eo,
 		opts:      opts,
 		clk:       simdev.NewClock(),
 		index:     btree.New(),
@@ -322,6 +327,7 @@ type compJob struct {
 func (p *partition) admitWrite(slotSize int64) {
 	p.matureCredit(p.clk.Now())
 	hardStalled := false
+	var stallStart time.Time
 	for p.spaceCredit < slotSize {
 		if len(p.compQueue) > 0 {
 			p.stallTo(p.compQueue[0].endAt)
@@ -336,6 +342,7 @@ func (p *partition) admitWrite(slotSize int64) {
 			// it waits through.
 			if !hardStalled {
 				hardStalled = true
+				stallStart = time.Now()
 				p.stats.CompactionHardStalls++
 			}
 			t0 := time.Now()
@@ -348,6 +355,10 @@ func (p *partition) admitWrite(slotSize int64) {
 		// (the watermark trigger will start a job on this very write if
 		// needed).
 		break
+	}
+	if hardStalled {
+		p.obs.events.Emit("write_stall",
+			"partition", p.id, "hard", true, "took_ms", time.Since(stallStart))
 	}
 	p.spaceCredit -= slotSize
 }
@@ -390,7 +401,7 @@ func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, 
 			}
 			return lat, p.wal.WaitDurable(lsn)
 		}
-		return p.enqueueWait(intentPut, key, value)
+		return p.enqueueWait(intentPut, key, value, nil)
 	}
 	lat, lsn, err := p.putLocked(key, value, tomb, clientOp)
 	if err != nil {
@@ -429,6 +440,12 @@ func (p *partition) putDirectLocked(key, value []byte) (time.Duration, uint64, e
 	p.syncClockLocked()
 	p.writerDrainLocked()
 	defer func() { p.casMaxVclock(p.clk.Now()) }()
+	// A plain counter under the already-held lock, NOT an atomic histogram
+	// observation: this is the write hot path, and the shared instrument's
+	// cache-line traffic costs several percent of contended throughput. The
+	// collector folds DirectWrites into prism_write_batch_ops as batches of
+	// one at gather time.
+	p.stats.DirectWrites++
 	return p.putBodyLocked(key, value, false, true)
 }
 
@@ -616,6 +633,9 @@ func (p *partition) get(key, dst []byte) ([]byte, Tier, time.Duration, error) {
 			p.maybeDrainReads()
 			return val, tier, lat, err
 		}
+		// Off the fast path already (stale view), so the retry counter's
+		// atomic add costs nothing that matters.
+		p.obs.viewRetries.Inc()
 	}
 	return p.getLocked(key, dst, idx)
 }
@@ -814,7 +834,7 @@ func (p *partition) del(key []byte) (time.Duration, error) {
 			}
 			return lat, p.wal.WaitDurable(lsn)
 		}
-		return p.enqueueWait(intentDel, key, nil)
+		return p.enqueueWait(intentDel, key, nil, nil)
 	}
 	lat, lsn, err := p.delLocked(key)
 	if err != nil {
@@ -840,6 +860,7 @@ func (p *partition) delDirectLocked(key []byte) (time.Duration, uint64, error) {
 	p.syncClockLocked()
 	p.writerDrainLocked()
 	defer func() { p.casMaxVclock(p.clk.Now()) }()
+	p.stats.DirectWrites++ // plain counter, not the histogram: see putDirectLocked
 	return p.delBodyLocked(key)
 }
 

@@ -102,7 +102,13 @@ type Stats struct {
 	// ProducerParks counts enqueuers that found the intent ring full and
 	// parked. WriteQueueDepth is a gauge: intents queued across partitions
 	// at the moment Stats was taken.
+	// DirectWrites counts mutations applied on the uncontended direct fast
+	// path — batches of one that never visited the intent ring. Counted as
+	// a plain field under the partition lock (the direct path is the write
+	// hot path; it must not pay shared atomic instrument traffic), and
+	// folded into the prism_write_batch_ops histogram at gather time.
 	WriteBatches    int64
+	DirectWrites    int64
 	ViewRepublishes int64
 	ProducerParks   int64
 	WriteQueueDepth int64
@@ -148,6 +154,7 @@ func (s *Stats) add(o Stats) {
 	s.CompactionHardStalls += o.CompactionHardStalls
 	s.CompactionHardStallTime += o.CompactionHardStallTime
 	s.WriteBatches += o.WriteBatches
+	s.DirectWrites += o.DirectWrites
 	s.ViewRepublishes += o.ViewRepublishes
 	s.ProducerParks += o.ProducerParks
 	s.WriteQueueDepth += o.WriteQueueDepth

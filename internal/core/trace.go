@@ -1,0 +1,108 @@
+package core
+
+import "time"
+
+// OpTrace receives the engine-side stage timings of one traced write. The
+// server's sampled tracer passes one in through PutTraced/DeleteTraced;
+// untraced ops pass nil and pay no time.Now calls beyond what the write
+// path already makes.
+//
+// Stage semantics depend on which write path the op took:
+//
+//   - Direct (uncontended fast path, WriteSync mode, or in-memory): the op
+//     applies under the partition lock with its WAL append inside the same
+//     critical section, so QueueWait is zero and WALAppend is folded into
+//     Apply. FsyncWait covers the off-lock durability barrier.
+//   - Queued (owner-goroutine batch): QueueWait spans enqueue to the owner
+//     picking the intent up, Apply is the op's own mutation inside the
+//     batch's critical section, and WALAppend is the batch's one group
+//     append (billed in full — group commit makes the whole append this
+//     op's durability prerequisite). FsyncWait again covers WaitDurable.
+type OpTrace struct {
+	QueueWait time.Duration // ring wait before the owner applied the op
+	Apply     time.Duration // mutation inside the critical section
+	WALAppend time.Duration // WAL group append (queued path only)
+	FsyncWait time.Duration // off-lock group-commit durability barrier
+
+	// enqAt anchors the queued path's QueueWait measurement. It lives here
+	// rather than in writeIntent so the untraced hot path's intent stays
+	// small — every ring slot and pool entry would otherwise carry a dead
+	// 24-byte timestamp.
+	enqAt time.Time
+}
+
+// PutTraced is Put for sampled ops: identical semantics, with engine stage
+// timings written into tr (which must be non-nil and zeroed).
+func (db *DB) PutTraced(key, value []byte, tr *OpTrace) (time.Duration, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	return db.partitionOf(key).putTraced(key, value, tr)
+}
+
+// DeleteTraced is Delete for sampled ops, mirroring PutTraced.
+func (db *DB) DeleteTraced(key []byte, tr *OpTrace) (time.Duration, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	return db.partitionOf(key).delTraced(key, tr)
+}
+
+// putTraced mirrors partition.put with stage timing. The branch structure is
+// kept in lockstep with put — a change there belongs here too.
+func (p *partition) putTraced(key, value []byte, tr *OpTrace) (time.Duration, error) {
+	if p.wq != nil {
+		if p.wq.idle() && p.mu.TryLock() {
+			a0 := time.Now()
+			lat, lsn, err := p.putDirectLocked(key, value)
+			tr.Apply = time.Since(a0)
+			if err != nil {
+				return lat, err
+			}
+			f0 := time.Now()
+			err = p.wal.WaitDurable(lsn)
+			tr.FsyncWait = time.Since(f0)
+			return lat, err
+		}
+		return p.enqueueWait(intentPut, key, value, tr)
+	}
+	a0 := time.Now()
+	lat, lsn, err := p.putLocked(key, value, false, true)
+	tr.Apply = time.Since(a0)
+	if err != nil {
+		return lat, err
+	}
+	f0 := time.Now()
+	err = p.wal.WaitDurable(lsn)
+	tr.FsyncWait = time.Since(f0)
+	return lat, err
+}
+
+// delTraced mirrors partition.del with stage timing, as putTraced does put.
+func (p *partition) delTraced(key []byte, tr *OpTrace) (time.Duration, error) {
+	if p.wq != nil {
+		if p.wq.idle() && p.mu.TryLock() {
+			a0 := time.Now()
+			lat, lsn, err := p.delDirectLocked(key)
+			tr.Apply = time.Since(a0)
+			if err != nil {
+				return lat, err
+			}
+			f0 := time.Now()
+			err = p.wal.WaitDurable(lsn)
+			tr.FsyncWait = time.Since(f0)
+			return lat, err
+		}
+		return p.enqueueWait(intentDel, key, nil, tr)
+	}
+	a0 := time.Now()
+	lat, lsn, err := p.delLocked(key)
+	tr.Apply = time.Since(a0)
+	if err != nil {
+		return lat, err
+	}
+	f0 := time.Now()
+	err = p.wal.WaitDurable(lsn)
+	tr.FsyncWait = time.Since(f0)
+	return lat, err
+}

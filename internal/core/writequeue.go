@@ -67,6 +67,11 @@ type writeIntent struct {
 	key   []byte
 	value []byte
 
+	// Tracing, set only for sampled ops (obs tracer): the owner fills
+	// tr's queue-wait / apply / WAL-append stages (tr.enqAt anchors the
+	// queue wait). nil on the untraced hot path.
+	tr *OpTrace
+
 	// Results, written by the owner before the done send. rec is the
 	// intent's record index within its batch's WAL group (-1 when the op
 	// logged nothing: an error path, or an in-memory DB).
@@ -86,6 +91,7 @@ func getIntent() *writeIntent { return intentPool.Get().(*writeIntent) }
 
 func putIntent(it *writeIntent) {
 	it.key, it.value = nil, nil // drop caller-buffer refs before pooling
+	it.tr = nil
 	it.lat, it.lsn, it.rec, it.err = 0, 0, 0, nil
 	intentPool.Put(it)
 }
@@ -340,13 +346,24 @@ func (p *partition) applyBatch(batch []*writeIntent) {
 	b.recs = b.recs[:0]
 	b.dirty = false
 	p.curBatch = b
+	anyTraced := false
 	for _, it := range batch {
 		n0 := len(b.recs)
+		var a0 time.Time
+		if it.tr != nil {
+			// Sampled op: bill the ring wait up to now, then time the apply.
+			anyTraced = true
+			a0 = time.Now()
+			it.tr.QueueWait = a0.Sub(it.tr.enqAt)
+		}
 		switch it.op {
 		case intentPut:
 			it.lat, _, it.err = p.putBodyLocked(it.key, it.value, false, true)
 		default:
 			it.lat, _, it.err = p.delBodyLocked(it.key)
+		}
+		if it.tr != nil {
+			it.tr.Apply = time.Since(a0)
 		}
 		if len(b.recs) > n0 {
 			it.rec = n0
@@ -357,11 +374,18 @@ func (p *partition) applyBatch(batch []*writeIntent) {
 	p.curBatch = nil
 	var first uint64
 	var aerr error
+	var walDur time.Duration
 	if len(b.recs) > 0 {
 		// One group append for the batch: in SyncEvery mode the whole batch
 		// shares one fsync, and each intent's WaitDurable barrier is its
 		// record's LSN within the group.
-		first, aerr = p.wal.AppendBatch(b.recs)
+		if anyTraced {
+			w0 := time.Now()
+			first, aerr = p.wal.AppendBatch(b.recs)
+			walDur = time.Since(w0)
+		} else {
+			first, aerr = p.wal.AppendBatch(b.recs)
+		}
 	}
 	if b.dirty {
 		// Republished before any done signal: a GET issued after an
@@ -369,6 +393,7 @@ func (p *partition) applyBatch(batch []*writeIntent) {
 		p.publishView()
 	}
 	p.stats.WriteBatches++
+	p.obs.writeBatch.Observe(int64(len(batch)))
 	bb := bits.Len64(uint64(len(batch)))
 	if bb >= len(p.wbHist) {
 		bb = len(p.wbHist) - 1
@@ -387,16 +412,27 @@ func (p *partition) applyBatch(batch []*writeIntent) {
 		case it.rec >= 0:
 			it.lsn = first + uint64(it.rec)
 		}
+		if it.tr != nil && it.rec >= 0 {
+			// The group append is one syscall shared by the batch; a traced
+			// intent is billed its full duration (group commit makes the
+			// whole append its op's durability prerequisite).
+			it.tr.WALAppend = walDur
+		}
 		it.done <- struct{}{}
 	}
 }
 
 // enqueueWait runs one client mutation through the owner: enqueue, wait
 // for the apply, then wait out durability off every lock (the group-commit
-// barrier, exactly as the legacy path waits after putLocked).
-func (p *partition) enqueueWait(op byte, key, value []byte) (time.Duration, error) {
+// barrier, exactly as the legacy path waits after putLocked). tr is non-nil
+// only for sampled ops: the owner fills the queue-wait/apply/WAL stages and
+// the fsync wait is timed here around the durability barrier.
+func (p *partition) enqueueWait(op byte, key, value []byte, tr *OpTrace) (time.Duration, error) {
 	it := getIntent()
 	it.op, it.key, it.value = op, key, value
+	if tr != nil {
+		it.tr, tr.enqAt = tr, time.Now()
+	}
 	if err := p.wq.enqueue(it); err != nil {
 		putIntent(it)
 		return 0, err
@@ -405,6 +441,12 @@ func (p *partition) enqueueWait(op byte, key, value []byte) (time.Duration, erro
 	lat, lsn, err := it.lat, it.lsn, it.err
 	putIntent(it)
 	if err != nil {
+		return lat, err
+	}
+	if tr != nil {
+		f0 := time.Now()
+		err = p.wal.WaitDurable(lsn)
+		tr.FsyncWait = time.Since(f0)
 		return lat, err
 	}
 	return lat, p.wal.WaitDurable(lsn)

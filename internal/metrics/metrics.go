@@ -74,6 +74,41 @@ func bucketValue(idx int) int64 {
 	return (1 << exp) + (sub >> (subBucketBits - exp))
 }
 
+// NumBuckets is the number of log buckets a Histogram carries. Exported so
+// lock-free recorders (internal/obs) can accumulate per-bucket counts in
+// atomic arrays with the same geometry and fold them back via FromBuckets.
+const NumBuckets = bucketCount
+
+// BucketIndex maps a value (nanoseconds for durations, raw units otherwise)
+// to its log bucket, 0 ≤ idx < NumBuckets.
+func BucketIndex(v int64) int { return bucketIndex(v) }
+
+// BucketBound returns bucket idx's lower bound — the representative value
+// Quantile and CDF report for observations in that bucket.
+func BucketBound(idx int) int64 { return bucketValue(idx) }
+
+// FromBuckets builds a Histogram from externally accumulated per-bucket
+// counts (len must be NumBuckets, indexed by BucketIndex) plus the exact
+// sum/min/max tracked alongside them. The counts are copied.
+func FromBuckets(counts []int64, sum, min, max int64) *Histogram {
+	if len(counts) != bucketCount {
+		panic("metrics: FromBuckets counts length mismatch")
+	}
+	h := NewHistogram()
+	var n int64
+	for i, c := range counts {
+		h.buckets[i] = c
+		n += c
+	}
+	h.count = n
+	h.sum = sum
+	if n > 0 {
+		h.min = min
+		h.max = max
+	}
+	return h
+}
+
 // Record adds one duration observation.
 func (h *Histogram) Record(d time.Duration) {
 	v := int64(d)
@@ -193,6 +228,38 @@ func (h *Histogram) CDF() []CDFPoint {
 	}
 	return out
 }
+
+// BucketCount is one non-empty bucket of a cumulative distribution: the
+// bucket's upper bound and the count of observations ≤ it.
+type BucketCount struct {
+	Bound int64
+	Cum   int64
+}
+
+// CumulativeBuckets returns (upper bound, cumulative count) pairs, one per
+// non-empty bucket — the shape Prometheus histogram exposition wants.
+func (h *Histogram) CumulativeBuckets() []BucketCount {
+	if h.count == 0 {
+		return nil
+	}
+	var out []BucketCount
+	var seen int64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		bound := bucketValue(i)
+		if i+1 < bucketCount {
+			bound = bucketValue(i+1) // upper edge: next bucket's lower bound
+		}
+		out = append(out, BucketCount{Bound: bound, Cum: seen})
+	}
+	return out
+}
+
+// Sum returns the sum of all observations in nanoseconds/raw units.
+func (h *Histogram) Sum() int64 { return h.sum }
 
 // String summarizes the distribution.
 func (h *Histogram) String() string {

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventLog is a bounded ring of structured events, each rendered as one JSON
+// line at emit time: `{"ts":"...","type":"checkpoint","segments":3}`. It
+// records the rare, discrete things operators grep for — compaction rounds,
+// checkpoints, WAL rotations, recovery outcomes, write stalls — and is
+// queryable via the server's INFO events section and the HTTP /events
+// endpoint. Emission takes a short mutex and allocates; every emitter is off
+// the per-op hot path. All methods are nil-receiver-safe.
+type EventLog struct {
+	mu    sync.Mutex
+	lines []string // ring, capacity fixed at construction
+	pos   int      // next write slot
+	n     int      // live entries (≤ cap)
+	total int64
+}
+
+// NewEventLog returns a ring holding the most recent capacity events.
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &EventLog{lines: make([]string, capacity)}
+}
+
+// Emit records one event. kv alternates field names and values; supported
+// value kinds are string, bool, int, int64, uint64, float64, and
+// time.Duration (rendered as fractional milliseconds under key suffix
+// discretion of the caller). A trailing odd key is ignored.
+func (l *EventLog) Emit(typ string, kv ...any) {
+	if l == nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(`{"ts":"`)
+	b.WriteString(time.Now().UTC().Format(time.RFC3339Nano))
+	b.WriteString(`","type":`)
+	b.WriteString(strconv.Quote(typ))
+	for i := 0; i+1 < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			continue
+		}
+		b.WriteByte(',')
+		b.WriteString(strconv.Quote(k))
+		b.WriteByte(':')
+		appendJSONValue(&b, kv[i+1])
+	}
+	b.WriteByte('}')
+	line := b.String()
+
+	l.mu.Lock()
+	l.lines[l.pos] = line
+	l.pos = (l.pos + 1) % len(l.lines)
+	if l.n < len(l.lines) {
+		l.n++
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+func appendJSONValue(b *strings.Builder, v any) {
+	switch x := v.(type) {
+	case string:
+		b.WriteString(strconv.Quote(x))
+	case bool:
+		b.WriteString(strconv.FormatBool(x))
+	case int:
+		b.WriteString(strconv.FormatInt(int64(x), 10))
+	case int64:
+		b.WriteString(strconv.FormatInt(x, 10))
+	case uint64:
+		b.WriteString(strconv.FormatUint(x, 10))
+	case float64:
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	case time.Duration:
+		// Fractional milliseconds: readable at both µs and s scales.
+		b.WriteString(strconv.FormatFloat(float64(x)/1e6, 'f', 3, 64))
+	case error:
+		b.WriteString(strconv.Quote(x.Error()))
+	default:
+		b.WriteString(`"?"`)
+	}
+}
+
+// Tail returns up to n most recent events, oldest first.
+func (l *EventLog) Tail(n int) []string {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 || n > l.n {
+		n = l.n
+	}
+	out := make([]string, 0, n)
+	start := l.pos - n
+	if start < 0 {
+		start += len(l.lines)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, l.lines[(start+i)%len(l.lines)])
+	}
+	return out
+}
+
+// Total returns the number of events ever emitted (including evicted ones).
+func (l *EventLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

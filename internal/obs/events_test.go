@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestEventLogJSONAndBounds(t *testing.T) {
+	l := NewEventLog(4)
+	l.Emit("checkpoint", "segments", 3, "bytes", int64(1<<20), "clean", true,
+		"took_ms", 1500*time.Microsecond, "dir", `a"b\c`, "err", errors.New("boom"),
+		"ratio", 0.5, "lsn", uint64(42))
+	lines := l.Tail(0)
+	if len(lines) != 1 {
+		t.Fatalf("lines: %v", lines)
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("invalid JSON %q: %v", lines[0], err)
+	}
+	if ev["type"] != "checkpoint" || ev["segments"] != float64(3) || ev["clean"] != true {
+		t.Fatalf("event: %v", ev)
+	}
+	if ev["took_ms"] != 1.5 || ev["dir"] != `a"b\c` || ev["err"] != "boom" {
+		t.Fatalf("event: %v", ev)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, ev["ts"].(string)); err != nil {
+		t.Fatalf("ts: %v", err)
+	}
+
+	for i := 0; i < 10; i++ {
+		l.Emit("fill", "i", i)
+	}
+	if l.Total() != 11 {
+		t.Fatalf("total = %d", l.Total())
+	}
+	lines = l.Tail(0)
+	if len(lines) != 4 { // bounded by capacity, oldest evicted
+		t.Fatalf("tail: %d lines", len(lines))
+	}
+	for i, want := range []int{6, 7, 8, 9} {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(lines[i]), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev["i"] != float64(want) {
+			t.Fatalf("tail[%d] = %v, want i=%d", i, ev, want)
+		}
+	}
+	if got := l.Tail(2); len(got) != 2 {
+		t.Fatalf("Tail(2): %v", got)
+	} else if fmt.Sprint(got[1]) != lines[3] {
+		t.Fatalf("Tail(2) newest = %v, want %v", got[1], lines[3])
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// Golden-file test for the Prometheus text exposition: a fixed registry must
+// render byte-identically. Regenerate with `go test ./internal/obs -update`.
+func TestPromExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	cg := r.Counter(`prism_cmds_total{op="get"}`, "Commands executed, by op.")
+	cs := r.Counter(`prism_cmds_total{op="set"}`, "Commands executed, by op.")
+	g := r.Gauge("prism_write_queue_depth", "Intents waiting in the owner queues.")
+	hl := r.Histogram(`prism_op_latency_seconds{op="get"}`, "Per-op wall latency.", UnitSeconds)
+	hb := r.Histogram("prism_write_batch_ops", "Owner-goroutine batch sizes.", UnitCount)
+	r.Collect(func(out *Gathered) {
+		out.Gauge("prism_nvm_read_ratio", "Reads served from DRAM or NVM.", 0.75)
+	})
+
+	cg.Add(41)
+	cs.Inc()
+	g.Set(12)
+	for _, d := range []time.Duration{
+		900 * time.Nanosecond,
+		12 * time.Microsecond, 13 * time.Microsecond,
+		1500 * time.Microsecond,
+	} {
+		hl.Record(d)
+	}
+	for _, n := range []int64{1, 1, 2, 16, 16, 16, 128} {
+		hb.Observe(n)
+	}
+
+	var b strings.Builder
+	if err := WriteProm(&b, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	const golden = "testdata/metrics.golden"
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromFamilyHelpers(t *testing.T) {
+	if familyOf(`a_total{op="get"}`) != "a_total" || familyOf("a_total") != "a_total" {
+		t.Fatal("familyOf")
+	}
+	if suffixed(`a{op="get"}`, "_sum") != `a_sum{op="get"}` || suffixed("a", "_sum") != "a_sum" {
+		t.Fatal("suffixed")
+	}
+	if withLabel(`a{op="get"}`, "_bucket", `le="1"`) != `a_bucket{op="get",le="1"}` {
+		t.Fatal("withLabel labeled")
+	}
+	if withLabel("a", "_bucket", `le="+Inf"`) != `a_bucket{le="+Inf"}` {
+		t.Fatal("withLabel bare")
+	}
+}

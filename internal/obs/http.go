@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in Prometheus text exposition format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w, r.Gather())
+	})
+}
+
+// NewMux returns the telemetry HTTP mux: /metrics (Prometheus text format),
+// /events (the structured event log as JSON lines, newest last; ?n=K limits
+// the tail), and the standard /debug/pprof/* profiling endpoints. events may
+// be nil.
+func NewMux(r *Registry, events *EventLog) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+		n := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			for _, c := range []byte(s) {
+				if c < '0' || c > '9' {
+					n = 0
+					break
+				}
+				n = n*10 + int(c-'0')
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, line := range events.Tail(n) {
+			_, _ = io.WriteString(w, line)
+			_, _ = io.WriteString(w, "\n")
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/prismdb/prismdb/internal/metrics"
+)
+
+// The lock-free histogram must agree with the plain metrics.Histogram it
+// mirrors: same buckets, same count/sum/min/max, same quantiles.
+func TestHistogramMatchesMetrics(t *testing.T) {
+	h := NewHistogram("h", "", UnitSeconds)
+	ref := metrics.NewHistogram()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		v := time.Duration(rng.Int63n(int64(10 * time.Millisecond)))
+		h.Record(v)
+		ref.Record(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count() != ref.Count() {
+		t.Fatalf("count: got %d want %d", snap.Count(), ref.Count())
+	}
+	if snap.Sum() != ref.Sum() {
+		t.Fatalf("sum: got %d want %d", snap.Sum(), ref.Sum())
+	}
+	if snap.Min() != ref.Min() || snap.Max() != ref.Max() {
+		t.Fatalf("min/max: got %v/%v want %v/%v", snap.Min(), snap.Max(), ref.Min(), ref.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if snap.Quantile(q) != ref.Quantile(q) {
+			t.Fatalf("q%.2f: got %v want %v", q, snap.Quantile(q), ref.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("h", "", UnitCount)
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(1 << 20))
+			}
+		}(int64(g))
+	}
+	done := make(chan struct{})
+	go func() { // concurrent snapshots must not race or corrupt
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = h.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("count: got %d want %d", got, goroutines*per)
+	}
+	snap := h.Snapshot()
+	if snap.Count() != goroutines*per {
+		t.Fatalf("snapshot count: got %d want %d", snap.Count(), goroutines*per)
+	}
+}
+
+// Hot-path recording must be allocation-free.
+func TestRecordZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", UnitSeconds)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(7)
+		g.Add(-1)
+		h.Record(123 * time.Microsecond)
+		h.Observe(17)
+	}); n != 0 {
+		t.Fatalf("recording allocates: %v allocs/op", n)
+	}
+	var nilH *Histogram
+	if n := testing.AllocsPerRun(1000, func() { nilH.Record(1) }); n != 0 {
+		t.Fatalf("nil histogram record allocates: %v allocs/op", n)
+	}
+}
+
+func TestRegistryGather(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(`ops_total{op="get"}`, "ops")
+	g := r.Gauge("depth", "queue depth")
+	h := r.Histogram("lat_seconds", "latency", UnitSeconds)
+	r.Collect(func(out *Gathered) {
+		out.Counter("collected_total", "", 5)
+		out.Gauge("ratio", "", 0.25)
+	})
+	c.Add(3)
+	g.Set(9)
+	h.Record(time.Millisecond)
+
+	snap := r.Gather()
+	if p, ok := snap.Find(`ops_total{op="get"}`); !ok || p.Value != 3 || p.IsGauge {
+		t.Fatalf("counter: %+v ok=%v", p, ok)
+	}
+	if p, ok := snap.Find("depth"); !ok || p.Value != 9 || !p.IsGauge {
+		t.Fatalf("gauge: %+v ok=%v", p, ok)
+	}
+	if p, ok := snap.Find("collected_total"); !ok || p.Value != 5 {
+		t.Fatalf("collected counter: %+v ok=%v", p, ok)
+	}
+	if p, ok := snap.Find("ratio"); !ok || p.Value != 0.25 {
+		t.Fatalf("collected gauge: %+v ok=%v", p, ok)
+	}
+	if hh := snap.FindHist("lat_seconds"); hh == nil || hh.Count() != 1 {
+		t.Fatalf("hist: %v", hh)
+	}
+	// Sorted by name.
+	for i := 1; i < len(snap.Points); i++ {
+		if snap.Points[i-1].Name > snap.Points[i].Name {
+			t.Fatalf("points not sorted: %q > %q", snap.Points[i-1].Name, snap.Points[i].Name)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate name")
+		}
+	}()
+	r.Counter("dup", "")
+}
+
+func TestNilInstrumentsSafe(t *testing.T) {
+	var h *Histogram
+	h.Record(time.Second)
+	h.Observe(1)
+	if h.Count() != 0 || h.Snapshot().Count() != 0 {
+		t.Fatal("nil histogram should be empty")
+	}
+	var l *EventLog
+	l.Emit("x", "k", 1)
+	if l.Tail(5) != nil || l.Total() != 0 {
+		t.Fatal("nil event log should be empty")
+	}
+	var tr *Tracer
+	if tr.Sample() != nil || tr.SlowLen() != 0 || tr.Slow(1) != nil || tr.Recent(1) != nil {
+		t.Fatal("nil tracer should be inert")
+	}
+	tr.Finish(nil)
+	tr.Drop(nil)
+	tr.SlowReset()
+	var sp *Span
+	sp.Stage(StageParse, time.Second)
+	sp.SetOp("get", []byte("k"))
+	sp.SetTier("nvm")
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// finishSpan drives the deterministic internal finish path with an explicit
+// total, so ordering tests don't depend on wall timing.
+func finishSpan(t *Tracer, op string, key string, total time.Duration) {
+	sp := t.Sample()
+	if sp == nil {
+		panic("sampler must fire with every=1")
+	}
+	sp.SetOp(op, []byte(key))
+	t.finish(sp, total)
+}
+
+func TestSlowlogOrderingAndReset(t *testing.T) {
+	tr := NewTracer(1, 4, 8)
+	finishSpan(tr, "get", "k1", 10*time.Microsecond)
+	finishSpan(tr, "set", "k2", 50*time.Microsecond)
+	finishSpan(tr, "get", "k3", 30*time.Microsecond)
+	finishSpan(tr, "del", "k4", 50*time.Microsecond) // tie with k2: earlier finish first
+	finishSpan(tr, "get", "k5", 5*time.Microsecond)
+	finishSpan(tr, "get", "k6", 40*time.Microsecond)
+
+	if n := tr.SlowLen(); n != 4 {
+		t.Fatalf("SlowLen = %d, want 4 (capacity)", n)
+	}
+	got := tr.Slow(0)
+	wantKeys := []string{"k2", "k4", "k6", "k3"} // 50(id2), 50(id4), 40, 30; k5+k1 evicted
+	for i, rec := range got {
+		if rec.Key != wantKeys[i] {
+			t.Fatalf("slow[%d] = %s (%v), want %s; full: %+v", i, rec.Key, rec.Total, wantKeys[i], got)
+		}
+	}
+	if got[0].ID >= got[1].ID {
+		t.Fatalf("tie must order by finish sequence: %d vs %d", got[0].ID, got[1].ID)
+	}
+	if sub := tr.Slow(2); len(sub) != 2 || sub[0].Key != "k2" || sub[1].Key != "k4" {
+		t.Fatalf("Slow(2) = %+v", sub)
+	}
+
+	tr.SlowReset()
+	if tr.SlowLen() != 0 || len(tr.Slow(0)) != 0 {
+		t.Fatal("reset must clear the slowlog")
+	}
+	finishSpan(tr, "get", "k7", time.Microsecond)
+	got = tr.Slow(0)
+	if len(got) != 1 || got[0].Key != "k7" || got[0].ID != 7 {
+		t.Fatalf("post-reset: %+v (IDs keep counting)", got)
+	}
+}
+
+func TestRecentRing(t *testing.T) {
+	tr := NewTracer(1, 4, 3)
+	for i := 1; i <= 5; i++ {
+		finishSpan(tr, "get", fmt.Sprintf("k%d", i), time.Duration(i)*time.Microsecond)
+	}
+	got := tr.Recent(0)
+	if len(got) != 3 || got[0].Key != "k5" || got[1].Key != "k4" || got[2].Key != "k3" {
+		t.Fatalf("Recent = %+v", got)
+	}
+	if one := tr.Recent(1); len(one) != 1 || one[0].Key != "k5" {
+		t.Fatalf("Recent(1) = %+v", one)
+	}
+}
+
+func TestSamplingRate(t *testing.T) {
+	tr := NewTracer(4, 8, 8)
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if sp := tr.Sample(); sp != nil {
+			sampled++
+			tr.Drop(sp)
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("every=4 sampled %d of 100", sampled)
+	}
+	if NewTracer(0, 8, 8).Sample() != nil {
+		t.Fatal("every=0 must disable sampling")
+	}
+}
+
+func TestSpanStagesAndSummary(t *testing.T) {
+	tr := NewTracer(1, 4, 4)
+	sp := tr.Sample()
+	sp.SetOp("set", []byte(strings.Repeat("x", 100)))
+	sp.SetTier("")
+	sp.Stage(StageParse, 2*time.Microsecond)
+	sp.Stage(StageFsyncWait, time.Millisecond)
+	sp.Stage(StageFsyncWait, time.Millisecond) // accumulates
+	tr.finish(sp, 3*time.Millisecond)
+
+	rec := tr.Slow(1)[0]
+	if rec.Op != "set" || len(rec.Key) != traceKeyMax || !rec.Trunc {
+		t.Fatalf("record: %+v", rec)
+	}
+	if rec.Stages[StageFsyncWait] != 2*time.Millisecond {
+		t.Fatalf("fsync stage = %v", rec.Stages[StageFsyncWait])
+	}
+	sum := rec.StageSummary()
+	if !strings.Contains(sum, "parse=2µs") || !strings.Contains(sum, "fsync_wait=2ms") {
+		t.Fatalf("summary: %q", sum)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(2, 16, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				sp := tr.Sample()
+				if sp == nil {
+					continue
+				}
+				sp.SetOp("get", []byte("key"))
+				sp.Stage(StageDispatch, time.Microsecond)
+				tr.Finish(sp)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			tr.Slow(0)
+			tr.Recent(0)
+			tr.SlowLen()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if tr.SlowLen() == 0 {
+		t.Fatal("no spans retained")
+	}
+}

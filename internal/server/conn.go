@@ -2,11 +2,22 @@ package server
 
 import (
 	"bufio"
+	"fmt"
 	"net"
 	"time"
 
 	"github.com/prismdb/prismdb/internal/core"
+	"github.com/prismdb/prismdb/internal/obs"
 )
+
+// traceEngine is the optional engine interface sampled writes use to pull
+// stage timings (queue wait, apply, WAL append, fsync wait) out of the
+// engine. *core.DB and the prismdb facade implement it; the Engine
+// interface itself stays small so test fakes keep compiling.
+type traceEngine interface {
+	PutTraced(key, value []byte, tr *core.OpTrace) (time.Duration, error)
+	DeleteTraced(key []byte, tr *core.OpTrace) (time.Duration, error)
+}
 
 // flushReader is the pipelining valve: it sits between the connection and
 // the parser's bufio.Reader and flushes the connection's pending replies
@@ -25,7 +36,8 @@ import (
 type flushReader struct {
 	nc         net.Conn
 	bw         *bufio.Writer
-	beforeRead func() // flushes the pending SET batch; set by handleConn
+	beforeRead func()       // flushes the pending SET batch; set by handleConn
+	flush      func() error // flushes bw, recording flush size + traced spans
 }
 
 func (f *flushReader) Read(p []byte) (int, error) {
@@ -33,7 +45,7 @@ func (f *flushReader) Read(p []byte) (int, error) {
 		f.beforeRead()
 	}
 	if f.bw.Buffered() > 0 {
-		if err := f.bw.Flush(); err != nil {
+		if err := f.flush(); err != nil {
 			return 0, err
 		}
 	}
@@ -57,15 +69,6 @@ func (s *Server) handleConn(nc net.Conn) {
 	br := bufio.NewReaderSize(fr, s.cfg.ReadBuffer)
 	r := newReader(br)
 	w := &writer{bw: bw}
-	cm := newConnMetrics()
-	defer func() {
-		s.mu.Lock()
-		for i := range cm.wall {
-			s.agg.wall[i].Merge(cm.wall[i])
-			s.agg.virt[i].Merge(cm.virt[i])
-		}
-		s.mu.Unlock()
-	}()
 
 	// The connection's scratch buffers: GETs land in st.val via the
 	// engine's GetBuf zero-allocation read path and are copied straight
@@ -73,22 +76,60 @@ func (s *Server) handleConn(nc net.Conn) {
 	// both are recycled across commands, so warm reads and scans allocate
 	// nothing on the server side.
 	st := &connState{val: make([]byte, 0, 4096)}
-	fr.beforeRead = func() { s.flushSetBatch(w, cm, st) }
+	fr.beforeRead = func() { s.flushSetBatch(w, st) }
+	// flush replaces every bare bw.Flush: it feeds the flush-size
+	// histogram and closes out the traced spans whose replies ride this
+	// flush (the reply-flush stage is the shared socket write).
+	flush := func() error {
+		n := bw.Buffered()
+		f0 := time.Now()
+		err := bw.Flush()
+		if n > 0 {
+			s.flushBytes.Observe(int64(n))
+		}
+		if len(st.spans) > 0 {
+			d := time.Since(f0)
+			for i, sp := range st.spans {
+				sp.Stage(obs.StageFlush, d)
+				s.tracer.Finish(sp)
+				st.spans[i] = nil
+			}
+			st.spans = st.spans[:0]
+		}
+		return err
+	}
+	fr.flush = flush
 
 	for {
 		if s.closed.Load() {
-			s.flushSetBatch(w, cm, st)
-			bw.Flush()
+			s.flushSetBatch(w, st)
+			flush()
 			return
 		}
+		// Sampling a command's span: when the parser already holds buffered
+		// bytes the parse is real work and a pre-armed span times it; when
+		// the buffer is dry, ReadCommand blocks on the socket, so the span
+		// is armed after the read instead — idle wire time is not "parse".
+		var sp *obs.Span
+		var p0 time.Time
+		buffered := br.Buffered() > 0
+		if buffered {
+			if sp = s.tracer.Sample(); sp != nil {
+				p0 = time.Now()
+			}
+		}
 		args, err := r.ReadCommand()
+		if sp != nil {
+			sp.Stage(obs.StageParse, time.Since(p0))
+		}
 		if err != nil {
+			s.tracer.Drop(sp)
 			// A well-formed SET batched just before a protocol error (or
 			// EOF mid-stream) still executes and gets its reply: the batch
 			// flush precedes the diagnostic, mirroring the unbatched path's
 			// ordering. Usually a no-op — beforeRead already flushed at the
 			// last socket read.
-			s.flushSetBatch(w, cm, st)
+			s.flushSetBatch(w, st)
 			if perr, ok := err.(ProtocolError); ok {
 				// One diagnostic, then hang up: a desynced RESP stream
 				// cannot be safely resumed.
@@ -96,11 +137,15 @@ func (s *Server) handleConn(nc net.Conn) {
 				s.errCount.Add(1)
 				w.err("ERR " + perr.Error())
 			}
-			bw.Flush()
+			flush()
 			return
 		}
 		if len(args) == 0 {
+			s.tracer.Drop(sp)
 			continue
+		}
+		if !buffered {
+			sp = s.tracer.Sample()
 		}
 		// The pipelined-write fast path: a SET that arrived with more
 		// commands behind it (or while a batch is already open) is
@@ -111,17 +156,20 @@ func (s *Server) handleConn(nc net.Conn) {
 		// connection executes immediately: batching it would only add
 		// latency with nothing to coalesce.
 		if len(args) == 3 && cmdIs(args[0], "SET") && (len(st.bpairs) > 0 || br.Buffered() > 0) {
+			// A deferred SET dissolves into its batch; the batch itself is
+			// traced as one unit in flushSetBatch.
+			s.tracer.Drop(sp)
 			st.addSet(args[1], args[2])
 			if len(st.bpairs) >= setBatchMax {
-				s.flushSetBatch(w, cm, st)
+				s.flushSetBatch(w, st)
 			}
 			continue
 		}
 		// Any other command first forces the pending batch out, preserving
 		// per-connection order (a GET after a batched SET sees its write).
-		s.flushSetBatch(w, cm, st)
-		if !s.execute(args, w, cm, st) {
-			bw.Flush()
+		s.flushSetBatch(w, st)
+		if !s.execute(args, w, st, sp) {
+			flush()
 			return
 		}
 	}
@@ -139,6 +187,11 @@ type connState struct {
 	// pair scratch — it is always empty when execute runs.
 	bpairs []core.KV
 	barena []byte
+
+	// spans are the connection's traced ops whose replies have not hit the
+	// socket yet; the next flush stamps their reply-flush stage and
+	// finishes them (recycled like every other scratch here).
+	spans []*obs.Span
 }
 
 // setBatchMax bounds the deferred SET batch; it matches the engine's
@@ -164,14 +217,24 @@ func (st *connState) addSet(key, value []byte) {
 // PutBatch and writes their replies. No-op when the batch is empty. The
 // batch's wall and virtual time are split evenly across its ops for the
 // per-op histograms — the composition the engine maintains internally.
-func (s *Server) flushSetBatch(w *writer, cm *connMetrics, st *connState) {
+func (s *Server) flushSetBatch(w *writer, st *connState) {
 	n := len(st.bpairs)
 	if n == 0 {
 		return
 	}
 	s.cmdCounts[opSet].Add(int64(n))
+	// The batch is traced as one unit (its member SETs dissolved into it):
+	// one sampled span covering the whole PutBatch dispatch.
+	sp := s.tracer.Sample()
+	if sp != nil {
+		sp.SetOp("setbatch", st.bpairs[0].Key)
+	}
 	t0 := time.Now()
 	vlat, err := s.eng.PutBatch(st.bpairs)
+	if sp != nil {
+		sp.Stage(obs.StageDispatch, time.Since(t0))
+		st.spans = append(st.spans, sp)
+	}
 	st.bpairs = st.bpairs[:0]
 	st.barena = st.barena[:0]
 	if err != nil {
@@ -186,7 +249,7 @@ func (s *Server) flushSetBatch(w *writer, cm *connMetrics, st *connState) {
 	wall, per := time.Since(t0), vlat/time.Duration(n)
 	wper := wall / time.Duration(n)
 	for i := 0; i < n; i++ {
-		cm.record(opSet, wper, per)
+		s.record(opSet, wper, per)
 		w.simple("OK")
 	}
 }
@@ -210,8 +273,24 @@ func cmdIs(b []byte, upper string) bool {
 }
 
 // execute dispatches one parsed command, writing its reply. It reports
-// false when the connection should close (QUIT).
-func (s *Server) execute(args [][]byte, w *writer, cm *connMetrics, st *connState) bool {
+// false when the connection should close (QUIT). sp is the command's
+// sampled trace span (usually nil): the dispatch stage covers the whole
+// command — engine call plus reply encode — and write sub-stages from the
+// engine decompose it; the span is parked on st.spans for the reply flush
+// to finish.
+func (s *Server) execute(args [][]byte, w *writer, st *connState, sp *obs.Span) bool {
+	if sp == nil {
+		return s.executeCmd(args, w, st, nil)
+	}
+	sp.SetOp("cmd", args[0]) // fallback; the data commands override
+	d0 := time.Now()
+	keep := s.executeCmd(args, w, st, sp)
+	sp.Stage(obs.StageDispatch, time.Since(d0))
+	st.spans = append(st.spans, sp)
+	return keep
+}
+
+func (s *Server) executeCmd(args [][]byte, w *writer, st *connState, sp *obs.Span) bool {
 	name := args[0]
 	switch {
 	case cmdIs(name, "GET"):
@@ -219,20 +298,32 @@ func (s *Server) execute(args [][]byte, w *writer, cm *connMetrics, st *connStat
 			s.argErr(w, "get")
 			return true
 		}
-		s.doGet(args[1], w, cm, st, opGet)
+		s.doGet(args[1], w, st, opGet, sp)
 	case cmdIs(name, "SET"):
 		if len(args) != 3 {
 			s.argErr(w, "set")
 			return true
 		}
 		s.cmdCounts[opSet].Add(1)
+		sp.SetOp("set", args[1])
 		t0 := time.Now()
-		vlat, err := s.eng.Put(args[1], args[2])
+		var vlat time.Duration
+		var err error
+		if sp != nil && s.teng != nil {
+			// Sampled write: pull the engine's stage breakdown (queue
+			// wait, apply, WAL append, fsync wait) through the traced
+			// variant. Identical semantics to Put.
+			var tr core.OpTrace
+			vlat, err = s.teng.PutTraced(args[1], args[2], &tr)
+			traceStages(sp, &tr)
+		} else {
+			vlat, err = s.eng.Put(args[1], args[2])
+		}
 		if err != nil {
 			s.errorReply(w, err)
 			return true
 		}
-		cm.record(opSet, time.Since(t0), vlat)
+		s.record(opSet, time.Since(t0), vlat)
 		w.simple("OK")
 	case cmdIs(name, "DEL"):
 		if len(args) < 2 {
@@ -243,16 +334,27 @@ func (s *Server) execute(args [][]byte, w *writer, cm *connMetrics, st *connStat
 		// deletes blindly (checking existence first would double the op's
 		// cost), so unlike Redis the count includes keys that did not
 		// exist.
+		sp.SetOp("del", args[1])
 		n := 0
 		for _, k := range args[1:] {
 			s.cmdCounts[opDel].Add(1)
 			t0 := time.Now()
-			vlat, err := s.eng.Delete(k)
+			var vlat time.Duration
+			var err error
+			if sp != nil && s.teng != nil && n == 0 {
+				// Only the first key carries the span's stage breakdown —
+				// one op, one span.
+				var tr core.OpTrace
+				vlat, err = s.teng.DeleteTraced(k, &tr)
+				traceStages(sp, &tr)
+			} else {
+				vlat, err = s.eng.Delete(k)
+			}
 			if err != nil {
 				s.errorReply(w, err)
 				return true
 			}
-			cm.record(opDel, time.Since(t0), vlat)
+			s.record(opDel, time.Since(t0), vlat)
 			n++
 		}
 		w.integer(int64(n))
@@ -273,6 +375,7 @@ func (s *Server) execute(args [][]byte, w *writer, cm *connMetrics, st *connStat
 		// counts); cmd_mset counts the wire command itself.
 		s.cmdCounts[opMSet].Add(1)
 		s.cmdCounts[opSet].Add(int64(len(pairs)))
+		sp.SetOp("mset", args[1])
 		t0 := time.Now()
 		vlat, err := s.eng.PutBatch(pairs)
 		st.bpairs = pairs[:0]
@@ -280,16 +383,17 @@ func (s *Server) execute(args [][]byte, w *writer, cm *connMetrics, st *connStat
 			s.errorReply(w, err)
 			return true
 		}
-		cm.record(opMSet, time.Since(t0), vlat)
+		s.record(opMSet, time.Since(t0), vlat)
 		w.simple("OK")
 	case cmdIs(name, "MGET"):
 		if len(args) < 2 {
 			s.argErr(w, "mget")
 			return true
 		}
+		sp.SetOp("mget", args[1])
 		w.array(len(args) - 1)
 		for _, k := range args[1:] {
-			s.doGet(k, w, cm, st, opMGet)
+			s.doGet(k, w, st, opMGet, nil)
 		}
 	case cmdIs(name, "SCAN"):
 		if len(args) != 3 {
@@ -311,6 +415,7 @@ func (s *Server) execute(args [][]byte, w *writer, cm *connMetrics, st *connStat
 		// per-entry allocations — and go out in one write after the count
 		// is known.
 		s.cmdCounts[opScan].Add(1)
+		sp.SetOp("scan", args[1])
 		t0 := time.Now()
 		it := s.eng.NewIterator(args[1], n)
 		pairs := 0
@@ -327,7 +432,7 @@ func (s *Server) execute(args [][]byte, w *writer, cm *connMetrics, st *connStat
 			s.errorReply(w, err)
 			return true
 		}
-		cm.record(opScan, time.Since(t0), it.Latency())
+		s.record(opScan, time.Since(t0), it.Latency())
 		w.array(2 * pairs)
 		w.bw.Write(buf)
 	case cmdIs(name, "PING"):
@@ -344,6 +449,58 @@ func (s *Server) execute(args [][]byte, w *writer, cm *connMetrics, st *connStat
 			section = string(args[1])
 		}
 		w.bulkString(s.info(section))
+	case cmdIs(name, "SLOWLOG"):
+		s.cmdCounts[opOther].Add(1)
+		if len(args) < 2 || len(args) > 3 {
+			s.argErr(w, "slowlog")
+			return true
+		}
+		sub := args[1]
+		switch {
+		case cmdIs(sub, "GET"):
+			n := 0 // all retained entries
+			if len(args) == 3 {
+				if n = parseLen(args[2]); n <= 0 {
+					s.errCount.Add(1)
+					w.err("ERR SLOWLOG GET count must be a positive integer")
+					return true
+				}
+			}
+			recs := s.tracer.Slow(n)
+			w.array(len(recs))
+			for _, rec := range recs {
+				writeSpanRecord(w, rec)
+			}
+		case cmdIs(sub, "LEN"):
+			w.integer(int64(s.tracer.SlowLen()))
+		case cmdIs(sub, "RESET"):
+			s.tracer.SlowReset()
+			w.simple("OK")
+		default:
+			s.errCount.Add(1)
+			w.err("ERR unknown SLOWLOG subcommand '" + printable(sub) + "'")
+		}
+	case cmdIs(name, "TRACE"):
+		// Debug: the n most recently finished sampled spans, newest last,
+		// one formatted line per span.
+		s.cmdCounts[opOther].Add(1)
+		if len(args) > 2 {
+			s.argErr(w, "trace")
+			return true
+		}
+		n := 0
+		if len(args) == 2 {
+			if n = parseLen(args[1]); n <= 0 {
+				s.errCount.Add(1)
+				w.err("ERR TRACE count must be a positive integer")
+				return true
+			}
+		}
+		recs := s.tracer.Recent(n)
+		w.array(len(recs))
+		for _, rec := range recs {
+			w.bulkString(formatSpanLine(rec))
+		}
 	case cmdIs(name, "COMMAND"):
 		// redis-cli introspection on connect; an empty reply satisfies it.
 		s.cmdCounts[opOther].Add(1)
@@ -361,8 +518,9 @@ func (s *Server) execute(args [][]byte, w *writer, cm *connMetrics, st *connStat
 
 // doGet serves one point read on the zero-allocation GetBuf path (GET and
 // each MGET element).
-func (s *Server) doGet(key []byte, w *writer, cm *connMetrics, st *connState, kind opKind) {
+func (s *Server) doGet(key []byte, w *writer, st *connState, kind opKind, sp *obs.Span) {
 	s.cmdCounts[kind].Add(1)
+	sp.SetOp("get", key)
 	t0 := time.Now()
 	val, tier, vlat, err := s.eng.GetBuf(key, st.val[:0])
 	if err != nil {
@@ -372,12 +530,57 @@ func (s *Server) doGet(key []byte, w *writer, cm *connMetrics, st *connState, ki
 	if cap(val) > cap(st.val) {
 		st.val = val[:0] // the engine grew the scratch; keep the bigger one
 	}
-	cm.record(kind, time.Since(t0), vlat)
+	s.record(kind, time.Since(t0), vlat)
+	sp.SetTier(tier.String())
 	if tier == core.TierMiss {
 		w.null()
 		return
 	}
 	w.bulk(val)
+}
+
+// traceStages copies an engine OpTrace's write-path breakdown onto a span.
+func traceStages(sp *obs.Span, tr *core.OpTrace) {
+	sp.Stage(obs.StageQueueWait, tr.QueueWait)
+	sp.Stage(obs.StageApply, tr.Apply)
+	sp.Stage(obs.StageWALAppend, tr.WALAppend)
+	sp.Stage(obs.StageFsyncWait, tr.FsyncWait)
+}
+
+// writeSpanRecord renders one SLOWLOG entry, Redis-shaped: a 4-element
+// array of id, unix start time, total duration in microseconds, and the
+// op detail as an array of op, key, tier, and the non-zero stage timings.
+func writeSpanRecord(w *writer, rec obs.SpanRecord) {
+	w.array(4)
+	w.integer(rec.ID)
+	w.integer(rec.When.Unix())
+	w.integer(int64(rec.Total / time.Microsecond))
+	w.array(4)
+	w.bulkString(rec.Op)
+	key := rec.Key
+	if rec.Trunc {
+		key += "..."
+	}
+	w.bulkString(key)
+	w.bulkString(rec.Tier)
+	w.bulkString(rec.StageSummary())
+}
+
+// formatSpanLine renders a TRACE line for one finished span.
+func formatSpanLine(rec obs.SpanRecord) string {
+	key := rec.Key
+	if rec.Trunc {
+		key += "..."
+	}
+	line := fmt.Sprintf("#%d %s %s key=%q total=%v", rec.ID,
+		rec.When.UTC().Format("15:04:05.000"), rec.Op, key, rec.Total)
+	if rec.Tier != "" {
+		line += " tier=" + rec.Tier
+	}
+	if sum := rec.StageSummary(); sum != "" {
+		line += " " + sum
+	}
+	return line
 }
 
 func (s *Server) argErr(w *writer, cmd string) {

@@ -11,10 +11,9 @@ import (
 // info renders the INFO reply: key:value lines grouped into # sections,
 // Redis-style, so existing tooling can parse it. An empty section selects
 // everything; otherwise only the named section (case-insensitive) is
-// rendered. Counters are live; the latency section covers completed
-// connections only (per-connection histograms merge at close, keeping the
-// op loop lock-free), which is what harness clients want — they close their
-// load connections before asking for the report.
+// rendered. Every number is live — the latency section reads the same
+// lock-free histograms the op loop records into (and /metrics exposes), so
+// in-flight connections are included, not just completed ones.
 func (s *Server) info(section string) string {
 	section = strings.ToLower(section)
 	want := func(name string) bool { return section == "" || section == name }
@@ -43,9 +42,8 @@ func (s *Server) info(section string) string {
 
 	if want("latency") {
 		fmt.Fprintf(&b, "# latency\r\n")
-		s.mu.Lock()
 		for k := opKind(0); k < opKinds-1; k++ { // opOther has no latencies
-			wall, virt := s.agg.wall[k], s.agg.virt[k]
+			wall, virt := s.opWall[k].Snapshot(), s.opVirt[k].Snapshot()
 			if wall.Count() == 0 {
 				continue
 			}
@@ -55,7 +53,6 @@ func (s *Server) info(section string) string {
 			fmt.Fprintf(&b, "%s_virt_p50_us:%.1f\r\n", opNames[k], us(virt.Quantile(0.5)))
 			fmt.Fprintf(&b, "%s_virt_p99_us:%.1f\r\n", opNames[k], us(virt.Quantile(0.99)))
 		}
-		s.mu.Unlock()
 		b.WriteString("\r\n")
 	}
 
@@ -97,6 +94,7 @@ func (s *Server) info(section string) string {
 		// hitting the ring's backpressure (parks).
 		fmt.Fprintf(&b, "# writes\r\n")
 		fmt.Fprintf(&b, "write_batches:%d\r\n", st.WriteBatches)
+		fmt.Fprintf(&b, "write_direct:%d\r\n", st.DirectWrites)
 		fmt.Fprintf(&b, "write_batch_p50:%d\r\n", st.WriteBatchP50)
 		fmt.Fprintf(&b, "write_batch_p99:%d\r\n", st.WriteBatchP99)
 		fmt.Fprintf(&b, "write_queue_depth:%d\r\n", st.WriteQueueDepth)
@@ -118,6 +116,9 @@ func (s *Server) info(section string) string {
 				fmt.Fprintf(&b, "wal_fsyncs:%d\r\n", ps.WALFsyncs)
 				fmt.Fprintf(&b, "wal_segments:%d\r\n", ps.WALSegments)
 				fmt.Fprintf(&b, "group_commit_batch_p50:%d\r\n", ps.GroupCommitBatchP50)
+				fmt.Fprintf(&b, "group_commit_batch_p99:%d\r\n", ps.GroupCommitBatchP99)
+				fmt.Fprintf(&b, "fsync_p50_us:%.1f\r\n", us(ps.FsyncP50))
+				fmt.Fprintf(&b, "fsync_p99_us:%.1f\r\n", us(ps.FsyncP99))
 				fmt.Fprintf(&b, "checkpoints:%d\r\n", ps.Checkpoints)
 				fmt.Fprintf(&b, "recovery_ms:%.3f\r\n", float64(ps.RecoveryDuration)/1e6)
 				fmt.Fprintf(&b, "recovery_records:%d\r\n", ps.RecoveryRecords)
@@ -127,6 +128,23 @@ func (s *Server) info(section string) string {
 				b.WriteString("\r\n")
 			}
 		}
+	}
+
+	if want("events") {
+		// The structured event log: compaction rounds, checkpoints, WAL
+		// rotations, recovery outcomes, write stalls — each a single JSON
+		// line. A full INFO shows the most recent few; INFO events shows
+		// the whole retained ring, oldest first.
+		n := 8
+		if section == "events" {
+			n = 0 // Tail(0) returns everything retained
+		}
+		fmt.Fprintf(&b, "# events\r\n")
+		fmt.Fprintf(&b, "events_total:%d\r\n", s.events.Total())
+		for _, line := range s.events.Tail(n) {
+			fmt.Fprintf(&b, "event:%s\r\n", line)
+		}
+		b.WriteString("\r\n")
 	}
 
 	if want("tiers") {

@@ -38,7 +38,7 @@ import (
 	"time"
 
 	"github.com/prismdb/prismdb/internal/core"
-	"github.com/prismdb/prismdb/internal/metrics"
+	"github.com/prismdb/prismdb/internal/obs"
 )
 
 // Engine is the storage interface the server serves. *core.DB implements
@@ -72,7 +72,29 @@ type Config struct {
 	ReadBuffer, WriteBuffer int
 	// Logf, when non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...interface{})
+
+	// Metrics is the registry the server records into. Pass the same
+	// registry as core.Options.Metrics and one /metrics endpoint exposes
+	// the whole stack; nil creates a private registry (the instruments are
+	// always live — the op loop's recording cost is unconditional).
+	Metrics *obs.Registry
+	// Events is the structured event log surfaced by INFO events (shared
+	// with the engine the same way; nil creates a private one).
+	Events *obs.EventLog
+	// TraceSample traces roughly one in every TraceSample commands through
+	// the op's stage pipeline, feeding SLOWLOG and TRACE. 0 uses the
+	// default (64); negative disables tracing.
+	TraceSample int
+	// SlowlogLen bounds SLOWLOG GET's ring of slowest traced ops
+	// (default 32).
+	SlowlogLen int
 }
+
+// traceSampleDefault is the 1-in-N command sampling rate when
+// Config.TraceSample is zero: cheap enough to leave on (one atomic add per
+// command plus one pooled span per sample), frequent enough that SLOWLOG
+// fills within seconds under load.
+const traceSampleDefault = 64
 
 // opKind indexes the per-command metrics.
 type opKind int
@@ -90,34 +112,11 @@ const (
 
 var opNames = [opKinds]string{"get", "set", "del", "mget", "scan", "mset", "other"}
 
-// connMetrics are one connection's latency histograms: wall-clock around
-// the engine call and the engine's own virtual-time latency, per op kind.
-// They are private to the connection goroutine and merged into the server
-// under its lock once, at connection close, so the op loop takes no locks.
-type connMetrics struct {
-	wall [opKinds]*metrics.Histogram
-	virt [opKinds]*metrics.Histogram
-}
-
-func newConnMetrics() *connMetrics {
-	cm := &connMetrics{}
-	for i := range cm.wall {
-		cm.wall[i] = metrics.NewHistogram()
-		cm.virt[i] = metrics.NewHistogram()
-	}
-	return cm
-}
-
-// record logs one executed command.
-func (cm *connMetrics) record(k opKind, wall, virt time.Duration) {
-	cm.wall[k].Record(wall)
-	cm.virt[k].Record(virt)
-}
-
 // Server is a RESP2-subset front end over an Engine.
 type Server struct {
-	cfg Config
-	eng Engine
+	cfg  Config
+	eng  Engine
+	teng traceEngine // non-nil when eng supports traced writes
 
 	ln     net.Listener
 	lnMu   sync.Mutex
@@ -125,10 +124,21 @@ type Server struct {
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
-	agg   *connMetrics // merged histograms of completed connections
 	wg    sync.WaitGroup
 
 	start time.Time
+
+	// Telemetry. The per-op latency histograms are server-global lock-free
+	// obs histograms recorded directly from the op loop — INFO and /metrics
+	// read them live, so in-flight connections are always reflected (the
+	// old per-connection histograms only merged at connection close, hiding
+	// every live connection from INFO latency).
+	reg        *obs.Registry
+	events     *obs.EventLog
+	tracer     *obs.Tracer
+	opWall     [opKinds]*obs.Histogram // wall clock around the engine call
+	opVirt     [opKinds]*obs.Histogram // engine-billed virtual time
+	flushBytes *obs.Histogram          // reply bytes per socket flush
 
 	// Command counters, atomics so INFO reads them live (the smoke test
 	// compares them against the load generator's issued-op counts).
@@ -152,14 +162,70 @@ func New(cfg Config) (*Server, error) {
 	if cfg.WriteBuffer <= 0 {
 		cfg.WriteBuffer = 64 << 10
 	}
-	return &Server{
-		cfg:   cfg,
-		eng:   cfg.Engine,
-		conns: map[net.Conn]struct{}{},
-		agg:   newConnMetrics(),
-		start: time.Now(),
-	}, nil
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Events == nil {
+		cfg.Events = obs.NewEventLog(256)
+	}
+	sample := cfg.TraceSample
+	switch {
+	case sample == 0:
+		sample = traceSampleDefault
+	case sample < 0:
+		sample = 0 // tracer disabled: Sample always returns nil
+	}
+	if cfg.SlowlogLen <= 0 {
+		cfg.SlowlogLen = 32
+	}
+	s := &Server{
+		cfg:    cfg,
+		eng:    cfg.Engine,
+		conns:  map[net.Conn]struct{}{},
+		start:  time.Now(),
+		reg:    cfg.Metrics,
+		events: cfg.Events,
+		tracer: obs.NewTracer(sample, cfg.SlowlogLen, 0),
+	}
+	s.teng, _ = cfg.Engine.(traceEngine)
+	for k := opKind(0); k < opKinds; k++ {
+		s.opWall[k] = s.reg.Histogram(
+			`prism_server_op_wall_latency_seconds{op="`+opNames[k]+`"}`,
+			"Wall-clock latency around the engine call, by op.", obs.UnitSeconds)
+		s.opVirt[k] = s.reg.Histogram(
+			`prism_server_op_virtual_latency_seconds{op="`+opNames[k]+`"}`,
+			"Engine-billed virtual-time latency, by op.", obs.UnitSeconds)
+	}
+	s.flushBytes = s.reg.Histogram("prism_server_reply_flush_bytes",
+		"Reply bytes written per socket flush.", obs.UnitCount)
+	s.reg.Collect(func(g *obs.Gathered) {
+		const cmdHelp = "Commands executed, by op."
+		for k := opKind(0); k < opKinds; k++ {
+			g.Counter(`prism_server_cmds_total{op="`+opNames[k]+`"}`, cmdHelp,
+				s.cmdCounts[k].Load())
+		}
+		g.Counter("prism_server_errors_total",
+			"Commands answered with a RESP error.", s.errCount.Load())
+		g.Counter("prism_server_connections_total",
+			"Client connections accepted.", s.connsTotal.Load())
+		g.Gauge("prism_server_connections_live",
+			"Client connections currently open.", float64(s.connsLive.Load()))
+	})
+	return s, nil
 }
+
+// record logs one executed command into the live per-op histograms.
+func (s *Server) record(k opKind, wall, virt time.Duration) {
+	s.opWall[k].Record(wall)
+	s.opVirt[k].Record(virt)
+}
+
+// Registry returns the server's metrics registry (Config.Metrics or the
+// private one New created), for mounting on an obs HTTP mux.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Events returns the server's structured event log.
+func (s *Server) Events() *obs.EventLog { return s.events }
 
 // ListenAndServe listens on addr ("host:port") and serves until Shutdown.
 func (s *Server) ListenAndServe(addr string) error {

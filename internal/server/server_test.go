@@ -439,7 +439,6 @@ func TestSetBatchFlush(t *testing.T) {
 	}
 	var out bytes.Buffer
 	w := &writer{bw: bufio.NewWriter(&out)}
-	cm := newConnMetrics()
 	st := &connState{}
 
 	const n = 10
@@ -451,8 +450,8 @@ func TestSetBatchFlush(t *testing.T) {
 		st.addSet(arena[:4], arena[4:])
 	}
 	s := srv
-	s.flushSetBatch(w, cm, st)
-	s.flushSetBatch(w, cm, st) // idempotent on an empty batch
+	s.flushSetBatch(w, st)
+	s.flushSetBatch(w, st) // idempotent on an empty batch
 	if err := w.bw.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -475,8 +474,8 @@ func TestSetBatchFlush(t *testing.T) {
 	if got := s.cmdCounts[opSet].Load(); got != n {
 		t.Fatalf("cmd_set = %d, want %d", got, n)
 	}
-	if cm.wall[opSet].Count() != n || cm.virt[opSet].Count() != n {
-		t.Fatalf("histogram counts = %d/%d, want %d", cm.wall[opSet].Count(), cm.virt[opSet].Count(), n)
+	if s.opWall[opSet].Count() != n || s.opVirt[opSet].Count() != n {
+		t.Fatalf("histogram counts = %d/%d, want %d", s.opWall[opSet].Count(), s.opVirt[opSet].Count(), n)
 	}
 }
 

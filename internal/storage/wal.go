@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/prismdb/prismdb/internal/obs"
 )
 
 // WAL record opcodes.
@@ -78,6 +80,17 @@ type WALOptions struct {
 	// (default 8 MiB). Rotation triggers a checkpoint, which prunes every
 	// segment the checkpoint covers.
 	SegmentBytes int64
+
+	// Telemetry hooks, all optional (nil disables each — the obs types are
+	// nil-receiver-safe, so the flusher records unconditionally).
+	//
+	// FsyncLatency observes the wall duration of each segment fdatasync.
+	FsyncLatency *obs.Histogram
+	// BatchRecords observes the records covered by each fsync — the
+	// group-commit batch size.
+	BatchRecords *obs.Histogram
+	// Events receives wal_rotate and checkpoint events.
+	Events *obs.EventLog
 }
 
 func (o *WALOptions) withDefaults() WALOptions {
@@ -535,11 +548,16 @@ func (w *WAL) flushOnce(force bool, groupPending *int) {
 
 // fsyncSeg fdatasyncs seg and records a group-commit batch of n records.
 func (w *WAL) fsyncSeg(seg *file, n int) bool {
+	t0 := time.Now()
 	if err := seg.Sync(); err != nil {
 		w.fail(err)
 		return false
 	}
+	w.opts.FsyncLatency.Record(time.Since(t0))
 	w.stFsyncs.Add(1)
+	if n > 0 {
+		w.opts.BatchRecords.Observe(int64(n))
+	}
 	if n > 0 {
 		w.durMu.Lock()
 		b := bits.Len64(uint64(n))
@@ -621,6 +639,7 @@ func (w *WAL) maybeRotate(groupPending *int) {
 		return
 	}
 	prev.Close()
+	w.opts.Events.Emit("wal_rotate", "segment", prevSeq, "next", prevSeq+1)
 	w.checkpointAndPrune()
 }
 
@@ -632,7 +651,9 @@ func (w *WAL) checkpointAndPrune() {
 	if w.checkpoint == nil {
 		return
 	}
+	t0 := time.Now()
 	if err := w.checkpoint(); err != nil {
+		w.opts.Events.Emit("checkpoint", "ok", false, "err", err)
 		return
 	}
 	w.mu.Lock()
@@ -646,6 +667,7 @@ func (w *WAL) checkpointAndPrune() {
 		w.d.syncDir(DirWAL)
 	}
 	w.stCheckpoints.Add(1)
+	w.opts.Events.Emit("checkpoint", "ok", true, "pruned_segments", len(segs), "took_ms", time.Since(t0))
 }
 
 // Close flushes buffered records, fdatasyncs the active segment (in every

@@ -297,13 +297,49 @@
 // positioning call — the server drains connections first, then closes the
 // DB, so stragglers get a clean error instead of racing teardown. See the
 // README for server and load-generator usage.
+//
+// # Observability
+//
+// The telemetry layer (internal/obs) is always on: every DB carries a
+// lock-free metrics registry whose hot-path instruments — padded atomic
+// counters, gauges, and log-bucketed histograms — cost a few atomic adds
+// per operation and zero heap allocations (AllocsPerRun guards pin the
+// instrumented read, write, and server op loops at 0 allocs/op). The
+// engine records WAL fsync latency and group-commit batch size, write-path
+// batch size / queue depth / producer parks, compaction round duration,
+// read-view retries, and iterator epoch pins; the server adds live per-op
+// wall and virtual latency, reply flush sizes, and command/error/connection
+// counters.
+//
+// Share one registry across the stack by passing the same MetricsRegistry
+// as Options.Metrics and server Config.Metrics (cmd/prismserver does this);
+// nil fields create private registries, so instrumentation never turns
+// off. Exposition: NewMetricsMux serves Prometheus text-format /metrics,
+// the JSON event tail at /events, and net/http/pprof under /debug/pprof/ —
+// `prismserver -metrics-addr :9090` mounts it. The server's INFO sections
+// render from the same instruments, so INFO and /metrics can never
+// disagree.
+//
+// Structured events ride an EventLog (Options.Events / Config.Events): a
+// bounded ring of pre-rendered JSON lines recording compaction rounds,
+// checkpoints, WAL rotations, recovery outcomes, and write stalls —
+// surfaced by INFO events and /events.
+//
+// Per-op tracing samples roughly one in Config.TraceSample commands (64 by
+// default) through the op's stage pipeline — parse, dispatch, queue wait,
+// apply, WAL append, fsync wait, reply flush — via PutTraced/DeleteTraced
+// and an OpTrace. The slowest sampled ops are retained in a ring served by
+// the server's SLOWLOG GET|LEN|RESET command (Redis-shaped entries with a
+// stage breakdown) and the most recent by TRACE <n>.
 package prismdb
 
 import (
+	"net/http"
 	"time"
 
 	"github.com/prismdb/prismdb/internal/core"
 	"github.com/prismdb/prismdb/internal/msc"
+	"github.com/prismdb/prismdb/internal/obs"
 	"github.com/prismdb/prismdb/internal/simdev"
 	"github.com/prismdb/prismdb/internal/storage"
 	"github.com/prismdb/prismdb/internal/tracker"
@@ -353,6 +389,18 @@ type (
 	FaultInjector = storage.FaultInjector
 	// FaultMode selects what an armed FaultInjector does when it fires.
 	FaultMode = storage.FaultMode
+	// MetricsRegistry is the lock-free metrics registry behind /metrics
+	// and INFO; see the package docs' Observability section. Pass one
+	// instance as Options.Metrics and the server Config's Metrics to
+	// expose the whole stack on a single endpoint.
+	MetricsRegistry = obs.Registry
+	// EventLog is the bounded structured event log (JSON lines) shared
+	// between the engine and the server via Options.Events.
+	EventLog = obs.EventLog
+	// OpTrace receives a traced write's engine-stage durations
+	// (queue wait, apply, WAL append, fsync wait) from PutTraced and
+	// DeleteTraced.
+	OpTrace = core.OpTrace
 )
 
 // Tiers a read can be served from.
@@ -611,6 +659,45 @@ func (db *DB) Close() error { return db.inner.Close() }
 // PersistenceStats reports the durability layer's counters; Durable is
 // false (and everything zero) when Options.DataDir was not set.
 func (db *DB) PersistenceStats() PersistenceStats { return db.inner.PersistenceStats() }
+
+// Registry returns the DB's metrics registry — Options.Metrics, or the
+// private one Open created when it was nil. Every engine instrument
+// (fsync latency, write batching, compaction rounds, view retries) records
+// here; mount it with NewMetricsMux to expose /metrics.
+func (db *DB) Registry() *MetricsRegistry { return db.inner.Registry() }
+
+// Events returns the DB's structured event log (Options.Events, or the
+// private one created at Open).
+func (db *DB) Events() *EventLog { return db.inner.Events() }
+
+// PutTraced is Put with stage tracing: the write's queue-wait, apply,
+// WAL-append, and fsync-wait durations are stored into tr. The server's
+// sampled tracing (SLOWLOG, TRACE) rides this; tr must not be shared
+// across concurrent calls.
+func (db *DB) PutTraced(key, value []byte, tr *OpTrace) (time.Duration, error) {
+	return db.inner.PutTraced(key, value, tr)
+}
+
+// DeleteTraced is Delete with stage tracing; see PutTraced.
+func (db *DB) DeleteTraced(key []byte, tr *OpTrace) (time.Duration, error) {
+	return db.inner.DeleteTraced(key, tr)
+}
+
+// NewMetricsRegistry builds an empty metrics registry to share across a DB
+// and a server (Options.Metrics, server Config.Metrics).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventLog builds a structured event log retaining the last capacity
+// events (<= 0 uses the default, 256).
+func NewEventLog(capacity int) *EventLog { return obs.NewEventLog(capacity) }
+
+// NewMetricsMux returns an http.Handler serving Prometheus text-format
+// metrics at /metrics, the JSON event tail at /events, and net/http/pprof
+// profiles under /debug/pprof/ — what `prismserver -metrics-addr` mounts.
+// events may be nil.
+func NewMetricsMux(reg *MetricsRegistry, events *EventLog) *http.ServeMux {
+	return obs.NewMux(reg, events)
+}
 
 // DefaultReadTrigger returns the paper's read-trigger defaults scaled to a
 // dataset size.

@@ -1,0 +1,90 @@
+#!/bin/sh
+# Telemetry smoke test: build prismserver and prismload, start the server
+# with a durable data directory and the /metrics endpoint enabled, drive a
+# short pipelined write-heavy burst, then scrape /metrics and assert that
+# the key series exist AND observed real traffic — the per-op server
+# latencies, the engine write-batch histogram, the write-queue depth gauge,
+# and (because -data-dir is set) non-empty WAL fsync-latency and
+# group-commit batch-size histograms. Also checks /events carries the JSON
+# event log. Catches telemetry wiring rot that unit tests (which construct
+# registries directly) would miss.
+#
+#   PRISM_PORT    RESP listen port (default 16401)
+#   METRICS_PORT  metrics listen port (default 16402)
+#   SMOKE_OPS     measured ops (default 20000)
+set -e
+cd "$(dirname "$0")/.."
+
+port="${PRISM_PORT:-16401}"
+mport="${METRICS_PORT:-16402}"
+ops="${SMOKE_OPS:-20000}"
+bin="$(mktemp -d)"
+trap 'kill "$srv_pid" 2>/dev/null; rm -rf "$bin"' EXIT
+
+go build -o "$bin/prismserver" ./cmd/prismserver
+go build -o "$bin/prismload" ./cmd/prismload
+
+"$bin/prismserver" -addr "127.0.0.1:$port" -metrics-addr "127.0.0.1:$mport" \
+	-total 256 -data-dir "$bin/data" -quiet > "$bin/server.log" 2>&1 &
+srv_pid=$!
+
+# Write-heavy (YCSB-A is 50% update) so the WAL and write-queue series fill.
+"$bin/prismload" -addr "127.0.0.1:$port" \
+	-load -keys 5000 -value 256 -workload a \
+	-ops "$ops" -conns 4 -pipeline 16
+
+curl -sf "http://127.0.0.1:$mport/metrics" > "$bin/metrics.txt"
+curl -sf "http://127.0.0.1:$mport/events" > "$bin/events.txt"
+
+fail() {
+	echo "metrics-smoke FAIL: $1" >&2
+	echo "--- /metrics ---" >&2
+	cat "$bin/metrics.txt" >&2
+	exit 1
+}
+
+# A histogram "observed traffic" when its _count series is present and > 0.
+hist_nonempty() {
+	count=$(awk -v name="$1_count" '$1 ~ "^"name {sum += $NF} END {print sum+0}' "$bin/metrics.txt")
+	[ "${count:-0}" -gt 0 ] || fail "$1 histogram empty (count=$count)"
+}
+
+# Key series must exist at all.
+for series in \
+	prism_server_op_wall_latency_seconds \
+	prism_server_op_virtual_latency_seconds \
+	prism_server_cmds_total \
+	prism_server_reply_flush_bytes \
+	prism_engine_ops_total \
+	prism_write_batch_ops \
+	prism_write_queue_depth \
+	prism_wal_fsync_seconds \
+	prism_wal_group_commit_records; do
+	grep -q "^$series" "$bin/metrics.txt" || fail "missing series $series"
+done
+
+# And the load-bearing histograms must have actually observed the burst.
+hist_nonempty prism_server_op_wall_latency_seconds
+hist_nonempty prism_server_reply_flush_bytes
+hist_nonempty prism_write_batch_ops
+hist_nonempty prism_wal_fsync_seconds
+hist_nonempty prism_wal_group_commit_records
+
+# pprof must be mounted (profile endpoints are stdlib; index returning 200
+# proves the mux wiring).
+curl -sf "http://127.0.0.1:$mport/debug/pprof/" > /dev/null \
+	|| fail "pprof index not served"
+
+# The event log should carry at least the recovery/open events as JSON.
+grep -q '"type":' "$bin/events.txt" || fail "/events carries no JSON events"
+
+kill -TERM "$srv_pid"
+srv_status=0
+wait "$srv_pid" || srv_status=$?
+trap 'rm -rf "$bin"' EXIT
+if [ "$srv_status" -ne 0 ]; then
+	echo "prismserver exited with status $srv_status" >&2
+	cat "$bin/server.log" >&2
+	exit "$srv_status"
+fi
+echo "metrics-smoke OK"
