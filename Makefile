@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke serve-smoke crash-smoke metrics-smoke
+.PHONY: build vet lint test race bench bench-smoke serve-smoke crash-smoke metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -8,7 +8,16 @@ build:
 vet:
 	$(GO) vet ./...
 
-# vet + unit tests (includes the wire-path malformed-RESP table) + a -race
+# go vet plus prismvet (cmd/prismvet), the repo's own analyzer suite for the
+# conventions the compiler can't check: *Locked call discipline, refcount and
+# epoch pairing, WAL/slab ordering, COW publication, shadowed-error drops.
+# Zero unannotated diagnostics is the bar; see internal/analysis/doc.go for
+# the invariant catalog and the //prismvet:ignore contract.
+lint:
+	./scripts/lint.sh
+
+# lint (vet + prismvet) + unit tests (includes the wire-path malformed-RESP
+# table) + a -race
 # pass over the scan-stress, parallel-driver, concurrent-pipelined-client,
 # async-compaction, lock-free-read, and write-queue tests (the paths with
 # cross-goroutine iterators, epoch pins, shared devices, one server serving
@@ -18,7 +27,7 @@ vet:
 # iterator, an async compaction commit, and Close), plus the durability
 # tests (WAL group commit, crash recovery, fault injection) under -race —
 # the group-commit flusher and WaitDurable waiters are cross-goroutine.
-test: vet
+test: lint
 	$(GO) test ./...
 	$(GO) test -race -run 'ConcurrentScansUnderWrites|ConcurrentOpsAcrossPartitions|ParallelScanAccounting' ./internal/core/ ./bench/
 	$(GO) test -race -run 'AsyncConcurrentOpsRaceMergeCommit|AsyncCloseRacesMergeCommit|AsyncModelBasedChurn' ./internal/core/

@@ -353,7 +353,9 @@ func verifyAckLog(addr, path string, wait time.Duration) int {
 	// Surface the server's recovery counters alongside the verdict.
 	c.writeCmd([]byte("INFO"), []byte("persistence"))
 	if err := c.bw.Flush(); err == nil {
-		if rep, err := server.ReadReply(c.br); err == nil && !rep.IsErr() && len(rep.Str) > 0 {
+		// Best-effort: a failed INFO read must not change the verdict, so its
+		// error deliberately stays out of the err name.
+		if rep, rerr := server.ReadReply(c.br); rerr == nil && !rep.IsErr() && len(rep.Str) > 0 {
 			fmt.Print(strings.ReplaceAll(string(rep.Str), "\r\n", "\n"))
 		}
 	}

@@ -1,0 +1,87 @@
+// Command prismvet runs the repo's custom static analyzers (package
+// internal/analysis) over the module tree and reports convention
+// violations the compiler cannot see: *Locked call discipline, refcount
+// and epoch pairing, WAL/slab ordering, copy-on-write publication, and
+// shadowed-error drops.
+//
+// Usage:
+//
+//	prismvet [-json] [-tests=false] [-list] [path]
+//
+// path defaults to the enclosing module root (found via go.mod). Exit
+// status is 1 when any diagnostic is reported, 2 on usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/prismdb/prismdb/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	tests := flag.Bool("tests", true, "analyze _test.go files too")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: prismvet [-json] [-tests=false] [-list] [path]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root := flag.Arg(0)
+	if flag.NArg() > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if root == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			fatal(err)
+		}
+		root, err = analysis.ModuleRoot(wd)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	diags, err := analysis.CheckTree(root, *tests)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "prismvet: %d issue(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prismvet:", err)
+	os.Exit(2)
+}

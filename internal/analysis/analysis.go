@@ -1,0 +1,265 @@
+// Package analysis is prismvet's engine: a suite of syntactic (AST-based)
+// analyzers that machine-check the concurrency and durability conventions
+// the compiler cannot see. Every invariant below was load-bearing in a past
+// review — see doc.go for the catalog and the bugs each analyzer would have
+// caught — and the suite runs on every push via `make lint`.
+//
+// The analyzers use only the standard library (go/parser, go/ast, go/token):
+// files are parsed directly off disk by a hand-rolled module walker, no
+// go/packages, no type-checking of dependencies, so the linter builds and
+// runs anywhere the repo does and go.mod stays dependency-free. The price is
+// that the checks are lexical: they reason about dotted identifier chains
+// ("p.mu", "c.p.slabs") and statement order, not types. The conventions they
+// enforce were chosen to be checkable that way, and the escape hatch
+// (//prismvet:ignore) exists for the cases a lexical analyzer cannot follow —
+// every use of which must state the human argument for why the invariant
+// still holds.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run receives a parsed file and reports
+// findings; suppression via //prismvet:ignore happens in the driver, so
+// analyzers never need to know about the escape hatch.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(f *SrcFile) []Diagnostic
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		lockheldAnalyzer,
+		refpairAnalyzer,
+		walorderAnalyzer,
+		pubsafeAnalyzer,
+		shadowerrAnalyzer,
+	}
+}
+
+// analyzerNames is the set of valid names an ignore directive may target.
+func analyzerNames() map[string]bool {
+	names := map[string]bool{"all": true}
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// SrcFile is one parsed source file handed to analyzers.
+type SrcFile struct {
+	Fset *token.FileSet
+	AST  *ast.File
+	Path string
+}
+
+func (f *SrcFile) pos(p token.Pos) token.Position { return f.Fset.Position(p) }
+
+func (f *SrcFile) diag(analyzer string, p token.Pos, format string, args ...any) Diagnostic {
+	pos := f.pos(p)
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      pos,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// ignoreDirective is one parsed //prismvet:ignore comment.
+type ignoreDirective struct {
+	line      int
+	analyzers map[string]bool // names, or "all"
+}
+
+const ignorePrefix = "//prismvet:ignore"
+
+// parseIgnores extracts the file's ignore directives. A directive names one
+// analyzer (or a comma-separated list, or "all") and MUST carry a reason —
+// an annotation that silences a machine check without recording the human
+// argument is itself a diagnostic.
+func parseIgnores(f *SrcFile) (map[int][]ignoreDirective, []Diagnostic) {
+	dirs := map[int][]ignoreDirective{}
+	var diags []Diagnostic
+	valid := analyzerNames()
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				diags = append(diags, f.diag("prismvet", c.Pos(),
+					"malformed ignore: want //prismvet:ignore <analyzer> <reason>"))
+				continue
+			}
+			names := map[string]bool{}
+			bad := false
+			for _, n := range strings.Split(fields[0], ",") {
+				if !valid[n] {
+					diags = append(diags, f.diag("prismvet", c.Pos(),
+						"ignore names unknown analyzer %q", n))
+					bad = true
+					break
+				}
+				names[n] = true
+			}
+			if bad {
+				continue
+			}
+			if len(fields) < 2 {
+				diags = append(diags, f.diag("prismvet", c.Pos(),
+					"ignore for %s is missing its reason: every suppression must document why the invariant still holds", fields[0]))
+				continue
+			}
+			line := f.pos(c.Pos()).Line
+			dirs[line] = append(dirs[line], ignoreDirective{line: line, analyzers: names})
+		}
+	}
+	return dirs, diags
+}
+
+// suppressed reports whether d is covered by an ignore directive on its own
+// line or on the line immediately above it.
+func suppressed(d Diagnostic, dirs map[int][]ignoreDirective) bool {
+	for _, line := range [2]int{d.Line, d.Line - 1} {
+		for _, dir := range dirs[line] {
+			if dir.analyzers["all"] || dir.analyzers[d.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CheckFile runs the given analyzers over one parsed file, applying ignore
+// directives. Malformed directives are reported as "prismvet" diagnostics.
+func CheckFile(f *SrcFile, analyzers []*Analyzer) []Diagnostic {
+	dirs, diags := parseIgnores(f)
+	for _, a := range analyzers {
+		for _, d := range a.Run(f) {
+			if !suppressed(d, dirs) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	return diags
+}
+
+// ParseFile parses one file into a SrcFile (comments retained for the
+// ignore directives).
+func ParseFile(fset *token.FileSet, path string) (*SrcFile, error) {
+	astf, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return &SrcFile{Fset: fset, AST: astf, Path: path}, nil
+}
+
+// LoadTree parses every .go file under root, skipping VCS metadata,
+// vendored trees, and testdata corpora (golden files are intentionally
+// buggy). includeTests controls whether _test.go files are analyzed; the
+// default lint run includes them — test code takes the same locks and pins
+// the same epochs as the code it exercises.
+func LoadTree(root string, includeTests bool) ([]*SrcFile, error) {
+	fset := token.NewFileSet()
+	var files []*SrcFile
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor" || name == "node_modules") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		if !includeTests && strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := ParseFile(fset, path)
+		if perr != nil {
+			return perr
+		}
+		files = append(files, f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return files, nil
+}
+
+// CheckTree runs the full suite over every file under root and returns the
+// findings sorted by position.
+func CheckTree(root string, includeTests bool) ([]Diagnostic, error) {
+	files, err := LoadTree(root, includeTests)
+	if err != nil {
+		return nil, err
+	}
+	analyzers := Analyzers()
+	var diags []Diagnostic
+	for _, f := range files {
+		diags = append(diags, CheckFile(f, analyzers)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		return diags[i].Col < diags[j].Col
+	})
+	return diags, nil
+}
+
+// ModuleRoot walks up from dir to the nearest directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

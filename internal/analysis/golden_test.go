@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Golden protocol: a line in testdata/*.go carrying a trailing
+// `// want:<analyzer> <substring>` comment must produce exactly one
+// diagnostic from that analyzer whose message contains the substring;
+// every other line must stay silent.
+
+type wantMarker struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+	hit      bool
+}
+
+var wantRe = regexp.MustCompile(`// want:(\w+) (.+?)\s*$`)
+
+func loadGolden(t *testing.T) ([]*SrcFile, []*wantMarker) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no golden files: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*SrcFile
+	var wants []*wantMarker
+	for _, p := range paths {
+		f, err := ParseFile(fset, p)
+		if err != nil {
+			t.Fatalf("parse %s: %v", p, err)
+		}
+		files = append(files, f)
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if m := wantRe.FindStringSubmatch(line); m != nil {
+				wants = append(wants, &wantMarker{file: p, line: i + 1, analyzer: m[1], substr: m[2]})
+			}
+		}
+	}
+	return files, wants
+}
+
+// matchGolden pairs diagnostics with markers; returns human-readable
+// mismatches.
+func matchGolden(diags []Diagnostic, wants []*wantMarker) []string {
+	var problems []string
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && filepath.Base(w.file) == filepath.Base(d.File) && w.line == d.Line &&
+				w.analyzer == d.Analyzer && strings.Contains(d.Message, w.substr) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			problems = append(problems,
+				fmt.Sprintf("missing diagnostic: %s:%d want [%s] %q", w.file, w.line, w.analyzer, w.substr))
+		}
+	}
+	return problems
+}
+
+func runSuite(files []*SrcFile, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range files {
+		diags = append(diags, CheckFile(f, analyzers)...)
+	}
+	return diags
+}
+
+func TestGolden(t *testing.T) {
+	files, wants := loadGolden(t)
+	diags := runSuite(files, Analyzers())
+	for _, p := range matchGolden(diags, wants) {
+		t.Error(p)
+	}
+}
+
+// Every analyzer must be exercised by the corpus: a suite member with no
+// golden coverage could silently rot.
+func TestGoldenCoversEveryAnalyzer(t *testing.T) {
+	_, wants := loadGolden(t)
+	covered := map[string]int{}
+	for _, w := range wants {
+		covered[w.analyzer]++
+	}
+	for _, a := range Analyzers() {
+		if covered[a.Name] == 0 {
+			t.Errorf("analyzer %s has no want-markers in testdata", a.Name)
+		}
+	}
+}
+
+// Disabling any single analyzer must make the golden corpus fail: this is
+// the guard against an analyzer being wired out of the suite (or its Run
+// gutted) without the tests noticing.
+func TestGoldenFailsIfAnalyzerDisabled(t *testing.T) {
+	for _, disabled := range Analyzers() {
+		t.Run(disabled.Name, func(t *testing.T) {
+			files, wants := loadGolden(t)
+			var rest []*Analyzer
+			for _, a := range Analyzers() {
+				if a.Name != disabled.Name {
+					rest = append(rest, a)
+				}
+			}
+			diags := runSuite(files, rest)
+			if problems := matchGolden(diags, wants); len(problems) == 0 {
+				t.Errorf("corpus still passes with %s disabled — no golden coverage", disabled.Name)
+			}
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func checkSrc(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	astf, err := parseSrc(fset, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return CheckFile(astf, Analyzers())
+}
+
+func hasDiag(diags []Diagnostic, analyzer, substr string) bool {
+	for _, d := range diags {
+		if d.Analyzer == analyzer && strings.Contains(d.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+const shadowBody = `package p
+func step() error { return nil }
+func probe() error { return nil }
+var drops int
+func f() error {
+	err := step()
+	%s
+	if err := probe(); err != nil {
+		drops++
+	}
+	return err
+}
+`
+
+// A directive without a reason is itself a diagnostic AND does not
+// suppress: silencing a machine check requires recording the argument.
+func TestIgnoreMissingReason(t *testing.T) {
+	diags := checkSrc(t, sprintf(shadowBody, "//prismvet:ignore shadowerr"))
+	if !hasDiag(diags, "prismvet", "missing its reason") {
+		t.Errorf("no missing-reason diagnostic: %v", diags)
+	}
+	if !hasDiag(diags, "shadowerr", "silently dropped") {
+		t.Errorf("reasonless directive suppressed the finding: %v", diags)
+	}
+}
+
+func TestIgnoreUnknownAnalyzer(t *testing.T) {
+	diags := checkSrc(t, sprintf(shadowBody, "//prismvet:ignore shadower typo in the name"))
+	if !hasDiag(diags, "prismvet", "unknown analyzer") {
+		t.Errorf("no unknown-analyzer diagnostic: %v", diags)
+	}
+	if !hasDiag(diags, "shadowerr", "silently dropped") {
+		t.Errorf("directive for an unknown analyzer suppressed the finding: %v", diags)
+	}
+}
+
+func TestIgnoreBareDirective(t *testing.T) {
+	diags := checkSrc(t, sprintf(shadowBody, "//prismvet:ignore"))
+	if !hasDiag(diags, "prismvet", "malformed") {
+		t.Errorf("no malformed-directive diagnostic: %v", diags)
+	}
+}
+
+func TestIgnoreValidSuppresses(t *testing.T) {
+	diags := checkSrc(t, sprintf(shadowBody, "//prismvet:ignore shadowerr probe errors are expected"))
+	if len(diags) != 0 {
+		t.Errorf("valid reasoned directive did not suppress: %v", diags)
+	}
+}
+
+// An ignore naming a DIFFERENT analyzer must not suppress this one.
+func TestIgnoreWrongAnalyzer(t *testing.T) {
+	diags := checkSrc(t, sprintf(shadowBody, "//prismvet:ignore lockheld reason that belongs to another check"))
+	if !hasDiag(diags, "shadowerr", "silently dropped") {
+		t.Errorf("directive for another analyzer suppressed the finding: %v", diags)
+	}
+}
+
+func TestIgnoreAllSuppresses(t *testing.T) {
+	diags := checkSrc(t, sprintf(shadowBody, "//prismvet:ignore all corpus exercises the catch-all form"))
+	if len(diags) != 0 {
+		t.Errorf("'all' directive did not suppress: %v", diags)
+	}
+}

@@ -1,0 +1,390 @@
+package analysis
+
+// lockheld enforces the *Locked suffix convention: a function named fooLocked
+// asserts "the caller already holds the subject's mutex". Two rules follow:
+//
+//  1. A call to X.fooLocked(...) is legal only (a) inside another *Locked
+//     function on the same subject, or (b) lexically inside a region where a
+//     mutex of X (or of an object X is reachable from) is held — after
+//     X.mu.Lock(), inside `if X.mu.TryLock() { ... }`, or after
+//     `if !X.mu.TryLock() { return }`.
+//  2. A *Locked function must never itself call recv.mu.Lock(): the caller
+//     holds that mutex by contract, so the Lock is a self-deadlock.
+//
+// The analysis is lexical, per function, with simple alias resolution
+// (`p := c.p` makes a lock on p.mu cover calls through c). Branches are
+// merged conservatively: a mutex counts as held after an if/switch only if
+// every surviving arm kept it held.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+var lockheldAnalyzer = &Analyzer{
+	Name: "lockheld",
+	Doc:  "*Locked functions are called with the subject's mutex held and never self-lock",
+	Run:  runLockheld,
+}
+
+func runLockheld(f *SrcFile) []Diagnostic {
+	w := &lockheldWalker{f: f}
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		w.fnName = fd.Name.Name
+		w.fnRecv = ""
+		if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+			w.fnRecv = fd.Recv.List[0].Names[0].Name
+		}
+		w.aliases = aliases{}
+		held := heldSet{}
+		if isLockedName(w.fnName) {
+			// The contract: the subject's mutex is held on entry.
+			held[lockedContract] = true
+		}
+		w.walk(fd.Body.List, held)
+	}
+	return w.diags
+}
+
+// lockedContract is the pseudo-mutex representing "this function's *Locked
+// contract": inside fooLocked, calls to barLocked on the same receiver are
+// covered by the caller's lock, whichever mutex that is.
+const lockedContract = "\x00contract"
+
+type heldSet map[string]bool
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k := range h {
+		c[k] = true
+	}
+	return c
+}
+
+// intersect keeps only mutexes held in both sets.
+func (h heldSet) intersect(o heldSet) {
+	for k := range h {
+		if !o[k] {
+			delete(h, k)
+		}
+	}
+}
+
+type lockheldWalker struct {
+	f       *SrcFile
+	fnName  string
+	fnRecv  string
+	aliases aliases
+	diags   []Diagnostic
+}
+
+// walk processes a statement list in order, mutating held in place.
+func (w *lockheldWalker) walk(list []ast.Stmt, held heldSet) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *lockheldWalker) stmt(s ast.Stmt, held heldSet) {
+	switch v := s.(type) {
+	case *ast.ExprStmt:
+		w.checkExpr(v.X, held)
+		w.applyLockOps(v.X, held)
+	case *ast.AssignStmt:
+		w.aliases.record(v)
+		for _, e := range v.Rhs {
+			w.checkExpr(e, held)
+		}
+		for _, e := range v.Lhs {
+			w.checkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						w.checkExpr(val, held)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// defer X.mu.Unlock() leaves the region held through the rest of the
+		// function; a deferred *Locked call is checked against the state at
+		// registration (callers conventionally defer unlockers, not bodies).
+		w.checkExpr(v.Call, held)
+	case *ast.GoStmt:
+		// A spawned goroutine starts with no locks of ours.
+		if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			w.walk(lit.Body.List, heldSet{})
+			for _, arg := range v.Call.Args {
+				w.checkExpr(arg, held) // args evaluate synchronously
+			}
+		} else {
+			w.checkExpr(v.Call, heldSet{})
+		}
+	case *ast.ReturnStmt:
+		for _, e := range v.Results {
+			w.checkExpr(e, held)
+		}
+	case *ast.IfStmt:
+		w.ifStmt(v, held)
+	case *ast.ForStmt:
+		if v.Init != nil {
+			w.stmt(v.Init, held)
+		}
+		if v.Cond != nil {
+			w.checkExpr(v.Cond, held)
+		}
+		body := held.clone()
+		w.walk(v.Body.List, body)
+		if v.Post != nil {
+			w.stmt(v.Post, body)
+		}
+		held.intersect(body)
+	case *ast.RangeStmt:
+		w.checkExpr(v.X, held)
+		body := held.clone()
+		w.walk(v.Body.List, body)
+		held.intersect(body)
+	case *ast.BlockStmt:
+		w.walk(v.List, held)
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			w.stmt(v.Init, held)
+		}
+		if v.Tag != nil {
+			w.checkExpr(v.Tag, held)
+		}
+		w.caseClauses(v.Body, held)
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			w.stmt(v.Init, held)
+		}
+		w.caseClauses(v.Body, held)
+	case *ast.SelectStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				arm := held.clone()
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, arm)
+				}
+				w.walk(cc.Body, arm)
+				if !terminates(cc.Body) {
+					held.intersect(arm)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(v.Stmt, held)
+	case *ast.IncDecStmt:
+		w.checkExpr(v.X, held)
+	case *ast.SendStmt:
+		w.checkExpr(v.Chan, held)
+		w.checkExpr(v.Value, held)
+	}
+}
+
+func (w *lockheldWalker) caseClauses(body *ast.BlockStmt, held heldSet) {
+	merged := false
+	var acc heldSet
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		arm := held.clone()
+		for _, e := range cc.List {
+			w.checkExpr(e, arm)
+		}
+		w.walk(cc.Body, arm)
+		if !terminates(cc.Body) {
+			if !merged {
+				acc, merged = arm, true
+			} else {
+				acc.intersect(arm)
+			}
+		}
+	}
+	if merged {
+		held.intersect(acc)
+	}
+}
+
+func (w *lockheldWalker) ifStmt(v *ast.IfStmt, held heldSet) {
+	if v.Init != nil {
+		w.stmt(v.Init, held)
+	}
+	w.checkExpr(v.Cond, held)
+
+	body := held.clone()
+	for _, chain := range tryLockChains(v.Cond, false) {
+		body[w.aliases.canon(chain)] = true
+	}
+	w.walk(v.Body.List, body)
+
+	var elseHeld heldSet
+	if v.Else != nil {
+		elseHeld = held.clone()
+		w.stmt(v.Else, elseHeld)
+	}
+
+	// `if !X.TryLock() { return }` guards the rest of the function.
+	if terminates(v.Body.List) {
+		for _, chain := range tryLockChains(v.Cond, true) {
+			held[w.aliases.canon(chain)] = true
+		}
+	}
+
+	// Merge surviving arms conservatively. With an else present, control
+	// definitely went through one of the arms, so the post-state is built
+	// from the arm states alone; without one, the cond-false path carries
+	// the pre-state through.
+	bodyTerm := terminates(v.Body.List)
+	elseTerm := v.Else != nil && stmtTerminates(v.Else)
+	setTo := func(src heldSet) {
+		for k := range held {
+			delete(held, k)
+		}
+		for k := range src {
+			held[k] = true
+		}
+	}
+	switch {
+	case bodyTerm && (v.Else == nil || elseTerm):
+		// Only the fallthrough-from-cond path survives (no else: cond-false
+		// path; with else: neither arm returns control, but code after is
+		// unreachable anyway — keep held as-is).
+	case bodyTerm:
+		setTo(elseHeld)
+	case elseTerm:
+		setTo(body)
+	case v.Else == nil:
+		held.intersect(body)
+	default:
+		body.intersect(elseHeld)
+		setTo(body)
+	}
+}
+
+// tryLockChains extracts mutex chains from TryLock calls in a condition.
+// negated selects `!X.TryLock()` occurrences instead of bare ones.
+func tryLockChains(cond ast.Expr, negated bool) []string {
+	var out []string
+	var visit func(e ast.Expr, underNot bool)
+	visit = func(e ast.Expr, underNot bool) {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.UnaryExpr:
+			if v.Op == token.NOT {
+				visit(v.X, !underNot)
+			}
+		case *ast.BinaryExpr:
+			if v.Op == token.LAND || v.Op == token.LOR {
+				visit(v.X, underNot)
+				visit(v.Y, underNot)
+			}
+		case *ast.CallExpr:
+			if recv, name, ok := callee(v); ok && name == "TryLock" && recv != "" {
+				if underNot == negated {
+					out = append(out, recv)
+				}
+			}
+		}
+	}
+	visit(cond, false)
+	return out
+}
+
+// applyLockOps handles a top-level `X.mu.Lock()` / `X.mu.Unlock()`
+// statement's effect on the held set.
+func (w *lockheldWalker) applyLockOps(e ast.Expr, held heldSet) {
+	c, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	recv, name, ok := callee(c)
+	if !ok || recv == "" {
+		return
+	}
+	chain := w.aliases.canon(recv)
+	switch name {
+	case "Lock", "RLock":
+		held[chain] = true
+	case "Unlock", "RUnlock":
+		delete(held, chain)
+	}
+}
+
+// checkExpr inspects an expression for *Locked calls (and self-deadlocking
+// Lock calls), descending into function literals with a snapshot of the
+// current held set (literals used as synchronous callbacks run under the
+// caller's locks; spawned/deferred literals were peeled off in stmt).
+func (w *lockheldWalker) checkExpr(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			w.walk(v.Body.List, held.clone())
+			return false
+		case *ast.CallExpr:
+			w.checkCall(v, held)
+		}
+		return true
+	})
+}
+
+func (w *lockheldWalker) checkCall(c *ast.CallExpr, held heldSet) {
+	recv, name, ok := callee(c)
+	if !ok {
+		return
+	}
+
+	// Rule 2: self-deadlock inside a *Locked function.
+	if name == "Lock" && isLockedName(w.fnName) && w.fnRecv != "" {
+		if w.aliases.canon(recv) == w.fnRecv+".mu" {
+			w.diags = append(w.diags, w.f.diag("lockheld", c.Pos(),
+				"%s locks %s.mu: a *Locked function's caller already holds it (self-deadlock)",
+				w.fnName, w.fnRecv))
+		}
+	}
+
+	if !isLockedName(name) {
+		return
+	}
+
+	chain := w.aliases.canon(recv)
+	cbase := chainBase(chain)
+
+	// Covered by the enclosing function's own *Locked contract when the
+	// call stays on (or under) the same receiver.
+	if held[lockedContract] && (recv == "" || w.fnRecv == "" || cbase == w.fnRecv) {
+		return
+	}
+	for h := range held {
+		if h == lockedContract {
+			continue
+		}
+		// A held mutex covers the call when the call's subject owns it
+		// (p.mu held, p.fooLocked called), is an ancestor of it (c.p.mu
+		// held, c.barLocked called), or shares its root object.
+		owner := chainOwner(h)
+		if owner == chain || chainBase(owner) == cbase ||
+			strings.HasPrefix(owner, chain+".") || strings.HasPrefix(chain, owner+".") {
+			return
+		}
+	}
+	subj := chain
+	if subj == "" {
+		subj = "the subject"
+	}
+	w.diags = append(w.diags, w.f.diag("lockheld", c.Pos(),
+		"%s called without %s's mutex held: not inside a *Locked function and no Lock/TryLock of %s.mu is lexically in force",
+		name, subj, subj))
+}

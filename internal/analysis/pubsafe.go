@@ -1,0 +1,220 @@
+package analysis
+
+// pubsafe enforces the copy-on-write publication rule the lock-free read
+// path depends on: once a value has been handed to atomic.Pointer.Store (or
+// Swap / CompareAndSwap), it is visible to readers running without the
+// partition mutex, and any later field write through the same variable is a
+// data race — readers may observe the mutation torn or half-applied. The
+// write path must build a fresh object, finish every field, and only then
+// publish; republication means a new object, never a patch.
+//
+// Lexically: inside one function, track every identifier passed to a
+// Store/Swap/CompareAndSwap method (bare or behind &). A later assignment
+// through a selector or index rooted at that identifier (v.f = ..., v.m[k] =
+// ..., v.n++) is flagged. Rebinding the identifier (v = ...) starts a fresh,
+// unpublished value and clears the taint.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+var pubsafeAnalyzer = &Analyzer{
+	Name: "pubsafe",
+	Doc:  "no field writes through a value already published via atomic Store/Swap",
+	Run:  runPubsafe,
+}
+
+var publishMethods = map[string]bool{
+	"Store": true, "Swap": true, "CompareAndSwap": true,
+}
+
+func runPubsafe(f *SrcFile) []Diagnostic {
+	w := &pubsafeWalker{f: f}
+	for _, u := range funcUnits(f) {
+		published := map[string]token.Pos{}
+		w.walkStmts(u.body.List, published)
+	}
+	return w.diags
+}
+
+type pubsafeWalker struct {
+	f     *SrcFile
+	diags []Diagnostic
+}
+
+// walkStmts runs a flat, in-order scan. Branch structure is ignored on
+// purpose: publishing in one arm and mutating in a later statement is
+// exactly the bug, and publish-then-mutate confined to exclusive arms is
+// rare enough that no real-tree false positives arise from flattening.
+func (w *pubsafeWalker) walkStmts(list []ast.Stmt, published map[string]token.Pos) {
+	for _, s := range list {
+		w.stmt(s, published)
+	}
+}
+
+func (w *pubsafeWalker) stmt(s ast.Stmt, published map[string]token.Pos) {
+	switch v := s.(type) {
+	case *ast.AssignStmt:
+		for _, e := range v.Rhs {
+			w.scanPublishes(e, published)
+		}
+		for _, lhs := range v.Lhs {
+			w.checkWrite(lhs, published)
+		}
+		// Rebinding the root ident replaces the published object with a new
+		// one; the taint no longer applies.
+		for _, lhs := range v.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				delete(published, id.Name)
+			}
+		}
+	case *ast.IncDecStmt:
+		w.checkWrite(v.X, published)
+	case *ast.ExprStmt:
+		w.scanPublishes(v.X, published)
+	case *ast.DeferStmt:
+		w.scanPublishes(v.Call, published)
+	case *ast.GoStmt:
+		if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			// The goroutine may run after any publication in this function:
+			// check its body against the full final taint is impossible
+			// lexically, so check against the current set (conservatively the
+			// publishes seen so far).
+			w.walkStmts(lit.Body.List, published)
+		} else {
+			w.scanPublishes(v.Call, published)
+		}
+	case *ast.IfStmt:
+		if v.Init != nil {
+			w.stmt(v.Init, published)
+		}
+		w.scanPublishes(v.Cond, published)
+		w.walkStmts(v.Body.List, published)
+		if v.Else != nil {
+			w.stmt(v.Else, published)
+		}
+	case *ast.ForStmt:
+		if v.Init != nil {
+			w.stmt(v.Init, published)
+		}
+		if v.Cond != nil {
+			w.scanPublishes(v.Cond, published)
+		}
+		w.walkStmts(v.Body.List, published)
+		if v.Post != nil {
+			w.stmt(v.Post, published)
+		}
+	case *ast.RangeStmt:
+		w.scanPublishes(v.X, published)
+		w.walkStmts(v.Body.List, published)
+	case *ast.BlockStmt:
+		w.walkStmts(v.List, published)
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			w.stmt(v.Init, published)
+		}
+		if v.Tag != nil {
+			w.scanPublishes(v.Tag, published)
+		}
+		w.walkClauses(v.Body, published)
+	case *ast.TypeSwitchStmt:
+		w.walkClauses(v.Body, published)
+	case *ast.SelectStmt:
+		w.walkClauses(v.Body, published)
+	case *ast.LabeledStmt:
+		w.stmt(v.Stmt, published)
+	case *ast.ReturnStmt:
+		for _, e := range v.Results {
+			w.scanPublishes(e, published)
+		}
+	}
+}
+
+func (w *pubsafeWalker) walkClauses(body *ast.BlockStmt, published map[string]token.Pos) {
+	for _, c := range body.List {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			w.walkStmts(cc.Body, published)
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, published)
+			}
+			w.walkStmts(cc.Body, published)
+		}
+	}
+}
+
+// scanPublishes records identifiers passed to Store/Swap/CompareAndSwap.
+// For Store the published value is the last argument; for CompareAndSwap the
+// new value is also the last. &ident counts the same as ident — the pointer
+// published IS the object the ident names.
+func (w *pubsafeWalker) scanPublishes(e ast.Expr, published map[string]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name, cok := callee(c)
+		if !cok || recv == "" || !publishMethods[name] || len(c.Args) == 0 {
+			return true
+		}
+		arg := c.Args[len(c.Args)-1]
+		if id := rootIdent(arg); id != "" {
+			published[id] = c.Pos()
+		}
+		return true
+	})
+}
+
+// rootIdent unwraps &x / (x) to a bare identifier name, or "".
+func rootIdent(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return rootIdent(v.X)
+		}
+	}
+	return ""
+}
+
+// checkWrite flags lhs when it writes through a published identifier:
+// v.field = ..., v.m[k] = ..., v.field.sub = ... A write to the bare ident
+// itself is a rebinding, handled by the caller.
+func (w *pubsafeWalker) checkWrite(lhs ast.Expr, published map[string]token.Pos) {
+	root, isDeref := writeRoot(lhs)
+	if root == "" || !isDeref {
+		return
+	}
+	if pubAt, ok := published[root]; ok {
+		w.diags = append(w.diags, w.f.diag("pubsafe", lhs.Pos(),
+			"write through %s after it was published via atomic Store/Swap at line %d: readers already see this object — build a fresh copy and re-publish instead",
+			root, w.f.pos(pubAt).Line))
+	}
+}
+
+// writeRoot returns the base identifier of an lvalue and whether the write
+// goes through at least one selector/index (i.e. mutates the object rather
+// than rebinding the name).
+func writeRoot(e ast.Expr) (string, bool) {
+	deref := false
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v.Name, deref
+		case *ast.SelectorExpr:
+			e, deref = v.X, true
+		case *ast.IndexExpr:
+			e, deref = v.X, true
+		case *ast.StarExpr:
+			e, deref = v.X, true
+		default:
+			return "", false
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package analysis
+
+// shadowerr flags the `err` shadowing pattern that swallowed a WAL write
+// error in an early revision of journal rotation:
+//
+//	err := doA()
+//	if err := doB(); err != nil { ... }   // outer err never consulted again
+//
+// When an `if err := ...; err != nil` block neither terminates control flow
+// (return/break/panic) nor mentions err in its body beyond the condition,
+// the inner error is checked and then dropped on the floor — and because the
+// name shadows the outer err, the code *looks* like it feeds the usual
+// `if err != nil` handling downstream when it does not.
+//
+// The analyzer only fires when an outer `err` is actually in scope: shadowing
+// is the aggravating factor that makes the dropped error invisible in review.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+var shadowerrAnalyzer = &Analyzer{
+	Name: "shadowerr",
+	Doc:  "if-scoped err shadows an outer err and the block drops it",
+	Run:  runShadowerr,
+}
+
+func runShadowerr(f *SrcFile) []Diagnostic {
+	w := &shadowerrWalker{f: f}
+	for _, u := range funcUnits(f) {
+		// Parameters and named results can declare err too.
+		depth := 0
+		if u.decl != nil && u.decl.Type != nil {
+			if declaresErrInFields(u.decl.Type.Params) || declaresErrInFields(u.decl.Type.Results) {
+				depth = 1
+			}
+		}
+		w.walkStmts(u.body.List, depth)
+	}
+	return w.diags
+}
+
+func declaresErrInFields(fl *ast.FieldList) bool {
+	if fl == nil {
+		return false
+	}
+	for _, f := range fl.List {
+		for _, n := range f.Names {
+			if n.Name == "err" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type shadowerrWalker struct {
+	f     *SrcFile
+	diags []Diagnostic
+}
+
+// walkStmts scans a statement list; errDepth counts how many `err`
+// declarations are in scope from enclosing levels (0 = none, so an if-init
+// `err :=` is a plain declaration, not a shadow).
+func (w *shadowerrWalker) walkStmts(list []ast.Stmt, errDepth int) {
+	declared := false // err declared at THIS level, visible to later stmts
+	for _, s := range list {
+		w.stmt(s, errDepth+boolToInt(declared))
+		if declaresErr(s) {
+			declared = true
+		}
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// declaresErr reports whether s introduces `err` into the current scope.
+func declaresErr(s ast.Stmt) bool {
+	switch v := s.(type) {
+	case *ast.AssignStmt:
+		if v.Tok != token.DEFINE {
+			return false
+		}
+		for _, lhs := range v.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "err" {
+				return true
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, n := range vs.Names {
+						if n.Name == "err" {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (w *shadowerrWalker) stmt(s ast.Stmt, errDepth int) {
+	switch v := s.(type) {
+	case *ast.IfStmt:
+		w.ifStmt(v, errDepth)
+	case *ast.ForStmt:
+		inner := errDepth
+		if v.Init != nil && declaresErr(v.Init) {
+			inner++
+		}
+		w.walkStmts(v.Body.List, inner)
+	case *ast.RangeStmt:
+		w.walkStmts(v.Body.List, errDepth)
+	case *ast.BlockStmt:
+		w.walkStmts(v.List, errDepth)
+	case *ast.SwitchStmt:
+		inner := errDepth
+		if v.Init != nil && declaresErr(v.Init) {
+			inner++
+		}
+		w.clauses(v.Body, inner)
+	case *ast.TypeSwitchStmt:
+		w.clauses(v.Body, errDepth)
+	case *ast.SelectStmt:
+		w.clauses(v.Body, errDepth)
+	case *ast.LabeledStmt:
+		w.stmt(v.Stmt, errDepth)
+	case *ast.GoStmt:
+		if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List, errDepth)
+		}
+	case *ast.DeferStmt:
+		if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List, errDepth)
+		}
+	case *ast.ExprStmt, *ast.AssignStmt, *ast.ReturnStmt:
+		// Function literals in expressions open their own scopes.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				inner := errDepth
+				if declaresErrInFields(lit.Type.Params) || declaresErrInFields(lit.Type.Results) {
+					inner++
+				}
+				w.walkStmts(lit.Body.List, inner)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func (w *shadowerrWalker) clauses(body *ast.BlockStmt, errDepth int) {
+	for _, c := range body.List {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			w.walkStmts(cc.Body, errDepth)
+		case *ast.CommClause:
+			w.walkStmts(cc.Body, errDepth)
+		}
+	}
+}
+
+func (w *shadowerrWalker) ifStmt(v *ast.IfStmt, errDepth int) {
+	shadows := errDepth > 0 && v.Init != nil && declaresErr(v.Init)
+	inner := errDepth
+	if shadows {
+		inner++
+	}
+	if shadows && !successGate(v.Cond) && !w.blockHandles(v) {
+		w.diags = append(w.diags, w.f.diag("shadowerr", v.Init.Pos(),
+			"err declared in if-init shadows an outer err and the block neither returns nor uses it: the inner error is silently dropped"))
+	}
+	w.walkStmts(v.Body.List, inner)
+	if v.Else != nil {
+		// The if-init scope covers both arms.
+		w.stmt(v.Else, inner)
+	}
+}
+
+// successGate reports whether the condition is `err == nil` (possibly
+// conjoined with more checks): the body is the success path and the author
+// visibly chose not to handle the failure, which is a different animal from
+// an `err != nil` arm that looks like handling but drops the error.
+func successGate(cond ast.Expr) bool {
+	switch v := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if v.Op == token.LAND {
+			return successGate(v.X) || successGate(v.Y)
+		}
+		if v.Op != token.EQL {
+			return false
+		}
+		x, xok := ast.Unparen(v.X).(*ast.Ident)
+		y, yok := ast.Unparen(v.Y).(*ast.Ident)
+		return (xok && x.Name == "err" && yok && y.Name == "nil") ||
+			(yok && y.Name == "err" && xok && x.Name == "nil")
+	}
+	return false
+}
+
+// blockHandles reports whether the if statement actually consumes the inner
+// err: some path terminates control flow (return/branch/panic — the usual
+// `return err` shape), or the body/else references err beyond the condition
+// (logging it, storing it somewhere).
+func (w *shadowerrWalker) blockHandles(v *ast.IfStmt) bool {
+	for _, s := range v.Body.List {
+		if containsTerminator(s) {
+			return true
+		}
+	}
+	if usesIdent(v.Body, "err") {
+		return true
+	}
+	if v.Else != nil {
+		if containsTerminator(v.Else) || usesIdent(v.Else, "err") {
+			return true
+		}
+	}
+	return false
+}
+
+// usesIdent reports whether the node references the identifier outside of
+// redeclarations.
+func usesIdent(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := nn.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

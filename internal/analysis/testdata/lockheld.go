@@ -1,0 +1,103 @@
+// Golden corpus for the lockheld analyzer. Lines carrying a
+// `// want:<analyzer> <substring>` marker must produce exactly that
+// diagnostic; unmarked lines must stay silent.
+package golden
+
+import "sync"
+
+type part struct {
+	mu    sync.Mutex
+	count int
+}
+
+func (p *part) bumpLocked() { p.count++ }
+
+func (p *part) okPlain() {
+	p.mu.Lock()
+	p.bumpLocked()
+	p.mu.Unlock()
+}
+
+func (p *part) okDefer() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.bumpLocked()
+}
+
+func (p *part) okTryLock() {
+	if p.mu.TryLock() {
+		p.bumpLocked()
+		p.mu.Unlock()
+	}
+}
+
+func (p *part) okNegatedTryLock() {
+	if !p.mu.TryLock() {
+		return
+	}
+	defer p.mu.Unlock()
+	p.bumpLocked()
+}
+
+// A *Locked function's contract covers further *Locked calls on the same
+// receiver.
+func (p *part) drainLocked() {
+	p.bumpLocked()
+}
+
+func (p *part) badUnheld() {
+	p.bumpLocked() // want:lockheld called without
+}
+
+func (p *part) badAfterUnlock() {
+	p.mu.Lock()
+	p.bumpLocked()
+	p.mu.Unlock()
+	p.bumpLocked() // want:lockheld called without
+}
+
+// A *Locked function taking its own receiver's lock deadlocks the caller.
+func (p *part) resetLocked() {
+	p.mu.Lock() // want:lockheld self-deadlock
+	p.count = 0
+}
+
+type cursor struct{ p *part }
+
+// Alias resolution: a lock taken through the alias covers calls through the
+// original chain.
+func (c *cursor) okAlias() {
+	p := c.p
+	p.mu.Lock()
+	c.p.bumpLocked()
+	p.mu.Unlock()
+}
+
+// A spawned goroutine does not inherit the spawner's locks.
+func (p *part) badGoroutine() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		p.bumpLocked() // want:lockheld called without
+	}()
+}
+
+// A lock taken in only one branch is not held after the merge.
+func (p *part) badBranch(cond bool) {
+	if cond {
+		p.mu.Lock()
+	}
+	p.bumpLocked() // want:lockheld called without
+	p.mu.Unlock()
+}
+
+// Both branches locking IS held after the merge.
+func (p *part) okBothBranches(cond bool) {
+	if cond {
+		p.mu.Lock()
+	} else {
+		p.mu.Lock()
+	}
+	p.bumpLocked()
+	p.mu.Unlock()
+}

@@ -1,0 +1,58 @@
+// Golden corpus for the pubsafe analyzer: no field writes through a value
+// already handed to atomic.Pointer Store/Swap/CompareAndSwap.
+package golden
+
+import "sync/atomic"
+
+type view struct {
+	gen uint64
+	n   int
+}
+
+type vpart struct {
+	view atomic.Pointer[view]
+	old  *view
+}
+
+func okPublishLast(p *vpart) {
+	v := &view{}
+	v.gen = 1
+	p.view.Store(v)
+}
+
+func badPatchAfterStore(p *vpart) {
+	v := &view{}
+	p.view.Store(v)
+	v.gen = 2 // want:pubsafe after it was published
+}
+
+// Rebinding the name starts a fresh, unpublished object.
+func okRepublish(p *vpart) {
+	v := &view{}
+	p.view.Store(v)
+	v = &view{}
+	v.gen = 2
+	p.view.Store(v)
+}
+
+func badPatchAfterSwap(p *vpart) {
+	v := &view{}
+	p.old = p.view.Swap(v)
+	v.n++ // want:pubsafe after it was published
+}
+
+// &ident publishes the object the ident names.
+func badPatchAfterAddrStore(p *vpart) {
+	v := view{}
+	p.view.Store(&v)
+	v.gen = 3 // want:pubsafe after it was published
+}
+
+// Publication in a branch taints the statements after it.
+func badPatchAfterBranchStore(p *vpart, cond bool) {
+	v := &view{}
+	if cond {
+		p.view.Store(v)
+	}
+	v.n = 4 // want:pubsafe after it was published
+}

@@ -1,0 +1,65 @@
+// Golden corpus for the shadowerr analyzer: if-init err declarations that
+// shadow an outer err while the block drops the inner error.
+package golden
+
+type m struct{ drops int }
+
+var counters m
+
+func step() error             { return nil }
+func step2() error            { return nil }
+func flush() error            { return nil }
+func logf(f string, a ...any) {}
+func celebrate()              {}
+
+// No outer err in scope: an if-init err is a plain declaration.
+func okNoOuter() error {
+	if err := step(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func badShadowDrop() error {
+	err := step()
+	if err := step2(); err != nil { // want:shadowerr silently dropped
+		counters.drops++
+	}
+	return err
+}
+
+// Returning consumes the inner error.
+func okReturns() error {
+	err := step()
+	if err := step2(); err != nil {
+		return err
+	}
+	return err
+}
+
+// Referencing err in the body (logging) consumes it.
+func okUses() error {
+	err := step()
+	if err := step2(); err != nil {
+		logf("step2: %v", err)
+	}
+	return err
+}
+
+// err == nil success gates visibly choose to ignore the failure path.
+func okSuccessGate() error {
+	err := step()
+	if err := flush(); err == nil {
+		celebrate()
+	}
+	return err
+}
+
+// Named results put err in scope too.
+func badNamedResult() (err error) {
+	err = step()
+	if err := step2(); err != nil { // want:shadowerr silently dropped
+		counters.drops++
+	}
+	return
+}

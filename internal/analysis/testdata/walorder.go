@@ -1,0 +1,56 @@
+// Golden corpus for the walorder analyzer: slab effects must precede the
+// WAL append that describes them within one function.
+package golden
+
+type wal struct{}
+
+func (w *wal) AppendPut(k, v []byte) uint64 { return 0 }
+func (w *wal) AppendDel(k []byte) uint64    { return 0 }
+
+type slabMgrT struct{}
+
+func (s *slabMgrT) Put(k, v []byte) int  { return 0 }
+func (s *slabMgrT) Delete(k []byte)      {}
+func (s *slabMgrT) RecycleSlots(l []int) {}
+
+type wpart struct {
+	wal   *wal
+	slabs *slabMgrT
+}
+
+func okOrder(p *wpart, key, value []byte) {
+	loc := p.slabs.Put(key, value)
+	p.wal.AppendPut(key, value)
+	_ = loc
+}
+
+func badOrder(p *wpart, key, value []byte) {
+	p.wal.AppendPut(key, value)
+	p.slabs.Put(key, value) // want:walorder after the WAL append
+}
+
+// An append in either branch poisons the statements after the merge.
+func badBranchOrder(p *wpart, key []byte, cond bool) {
+	if cond {
+		p.wal.AppendDel(key)
+	}
+	p.slabs.Delete(key) // want:walorder after the WAL append
+}
+
+// An append on a terminating arm does not reach the fallthrough path.
+func okTerminatingArm(p *wpart, key, value []byte, cond bool) {
+	if cond {
+		p.wal.AppendPut(key, value)
+		return
+	}
+	p.slabs.Put(key, value)
+	p.wal.AppendPut(key, value)
+}
+
+// A goroutine body is its own critical-section story.
+func okSeparateGoroutine(p *wpart, key, value []byte) {
+	p.wal.AppendPut(key, value)
+	go func() {
+		p.slabs.RecycleSlots(nil)
+	}()
+}

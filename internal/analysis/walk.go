@@ -1,0 +1,243 @@
+package analysis
+
+// Shared syntactic vocabulary for the analyzers. Everything here reasons
+// about dotted identifier chains ("c.p.mu") and statement shape — the
+// lexical skeleton the project's conventions are written in.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// chainOf flattens e into a dotted identifier chain ("c.p.mu") when e is an
+// identifier or a pure field-selection chain rooted at one. Calls, indexing
+// and anything else break the chain (ok=false): a chain is only meaningful
+// as a stable name for one object across statements.
+func chainOf(e ast.Expr) (string, bool) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name, true
+	case *ast.ParenExpr:
+		return chainOf(v.X)
+	case *ast.SelectorExpr:
+		base, ok := chainOf(v.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + v.Sel.Name, true
+	}
+	return "", false
+}
+
+// callee splits a call into receiver chain and method name: p.mu.Lock() →
+// ("p.mu", "Lock"); f() → ("", "f"). ok=false when the callee is not a pure
+// chain (method values, IIFEs, calls on call results).
+func callee(c *ast.CallExpr) (recv, name string, ok bool) {
+	switch fun := ast.Unparen(c.Fun).(type) {
+	case *ast.Ident:
+		return "", fun.Name, true
+	case *ast.SelectorExpr:
+		r, rok := chainOf(fun.X)
+		if !rok {
+			return "", "", false
+		}
+		return r, fun.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// chainBase returns the first component of a dotted chain ("c.p.mu" → "c").
+func chainBase(chain string) string {
+	if i := strings.IndexByte(chain, '.'); i >= 0 {
+		return chain[:i]
+	}
+	return chain
+}
+
+// chainOwner returns the chain minus its final component ("p.mu" → "p",
+// "mu" → "").
+func chainOwner(chain string) string {
+	if i := strings.LastIndexByte(chain, '.'); i >= 0 {
+		return chain[:i]
+	}
+	return ""
+}
+
+// aliases tracks simple chain rebindings (`p := c.p`) so that a lock taken
+// as p.mu and a call made through c resolve to the same object.
+type aliases map[string]string
+
+// record notes `ident := chain` definitions.
+func (a aliases) record(s *ast.AssignStmt) {
+	if s.Tok != token.DEFINE && s.Tok != token.ASSIGN {
+		return
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if chain, ok := chainOf(s.Rhs[i]); ok && strings.Contains(chain, ".") {
+			a[id.Name] = chain
+		}
+	}
+}
+
+// canon rewrites chain's base through recorded aliases until it reaches a
+// root identifier ("p.mu" with p := c.p → "c.p.mu"). Cycle-guarded.
+func (a aliases) canon(chain string) string {
+	for depth := 0; depth < 8; depth++ {
+		base := chainBase(chain)
+		target, ok := a[base]
+		if !ok || target == chain {
+			return chain
+		}
+		chain = target + strings.TrimPrefix(chain, base)
+	}
+	return chain
+}
+
+// terminatingCalls are function/method names that never return control to
+// the enclosing statement list.
+func callTerminates(c *ast.CallExpr) bool {
+	recv, name, ok := callee(c)
+	if !ok {
+		return false
+	}
+	switch {
+	case recv == "" && name == "panic":
+		return true
+	case strings.HasPrefix(name, "Fatal"): // t.Fatal/Fatalf, log.Fatalln, ...
+		return true
+	case strings.HasPrefix(name, "Skip") && recv != "": // t.Skip/Skipf end the test
+		return true
+	case recv == "os" && name == "Exit":
+		return true
+	case recv == "runtime" && name == "Goexit":
+		return true
+	}
+	return false
+}
+
+// stmtTerminates reports whether s unconditionally leaves the enclosing
+// statement list (return, branch, panic-like call, or a block/if whose
+// every arm does).
+func stmtTerminates(s ast.Stmt) bool {
+	switch v := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto all leave the list
+	case *ast.ExprStmt:
+		if c, ok := v.X.(*ast.CallExpr); ok {
+			return callTerminates(c)
+		}
+	case *ast.BlockStmt:
+		return terminates(v.List)
+	case *ast.IfStmt:
+		if v.Else == nil {
+			return false
+		}
+		if !terminates(v.Body.List) {
+			return false
+		}
+		switch e := v.Else.(type) {
+		case *ast.BlockStmt:
+			return terminates(e.List)
+		case *ast.IfStmt:
+			return stmtTerminates(e)
+		}
+	case *ast.LabeledStmt:
+		return stmtTerminates(v.Stmt)
+	}
+	return false
+}
+
+// terminates reports whether the statement list never falls off its end.
+func terminates(list []ast.Stmt) bool {
+	for _, s := range list {
+		if stmtTerminates(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsTerminator reports whether any statement anywhere inside s (at
+// any nesting depth, including single-armed ifs) leaves the enclosing
+// control flow. Weaker than terminates: used where the question is "did the
+// author handle this path at all", not "does every path leave".
+func containsTerminator(s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested function's returns are its own
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			found = true
+			return false
+		case *ast.CallExpr:
+			if callTerminates(v) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// funcUnits yields every function-like body in the file — declarations and
+// function literals — as independent analysis units. Literals are also
+// visited as part of their enclosing unit by analyzers that choose to; this
+// helper is for analyzers that treat each body as its own scope.
+type funcUnit struct {
+	name string // "" for literals
+	recv string // receiver identifier, "" when none
+	body *ast.BlockStmt
+	decl *ast.FuncDecl // nil for literals
+}
+
+func funcUnits(f *SrcFile) []funcUnit {
+	var units []funcUnit
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		recv := ""
+		if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+			recv = fd.Recv.List[0].Names[0].Name
+		}
+		units = append(units, funcUnit{name: fd.Name.Name, recv: recv, body: fd.Body, decl: fd})
+		// Function literals nested inside: their bodies run on their own
+		// schedule (goroutines, callbacks, defers), so resource-pairing
+		// analyzers treat them as separate units too.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				units = append(units, funcUnit{body: lit.Body})
+			}
+			return true
+		})
+	}
+	return units
+}
+
+// isLockedName reports whether a function name carries the convention
+// suffix: "the caller must hold the subject's mutex".
+func isLockedName(name string) bool {
+	return strings.HasSuffix(name, "Locked") && name != "Locked"
+}
+
+// mutexChain reports whether the final component of a chain names a mutex
+// by this repo's conventions (mu, lnMu, durMu, parkMu, ...).
+func isMutexComponent(name string) bool {
+	return name == "mu" || strings.HasSuffix(name, "Mu") || strings.HasSuffix(name, "Mutex")
+}

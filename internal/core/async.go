@@ -318,6 +318,7 @@ func (p *partition) asyncCompactRange(compClk *simdev.Clock, r candRange, allowD
 	})
 	p.pinnedBuf = pinnedKeys
 	if allowDemote {
+		//prismvet:ignore refpair pin is conditional on allowDemote; the demote loop below unpins via UnpinEpochDeferred on every allowDemote path, and the early !allowDemote return never pinned
 		p.slabs.PinEpoch()
 		p.obs.epochPins.Inc()
 		p.bg.rangeActive = true

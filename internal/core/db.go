@@ -73,7 +73,7 @@ func Open(opts Options) (*DB, error) {
 	}
 	if opts.WriteMode == WriteAsync {
 		// Owner goroutines idle until client traffic arrives: WAL replay
-		// bypasses the queue (putLocked/delLocked), so start order against
+		// bypasses the queue (putLocking/delLocking), so start order against
 		// finishDurable is immaterial.
 		for _, p := range db.parts {
 			p.startWriteOwner()

@@ -148,10 +148,10 @@ func (db *DB) finishDurable() error {
 		p := db.partitionOf(key)
 		switch op {
 		case storage.OpPut:
-			_, _, perr := p.putLocked(key, value, false, false)
+			_, _, perr := p.putLocking(key, value, false, false)
 			return perr
 		case storage.OpDel:
-			_, _, derr := p.delLocked(key)
+			_, _, derr := p.delLocking(key)
 			return derr
 		}
 		return fmt.Errorf("core: wal replay: unknown op %d", op)

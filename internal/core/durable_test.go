@@ -375,7 +375,9 @@ func TestDurableFaultPoisonsWrites(t *testing.T) {
 	fi.Arm(1, storage.FaultError)
 	sawErr := false
 	for i := 20; i < 40 && !sawErr; i++ {
-		if _, err := db.Put(key(i), val(i, 512)); err != nil {
+		// Only THAT a Put failed matters here; name the error perr so it
+		// cannot shadow the Open error above.
+		if _, perr := db.Put(key(i), val(i, 512)); perr != nil {
 			sawErr = true
 		}
 	}

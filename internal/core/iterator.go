@@ -274,6 +274,7 @@ func newPartCursor(p *partition, it *Iterator, start []byte) *partCursor {
 func (c *partCursor) acquire(start []byte) {
 	p := c.p
 	p.mu.Lock()
+	//prismvet:ignore refpair cursor-scoped pin: partCursor.release (called by Iterator.Close and by the merge loop when the cursor is exhausted) is the matching UnpinEpoch
 	p.slabs.PinEpoch()
 	p.obs.epochPins.Inc()
 	c.snap = p.man.Acquire()

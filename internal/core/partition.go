@@ -403,7 +403,7 @@ func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, 
 		}
 		return p.enqueueWait(intentPut, key, value, nil)
 	}
-	lat, lsn, err := p.putLocked(key, value, tomb, clientOp)
+	lat, lsn, err := p.putLocking(key, value, tomb, clientOp)
 	if err != nil {
 		return lat, err
 	}
@@ -413,7 +413,9 @@ func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, 
 	return lat, nil
 }
 
-// putLocked is the locked body of put. clientOp distinguishes client Puts
+// putLocking acquires p.mu itself and runs the put body under it (the
+// *Locking suffix marks "takes the lock", as opposed to *Locked's "caller
+// already holds it"). clientOp distinguishes client Puts
 // from internal writes (the tombstone a Delete routes through this path,
 // WAL replay), so the Puts counter counts exactly the client operations
 // issued, internal writes never touch the popularity tracker, and only
@@ -421,7 +423,7 @@ func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, 
 // record at replay; replayed records must not re-log). The WAL append
 // happens at the end of the critical section, after the slab write it
 // describes — the ordering the checkpoint scheme depends on (durable.go).
-func (p *partition) putLocked(key, value []byte, tomb, clientOp bool) (time.Duration, uint64, error) {
+func (p *partition) putLocking(key, value []byte, tomb, clientOp bool) (time.Duration, uint64, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.syncClockLocked()
@@ -431,7 +433,7 @@ func (p *partition) putLocked(key, value []byte, tomb, clientOp bool) (time.Dura
 }
 
 // putDirectLocked is the WriteAsync uncontended fast path's body: the caller
-// already holds p.mu via TryLock. It differs from putLocked in one way: read
+// already holds p.mu via TryLock. It differs from putLocking in one way: read
 // state is folded on the write path's batch cadence (writerDrainLocked)
 // rather than on every op — a batch of one still pays its own mutation in
 // full, but shares the drain duty the way owner batches do.
@@ -449,10 +451,10 @@ func (p *partition) putDirectLocked(key, value []byte) (time.Duration, uint64, e
 	return p.putBodyLocked(key, value, false, true)
 }
 
-// putBodyLocked is the mutation body shared by putLocked and del's inline
+// putBodyLocked is the mutation body shared by putLocking and del's inline
 // tombstone insert. The caller holds p.mu with the clock synced and reads
 // drained; admission may briefly release and re-acquire the lock (see
-// admitWrite), exactly as when entered through putLocked.
+// admitWrite), exactly as when entered through putLocking.
 func (p *partition) putBodyLocked(key, value []byte, tomb, clientOp bool) (time.Duration, uint64, error) {
 	// Republish the read view when this put changed the B-tree (fresh
 	// insert, class-change move) or the manifest (a sync compaction inside
@@ -637,7 +639,7 @@ func (p *partition) get(key, dst []byte) ([]byte, Tier, time.Duration, error) {
 		// atomic add costs nothing that matters.
 		p.obs.viewRetries.Inc()
 	}
-	return p.getLocked(key, dst, idx)
+	return p.getLocking(key, dst, idx)
 }
 
 // getLockFree is one attempt of the lock-free read. ok=false means the
@@ -701,7 +703,7 @@ func (p *partition) getLockFree(key, dst []byte, idx uint64) (value []byte, tier
 			if gerr != nil {
 				// Count the GET (the locked path counts every GET at entry,
 				// errored or not) and fold the time it consumed; no tier
-				// counter, matching getLocked's error return.
+				// counter, matching getLocking's error return.
 				sh.gets.Add(1)
 				p.casMaxVclock(clk.Now())
 				return nil, TierMiss, 0, gerr, true
@@ -733,11 +735,11 @@ func (p *partition) getLockFree(key, dst []byte, idx uint64) (value []byte, tier
 	return nil, TierMiss, time.Duration(clk.Now() - start), nil, true
 }
 
-// getLocked is the fallback read under the partition lock: the pre-view
+// getLocking is the fallback read under the partition lock: the pre-view
 // code path, taken when repeated validation failures prove the key is being
 // churned faster than an optimistic reader can keep up (or, transitively,
 // while an inline sync compaction holds the lock and zeroes slots).
-func (p *partition) getLocked(key, dst []byte, idx uint64) ([]byte, Tier, time.Duration, error) {
+func (p *partition) getLocking(key, dst []byte, idx uint64) ([]byte, Tier, time.Duration, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.syncClockLocked()
@@ -822,7 +824,7 @@ func (p *partition) recordGet(src Tier) {
 // del removes key. NVM versions are deleted directly; if an older version
 // may remain on flash a tombstone is inserted to NVM, to die in a later
 // merge (§6). In WriteAsync mode client deletes ride the owner queue like
-// puts; WAL replay and WriteSync mode go through delLocked directly.
+// puts; WAL replay and WriteSync mode go through delLocking directly.
 func (p *partition) del(key []byte) (time.Duration, error) {
 	if p.wq != nil {
 		// Same uncontended fast path as put: a lone deleter is a batch of
@@ -836,15 +838,15 @@ func (p *partition) del(key []byte) (time.Duration, error) {
 		}
 		return p.enqueueWait(intentDel, key, nil, nil)
 	}
-	lat, lsn, err := p.delLocked(key)
+	lat, lsn, err := p.delLocking(key)
 	if err != nil {
 		return lat, err
 	}
 	return lat, p.wal.WaitDurable(lsn)
 }
 
-// delLocked is the locked wrapper of delBodyLocked, mirroring putLocked.
-func (p *partition) delLocked(key []byte) (time.Duration, uint64, error) {
+// delLocking is the locked wrapper of delBodyLocked, mirroring putLocking.
+func (p *partition) delLocking(key []byte) (time.Duration, uint64, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.syncClockLocked()
@@ -864,7 +866,7 @@ func (p *partition) delDirectLocked(key []byte) (time.Duration, uint64, error) {
 	return p.delBodyLocked(key)
 }
 
-// delBodyLocked is the delete mutation body shared by delLocked and the
+// delBodyLocked is the delete mutation body shared by delLocking and the
 // owner's applyBatch. The caller holds p.mu with the clock synced and reads
 // drained.
 func (p *partition) delBodyLocked(key []byte) (time.Duration, uint64, error) {

@@ -67,7 +67,7 @@ func (p *partition) putTraced(key, value []byte, tr *OpTrace) (time.Duration, er
 		return p.enqueueWait(intentPut, key, value, tr)
 	}
 	a0 := time.Now()
-	lat, lsn, err := p.putLocked(key, value, false, true)
+	lat, lsn, err := p.putLocking(key, value, false, true)
 	tr.Apply = time.Since(a0)
 	if err != nil {
 		return lat, err
@@ -96,7 +96,7 @@ func (p *partition) delTraced(key []byte, tr *OpTrace) (time.Duration, error) {
 		return p.enqueueWait(intentDel, key, nil, tr)
 	}
 	a0 := time.Now()
-	lat, lsn, err := p.delLocked(key)
+	lat, lsn, err := p.delLocking(key)
 	tr.Apply = time.Since(a0)
 	if err != nil {
 		return lat, err

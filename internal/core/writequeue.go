@@ -424,7 +424,7 @@ func (p *partition) applyBatch(batch []*writeIntent) {
 
 // enqueueWait runs one client mutation through the owner: enqueue, wait
 // for the apply, then wait out durability off every lock (the group-commit
-// barrier, exactly as the legacy path waits after putLocked). tr is non-nil
+// barrier, exactly as the legacy path waits after putLocking). tr is non-nil
 // only for sampled ops: the owner fills the queue-wait/apply/WAL stages and
 // the fsync wait is timed here around the durability barrier.
 func (p *partition) enqueueWait(op byte, key, value []byte, tr *OpTrace) (time.Duration, error) {
