@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-smoke serve-smoke crash-smoke metrics-smoke
+.PHONY: build vet lint test race bench bench-smoke serve-smoke crash-smoke metrics-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,14 @@ metrics-smoke:
 # kill -9 and recover once more (recovery must be idempotent).
 crash-smoke:
 	./scripts/crash_smoke.sh
+
+# Fault tolerance, end to end: start prismserver with -chaos-debug, arm a
+# WAL fault over the wire (DEBUG FAULT), and burst writes into it — the
+# server must degrade to read-only (-READONLY refusals, reads and HEALTH
+# still serving, process alive), survive a kill -9, and recover every
+# acknowledged write on restart, healthy and writable again.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 # Runs the harness benchmarks (YCSB-B read-heavy and YCSB-E scan-heavy,
 # serial and parallel drivers) and emits BENCH_<date>.json so the perf

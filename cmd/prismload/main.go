@@ -43,14 +43,18 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math/rand"
 	"net"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/prismdb/prismdb/internal/metrics"
@@ -75,6 +79,7 @@ func main() {
 	dialWait := flag.Duration("wait", 5*time.Second, "how long to retry the initial connection")
 	ackLogPath := flag.String("acklog", "", "journal every acknowledged SET/DEL key to this file (crash-recovery harness); server death mid-run exits 0")
 	verifyPath := flag.String("verify", "", "verify a previous run's -acklog against the (restarted) server and exit; non-zero on any lost acknowledged write")
+	retries := flag.Int("retries", 0, "max backoff-retry attempts after a retryable failure — connection error, -READONLY, or a max-clients rejection — before a worker gives up (0 = fail immediately; replayed ops overcount vs -check)")
 	flag.Parse()
 
 	if *verifyPath != "" {
@@ -121,10 +126,12 @@ func main() {
 		log.Fatalf("prismload: INFO: %v", err)
 	}
 
+	rt := &retrier{addr: *addr, wait: *dialWait, max: *retries}
+
 	gen := workload.NewGenerator(cfg)
 	if *doLoad {
 		start := time.Now()
-		if err := loadPhase(*addr, gen, *keys, *conns, *dialWait); err != nil {
+		if err := loadPhase(*addr, gen, *keys, *conns, *dialWait, rt); err != nil {
 			log.Fatalf("prismload: load: %v", err)
 		}
 		log.Printf("loaded %d keys in %v", *keys, time.Since(start).Round(time.Millisecond))
@@ -170,9 +177,9 @@ func main() {
 			}
 			defer nc.close()
 			if interval > 0 {
-				res.err = nc.runOpen(streams[c], interval, res)
+				res.err = nc.runOpen(streams[c], interval, res, rt)
 			} else {
-				res.err = nc.runClosed(streams[c], *pipeline, res)
+				res.err = nc.runClosed(streams[c], *pipeline, res, rt)
 			}
 		}(c)
 	}
@@ -233,6 +240,109 @@ func main() {
 		fmt.Printf("CHECK OK: server INFO counters match issued ops (get=%d set=%d del=%d scan=%d)\n",
 			issued.gets, issued.sets, issued.dels, issued.scans)
 	}
+}
+
+// serverError is a RESP error reply ("READONLY ...", "ERR ..."): the
+// command reached the server and was refused, as opposed to a transport
+// failure. The retrier tells the two apart.
+type serverError string
+
+func (e serverError) Error() string { return "server error: " + string(e) }
+
+// Retry backoff shape: exponential from retryBase, ±50% jitter, capped.
+const (
+	retryBase = 10 * time.Millisecond
+	retryCap  = 2 * time.Second
+)
+
+// retryCounts tallies retries by trigger, for the final report. Global
+// atomics because the load phase's workers retry too, before connResults
+// exist.
+var retryCounts struct{ conn, readonly, maxconns atomic.Int64 }
+
+// retryClass buckets an op-loop failure: "conn" for transport errors (the
+// server died, the connection was reset or idle-closed), "readonly" for
+// -READONLY refusals (the engine degraded to read-only), "maxconns" for
+// the server's connection-cap rejection. Anything else — a genuine command
+// error, a client bug — returns "" and is not retried.
+func retryClass(err error) string {
+	var se serverError
+	if errors.As(err, &se) {
+		switch {
+		case strings.HasPrefix(string(se), "READONLY"):
+			return "readonly"
+		case strings.HasPrefix(string(se), "ERR max clients"):
+			return "maxconns"
+		}
+		return ""
+	}
+	var ne net.Error
+	if errors.As(err, &ne) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return "conn"
+	}
+	// net.OpError (reset, refused, broken pipe) without the net.Error
+	// interface match still counts as transport.
+	var oe *net.OpError
+	if errors.As(err, &oe) {
+		return "conn"
+	}
+	return ""
+}
+
+// retrier retries a worker's failed attempt with exponential backoff and
+// jitter, bounded by max attempts per failure site. Every retry abandons
+// the old connection and dials fresh: a mid-window failure leaves unread
+// replies buffered on the wire, and reconnecting is the one reliable way
+// to resynchronize the stream.
+type retrier struct {
+	addr string
+	wait time.Duration
+	max  int
+}
+
+func (rt *retrier) backoff(attempt int) time.Duration {
+	d := retryBase << uint(attempt)
+	if d <= 0 || d > retryCap {
+		d = retryCap
+	}
+	// ±50% jitter, so a fleet of workers refused together doesn't retry
+	// together.
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// again decides one failed attempt's fate: non-retryable errors (or an
+// exhausted budget) come straight back to fail the worker; retryable ones
+// are counted, backed off, and answered with a fresh connection swapped
+// into c. Re-issuing an op whose first attempt actually landed is safe —
+// SET and DEL are idempotent, and the ack journal records only replies
+// that were read, so it never over-claims.
+func (rt *retrier) again(c *client, err error, attempt *int) error {
+	class := retryClass(err)
+	if class == "" || rt.max <= 0 {
+		return err
+	}
+	if *attempt >= rt.max {
+		return fmt.Errorf("giving up after %d retries: %w", *attempt, err)
+	}
+	switch class {
+	case "conn":
+		retryCounts.conn.Add(1)
+	case "readonly":
+		retryCounts.readonly.Add(1)
+	case "maxconns":
+		retryCounts.maxconns.Add(1)
+	}
+	d := rt.backoff(*attempt)
+	*attempt++
+	time.Sleep(d)
+	nc, derr := dialRetry(rt.addr, rt.wait)
+	if derr != nil {
+		return fmt.Errorf("reconnect after %v: %w", err, derr)
+	}
+	c.nc.Close()
+	*c = *nc
+	return nil
 }
 
 // ackLog journals acknowledged writes. One "S key" or "D key" line per
@@ -557,7 +667,7 @@ func (c *client) readOK() error {
 		return err
 	}
 	if rep.IsErr() {
-		return fmt.Errorf("server error: %s", rep.Str)
+		return serverError(rep.Str)
 	}
 	return nil
 }
@@ -565,85 +675,140 @@ func (c *client) readOK() error {
 // runClosed keeps up to depth genOps in flight: write a window, flush
 // once, read the window's replies. Per-op latency is measured from the
 // window's flush to that op's reply — the closed-loop client's real wait.
-func (c *client) runClosed(ops []genOp, depth int, res *connResult) error {
+// A retryable failure replays the window's unacknowledged tail on a fresh
+// connection, with backoff.
+func (c *client) runClosed(ops []genOp, depth int, res *connResult, rt *retrier) error {
 	for off := 0; off < len(ops); off += depth {
 		end := off + depth
 		if end > len(ops) {
 			end = len(ops)
 		}
 		window := ops[off:end]
-		replies := 0
-		for _, g := range window {
-			replies += c.writeOp(g)
-		}
-		t0 := time.Now()
-		if err := c.bw.Flush(); err != nil {
-			return err
-		}
-		ri := 0
-		for _, g := range window {
-			n := 1
-			if g.kind == 'r' {
-				n = 2
+		acked := 0
+		attempt := 0
+		for {
+			err := c.issueWindow(window[acked:], res, &acked)
+			if err == nil {
+				break
 			}
-			for i := 0; i < n; i++ {
-				if err := c.readOK(); err != nil {
-					return err
-				}
-				ri++
-			}
-			res.histFor(g.kind).Record(time.Since(t0))
-			switch g.kind {
-			case 's', 'd', 'r':
-				ackJournal.record(g.kind, g.key)
-			case 'm':
-				// One MSET reply acknowledges every pair in it.
-				for _, k := range g.mkeys {
-					ackJournal.record('s', k)
-				}
+			if rerr := rt.again(c, err, &attempt); rerr != nil {
+				return rerr
 			}
 		}
-		if ri != replies {
-			return fmt.Errorf("reply accounting bug: read %d, expected %d", ri, replies)
+	}
+	return nil
+}
+
+// issueWindow writes one window remainder, flushes once, and reads the
+// replies in order, advancing *acked past each fully acknowledged op — so
+// a mid-window failure tells the retry loop exactly which suffix to
+// replay. Acks journal only after the op's own reply is read, never on
+// issue.
+func (c *client) issueWindow(window []genOp, res *connResult, acked *int) error {
+	replies := 0
+	for _, g := range window {
+		replies += c.writeOp(g)
+	}
+	t0 := time.Now()
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	ri := 0
+	for _, g := range window {
+		n := 1
+		if g.kind == 'r' {
+			n = 2
 		}
+		for i := 0; i < n; i++ {
+			if err := c.readOK(); err != nil {
+				return err
+			}
+			ri++
+		}
+		res.histFor(g.kind).Record(time.Since(t0))
+		switch g.kind {
+		case 's', 'd', 'r':
+			ackJournal.record(g.kind, g.key)
+		case 'm':
+			// One MSET reply acknowledges every pair in it.
+			for _, k := range g.mkeys {
+				ackJournal.record('s', k)
+			}
+		}
+		*acked++
+	}
+	if ri != replies {
+		return fmt.Errorf("reply accounting bug: read %d, expected %d", ri, replies)
 	}
 	return nil
 }
 
 // runOpen issues ops on a fixed schedule (absolute deadlines, so a slow
 // reply doesn't shift the arrival process) and reads replies from a
-// concurrent reader. Latency is send-to-reply per op.
-func (c *client) runOpen(ops []genOp, interval time.Duration, res *connResult) error {
+// concurrent reader. Latency is send-to-reply per op. A retryable failure
+// replays every op whose acknowledgement never arrived — the op the
+// reader failed on, everything queued behind it, and everything unsent —
+// on a fresh connection; the replay runs on the same pacing schedule.
+func (c *client) runOpen(ops []genOp, interval time.Duration, res *connResult, rt *retrier) error {
+	attempt := 0
+	for {
+		replay, err := c.openPass(ops, interval, res)
+		if err == nil {
+			return nil
+		}
+		if rerr := rt.again(c, err, &attempt); rerr != nil {
+			return rerr
+		}
+		ops = replay
+	}
+}
+
+// openPass runs one open-loop pass over ops. On failure it returns the
+// unacknowledged suffix for the caller to replay (re-issuing a write that
+// DID land is idempotent; the ack journal records only read replies, so
+// it never over-claims).
+func (c *client) openPass(ops []genOp, interval time.Duration, res *connResult) ([]genOp, error) {
 	type inflight struct {
-		kind    byte
-		key     []byte
-		mkeys   [][]byte // 'm' only: the MSET's acknowledged pairs
+		op      genOp
 		t0      time.Time
 		replies int
+	}
+	type readFail struct {
+		err     error
+		unacked []genOp
 	}
 	// The queue bounds how far issuance may outrun the server before the
 	// writer blocks (a saturated open loop degenerates to closed).
 	queue := make(chan inflight, 1<<14)
-	readerErr := make(chan error, 1)
+	stop := make(chan struct{})      // reader → writer: stop issuing
+	readerDone := make(chan readFail, 1)
 	go func() {
-		defer close(readerErr)
 		for f := range queue {
 			for i := 0; i < f.replies; i++ {
 				if err := c.readOK(); err != nil {
-					readerErr <- err
+					// Collect this op and everything still queued behind it
+					// as unacknowledged. The writer sees stop, closes the
+					// queue, and the drain below terminates.
+					close(stop)
+					un := []genOp{f.op}
+					for q := range queue {
+						un = append(un, q.op)
+					}
+					readerDone <- readFail{err: err, unacked: un}
 					return
 				}
 			}
-			res.histFor(f.kind).Record(time.Since(f.t0))
-			switch f.kind {
+			res.histFor(f.op.kind).Record(time.Since(f.t0))
+			switch f.op.kind {
 			case 's', 'd', 'r':
-				ackJournal.record(f.kind, f.key)
+				ackJournal.record(f.op.kind, f.op.key)
 			case 'm':
-				for _, k := range f.mkeys {
+				for _, k := range f.op.mkeys {
 					ackJournal.record('s', k)
 				}
 			}
 		}
+		readerDone <- readFail{}
 	}()
 
 	start := time.Now()
@@ -652,25 +817,33 @@ func (c *client) runOpen(ops []genOp, interval time.Duration, res *connResult) e
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
+		select {
+		case <-stop:
+			// The reader hit an error; ops[i:] were never sent.
+			close(queue)
+			rf := <-readerDone
+			return append(rf.unacked, ops[i:]...), rf.err
+		default:
+		}
 		t0 := time.Now()
 		replies := c.writeOp(g)
 		if err := c.bw.Flush(); err != nil {
+			// Unwedge the reader wherever it is blocked — mid-read on the
+			// broken conn (Close errors it out) or on the queue receive
+			// (the close ends its range) — then collect its verdict.
+			c.nc.Close()
 			close(queue)
-			<-readerErr
-			return err
+			rf := <-readerDone
+			un := append(rf.unacked, g)
+			return append(un, ops[i+1:]...), err
 		}
-		select {
-		case queue <- inflight{g.kind, g.key, g.mkeys, t0, replies}:
-		case err := <-readerErr:
-			close(queue)
-			return err
-		}
+		queue <- inflight{g, t0, replies} // never blocks forever: the reader drains until close
 	}
 	close(queue)
-	if err, ok := <-readerErr; ok && err != nil {
-		return err
+	if rf := <-readerDone; rf.err != nil {
+		return rf.unacked, rf.err
 	}
-	return nil
+	return nil, nil
 }
 
 // opCounts parses the INFO ops section's cmd_* counters.
@@ -739,10 +912,15 @@ func report(issued opCounts, results []*connResult, elapsed time.Duration, rate 
 		fmt.Printf("  %-4s n=%-8d p50=%-10v p99=%-10v max=%v\n", row.name, row.h.Count(),
 			row.h.Quantile(0.5), row.h.Quantile(0.99), row.h.Max())
 	}
+	rc, rr, rm := retryCounts.conn.Load(), retryCounts.readonly.Load(), retryCounts.maxconns.Load()
+	if rc+rr+rm > 0 {
+		fmt.Printf("  retries: conn=%d readonly=%d maxclients=%d\n", rc, rr, rm)
+	}
 }
 
-// loadPhase SETs the initial dataset over conns pipelined connections.
-func loadPhase(addr string, gen *workload.Generator, keys, conns int, wait time.Duration) error {
+// loadPhase SETs the initial dataset over conns pipelined connections,
+// retrying each window's unacknowledged tail on retryable failures.
+func loadPhase(addr string, gen *workload.Generator, keys, conns int, wait time.Duration, rt *retrier) error {
 	const depth = 128
 	type chunk struct{ lo, hi int }
 	chunks := make(chan chunk, conns)
@@ -776,19 +954,36 @@ func loadPhase(addr string, gen *workload.Generator, keys, conns int, wait time.
 					if end > ck.hi {
 						end = ck.hi
 					}
-					for i := off; i < end; i++ {
-						nc.writeCmd([]byte("SET"), gen.LoadKey(i), gen.LoadValue(i))
-					}
-					if err := nc.bw.Flush(); err != nil {
-						errs <- err
-						return
-					}
-					for i := off; i < end; i++ {
-						if err := nc.readOK(); err != nil {
-							errs <- err
+					// acked advances past each SET whose reply was read, so
+					// a retry replays only the unacknowledged tail
+					// (LoadKey/LoadValue are deterministic per index — the
+					// replayed pairs regenerate identically).
+					acked := off
+					attempt := 0
+					for acked < end {
+						err := func() error {
+							for i := acked; i < end; i++ {
+								nc.writeCmd([]byte("SET"), gen.LoadKey(i), gen.LoadValue(i))
+							}
+							if err := nc.bw.Flush(); err != nil {
+								return err
+							}
+							for i := acked; i < end; i++ {
+								if err := nc.readOK(); err != nil {
+									return err
+								}
+								ackJournal.record('s', gen.LoadKey(i))
+								acked = i + 1
+							}
+							return nil
+						}()
+						if err == nil {
+							break
+						}
+						if rerr := rt.again(nc, err, &attempt); rerr != nil {
+							errs <- rerr
 							return
 						}
-						ackJournal.record('s', gen.LoadKey(i))
 					}
 				}
 			}

@@ -58,6 +58,11 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, /events, and net/http/pprof on this address (empty = off)")
 	traceSample := flag.Int("trace-sample", 0, "trace 1 in N commands into SLOWLOG/TRACE (0 = default 64, negative = off)")
 	slowlogLen := flag.Int("slowlog-len", 0, "SLOWLOG retained-entry cap (0 = default 32)")
+	maxConns := flag.Int("max-conns", 0, "cap on concurrently open client connections; extras get '-ERR max clients reached' (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close connections idle for this long (0 = never)")
+	stallDeadline := flag.Duration("io-stall-deadline", 0, "with -data-dir: declare a WAL I/O stalled (and degrade to read-only) after this long (0 = off)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "with -data-dir: background CRC scrub cycle interval for slab slots and SST blocks (0 = off)")
+	chaosDebug := flag.Bool("chaos-debug", false, "enable the DEBUG FAULT command for wire-driven fault injection (chaos testing only)")
 	flag.Parse()
 
 	cfg0 := prismdb.RecommendedConfig(prismdb.TierSpec{
@@ -88,6 +93,20 @@ func main() {
 		cfg0.WALSync = mode
 		cfg0.WALFsyncEvery = *fsyncEvery
 		cfg0.WALFsyncInterval = *fsyncInterval
+		cfg0.IOStallDeadline = *stallDeadline
+		cfg0.ScrubInterval = *scrubInterval
+	}
+	// -chaos-debug wires one fault injector through both the engine's file
+	// backend and the server's DEBUG FAULT command, so a chaos harness can
+	// break storage over the wire while a workload runs.
+	var faults *prismdb.FaultInjector
+	if *chaosDebug {
+		if *dataDir == "" {
+			log.Fatalf("prismserver: -chaos-debug requires -data-dir (faults are injected into the file backend)")
+		}
+		faults = &prismdb.FaultInjector{}
+		cfg0.Faults = faults
+		log.Printf("chaos: DEBUG FAULT enabled (fault injection armed over the wire)")
 	}
 	// One registry and one event log shared by the engine and the server,
 	// so /metrics and INFO expose the whole stack from a single source.
@@ -131,6 +150,9 @@ func main() {
 		Events:      events,
 		TraceSample: *traceSample,
 		SlowlogLen:  *slowlogLen,
+		MaxConns:    *maxConns,
+		IdleTimeout: *idleTimeout,
+		Faults:      faults,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf

@@ -95,10 +95,15 @@ func (p *partition) compactionWorker() {
 		demote, promote := p.bg.demotePending, p.bg.promotePending
 		p.bg.demotePending, p.bg.promotePending = false, false
 		p.bg.running = true
-		if demote {
+		// A degraded DB refuses writes, so compaction has nothing to make
+		// room for — and its commits would churn a substrate (manifest
+		// journal, slab files) already known broken. Stand down: consume
+		// the triggers without running the jobs.
+		healthy := p.health == nil || p.health.ok()
+		if demote && healthy {
 			p.asyncDemotionJob()
 		}
-		if promote && !p.bg.stopping {
+		if promote && healthy && !p.bg.stopping {
 			p.asyncPromotionJob()
 		}
 		p.bg.running = false
@@ -520,9 +525,30 @@ func (p *partition) asyncCompactRange(compClk *simdev.Clock, r candRange, allowD
 	// hundreds of microseconds of foreground tail per round.
 	if len(newTables) > 0 || len(r.tables) > 0 {
 		if err := p.man.Apply(newTables, r.tables); err != nil {
-			// Manifest persistence cannot fail in the simulation unless
-			// the flash device is full; surface loudly in development.
-			panic(fmt.Sprintf("core: manifest apply: %v", err))
+			if p.health == nil {
+				// Manifest persistence cannot fail in the simulation unless
+				// the flash device is full; surface loudly in development.
+				panic(fmt.Sprintf("core: manifest apply: %v", err))
+			}
+			// Durable mode: the manifest journal's LogEdit (or an output
+			// SST's fsync) failed, and Apply rolled the new snapshot back —
+			// nothing was installed, so nothing may be reconciled. The old
+			// tables keep serving, the written output SSTs become orphans
+			// the next recovery sweeps, and the DB degrades: a compaction
+			// commit that cannot be made durable means no further write
+			// (foreground or background) can be either. Abort the round,
+			// releasing the epoch pin so deferred frees don't wedge
+			// checkpoints forever.
+			p.health.degrade("compaction commit", err)
+			p.obs.events.Emit("compaction_abort", "partition", p.id, "cause", err.Error())
+			p.mu.Lock()
+			p.compArena = arena
+			if allowDemote {
+				p.bg.rangeActive = false
+				p.bg.rangeLo, p.bg.rangeHi = nil, nil
+				p.finishEpochLocked()
+			}
+			return 0
 		}
 	}
 
@@ -676,20 +702,40 @@ func (p *partition) asyncCompactRange(compClk *simdev.Clock, r candRange, allowD
 	// the zeroing writes (one per slot) off-lock.
 	p.bg.rangeActive = false
 	p.bg.rangeLo, p.bg.rangeHi = nil, nil
+	p.finishEpochLocked()
+	return freed
+}
+
+// finishEpochLocked closes a merge round's reclamation epoch: unpin, issue
+// the deferred zeroing writes (one per slot) off-lock, then recycle the
+// zeroed slots. Entered and left with p.mu held; the lock is dropped around
+// the zeroing writes exactly as the round's execute phase drops it. A
+// zeroing write that fails degrades the DB and leaks the remaining slots
+// instead of recycling them: an un-zeroed slot still holds its old record
+// bytes, and handing it back out would let crash recovery resurrect data the
+// engine already freed. (Without a health tracker — partitions built
+// directly in tests — the failure stays a loud panic, as before.)
+func (p *partition) finishEpochLocked() {
 	zeroLocs := p.slabs.UnpinEpochDeferred()
 	if len(zeroLocs) == 0 {
-		return freed
+		return
 	}
 	p.mu.Unlock()
+	zeroed := 0
 	for i, loc := range zeroLocs {
 		if err := p.slabs.ZeroSlot(loc); err != nil {
-			panic(fmt.Sprintf("core: deferred free: %v", err))
+			if p.health == nil {
+				panic(fmt.Sprintf("core: deferred free: %v", err))
+			}
+			p.health.degrade("slab free", err)
+			break
 		}
+		zeroed++
 		if i%64 == 63 {
 			bgYield()
 		}
 	}
+	//prismvet:ignore lockheld re-acquire of the caller's hold, dropped above to issue the zeroing writes off-lock; entered-and-left-held is this function's contract
 	p.mu.Lock()
-	p.slabs.RecycleSlots(zeroLocs)
-	return freed
+	p.slabs.RecycleSlots(zeroLocs[:zeroed])
 }

@@ -417,8 +417,23 @@ func (p *partition) compactRange(compClk *simdev.Clock, r candRange, allowDemote
 	newTables := out.finish()
 	if len(newTables) > 0 || len(r.tables) > 0 {
 		if err := p.man.Apply(newTables, r.tables); err != nil {
-			// Manifest persistence cannot fail in the simulation unless
-			// the flash device is full; surface loudly in development.
+			// The journal edit could not be made durable, so the manifest
+			// rolled the commit back — but this inline merge has already
+			// freed the demoted records' slab slots, so the round's output
+			// tables are now their only copy and they are not reachable
+			// through the (unchanged) live set. Degrade: writes stop, the
+			// checkpoint guard in syncSlabs keeps their WAL records in the
+			// log, and the reopen that recovers from Degraded replays them
+			// (the un-journaled SSTs are removed as orphans).
+			if p.health != nil {
+				p.health.degrade("compaction commit", err)
+				p.obs.events.Emit("compaction_commit_failed",
+					"partition", p.id, "err", err.Error())
+				return demoted, promoted
+			}
+			// In-memory simulation (no health tracking): manifest
+			// persistence cannot fail unless the flash device is full;
+			// surface loudly in development.
 			panic(fmt.Sprintf("core: manifest apply: %v", err))
 		}
 	}

@@ -27,6 +27,8 @@ type DB struct {
 	parts  []*partition
 	dur    *durable // nil without Options.DataDir
 	obs    *engineObs
+	health *healthTracker
+	scrub  *scrubber // nil unless Options.ScrubInterval > 0 (durable mode)
 	closed atomic.Bool
 }
 
@@ -43,6 +45,7 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{opts: opts, obs: newEngineObs(opts.Metrics, opts.Events)}
+	db.health = newHealthTracker(db.obs.events)
 	if opts.DataDir != "" {
 		if err := db.openDurable(); err != nil {
 			return nil, err
@@ -54,6 +57,7 @@ func Open(opts Options) (*DB, error) {
 			db.abortOpen()
 			return nil, fmt.Errorf("core: partition %d: %w", i, err)
 		}
+		p.health = db.health
 		if err := p.recover(); err != nil {
 			db.abortOpen()
 			return nil, fmt.Errorf("core: recover partition %d: %w", i, err)
@@ -79,11 +83,28 @@ func Open(opts Options) (*DB, error) {
 			p.startWriteOwner()
 		}
 	}
+	// A degrade transition must reach producers parked on a full intent
+	// ring (their park predicate now fails through the health gate) and the
+	// owners themselves, so intents already queued are drain-failed with
+	// ErrReadOnly promptly instead of at the next client push. Registered
+	// before the WAL flusher starts (finishDurable) — the first sticky I/O
+	// error can arrive the moment traffic does.
+	db.health.onDegrade = append(db.health.onDegrade, func() {
+		for _, p := range db.parts {
+			if p.wq != nil {
+				p.wq.wake()
+				p.wq.wakeProducers()
+			}
+		}
+	})
 	if db.dur != nil {
 		if err := db.finishDurable(); err != nil {
 			db.abortOpen()
 			return nil, err
 		}
+	}
+	if db.dur != nil && opts.ScrubInterval > 0 {
+		db.scrub = db.startScrubber()
 	}
 	db.registerCollector()
 	return db, nil
@@ -143,10 +164,14 @@ func (db *DB) partitionOf(key []byte) *partition {
 	return db.parts[db.partitionIndex(key)]
 }
 
-// Put writes key=value and returns the simulated operation latency.
+// Put writes key=value and returns the simulated operation latency. While
+// the DB is degraded (see Health) it fails fast with ErrReadOnly.
 func (db *DB) Put(key, value []byte) (time.Duration, error) {
 	if db.closed.Load() {
 		return 0, ErrClosed
+	}
+	if err := db.health.writeErr(); err != nil {
+		return 0, err
 	}
 	return db.partitionOf(key).put(key, value, false, true)
 }
@@ -163,6 +188,9 @@ func (db *DB) Put(key, value []byte) (time.Duration, error) {
 func (db *DB) PutBatch(pairs []KV) (time.Duration, error) {
 	if db.closed.Load() {
 		return 0, ErrClosed
+	}
+	if err := db.health.writeErr(); err != nil {
+		return 0, err
 	}
 	if len(pairs) == 0 {
 		return 0, nil
@@ -227,10 +255,14 @@ func (db *DB) GetBuf(key, buf []byte) ([]byte, Tier, time.Duration, error) {
 	return db.partitionOf(key).get(key, buf)
 }
 
-// Delete removes key, writing a flash tombstone when needed (§6).
+// Delete removes key, writing a flash tombstone when needed (§6). While the
+// DB is degraded it fails fast with ErrReadOnly.
 func (db *DB) Delete(key []byte) (time.Duration, error) {
 	if db.closed.Load() {
 		return 0, ErrClosed
+	}
+	if err := db.health.writeErr(); err != nil {
+		return 0, err
 	}
 	return db.partitionOf(key).del(key)
 }
@@ -482,6 +514,9 @@ func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return nil
 	}
+	// The scrubber stops first: it pins reclamation epochs and takes
+	// partition locks, and must not race the teardown below.
+	db.stopScrubber()
 	// Write owners stop first: each fails its pending intents with
 	// ErrClosed (no enqueuer is left parked or waiting forever) and must
 	// outlive-stop the compaction worker its in-flight batch may be

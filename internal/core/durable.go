@@ -115,6 +115,8 @@ func (db *DB) openDurable() error {
 		FsyncEvery:    db.opts.WALFsyncEvery,
 		FsyncInterval: db.opts.WALFsyncInterval,
 		SegmentBytes:  db.opts.WALSegmentBytes,
+		StallDeadline: db.opts.IOStallDeadline,
+		OnIOError:     db.onWALIOError,
 		FsyncLatency:  db.obs.fsyncLatency,
 		BatchRecords:  db.obs.walBatch,
 		Events:        db.obs.events,
@@ -177,6 +179,19 @@ func (db *DB) finishDurable() error {
 	return nil
 }
 
+// onWALIOError is the WAL's sticky-error hook (storage.WALOptions.OnIOError):
+// invoked exactly once, with the first error that poisoned the log, after
+// every durability waiter has been woken with that error. The WAL refuses
+// all further appends on its own; this hook widens the refusal to the whole
+// DB — writes go read-only so clients see a typed, immediate ErrReadOnly
+// instead of per-op storage errors — and counts declared I/O stalls.
+func (db *DB) onWALIOError(err error) {
+	if errors.Is(err, storage.ErrIOStalled) {
+		db.obs.ioStalls.Inc()
+	}
+	db.health.degrade("wal", err)
+}
+
 // errCheckpointBusy reports a checkpoint that had to be skipped: some
 // partition's slab files are not a complete image of its logical state,
 // because freed slots are still awaiting their zeroing writes (an open
@@ -184,6 +199,15 @@ func (db *DB) finishDurable() error {
 // batch mid-zeroing). The WAL retains its segments and retries at the next
 // rotation; Close skips pruning and lets the next open replay instead.
 var errCheckpointBusy = errors.New("core: checkpoint skipped: slab frees deferred by an open epoch")
+
+// errCheckpointDegraded reports a checkpoint refused because the DB has
+// left Healthy. Once degraded, the WAL is the one durable artifact still
+// trusted end to end — a failed compaction commit may have left records
+// whose only crash-safe copy is their WAL entry — so checkpoints must stop
+// declaring records redundant. Like errCheckpointBusy this is a benign
+// skip, not a Close error: the segments are retained and the recovering
+// reopen replays them.
+var errCheckpointDegraded = errors.New("core: checkpoint refused: database is degraded, WAL records must be retained for recovery")
 
 // syncSlabs is the WAL's checkpoint callback: fsync every partition's slab
 // backing files, making all previously appended WAL records redundant.
@@ -198,6 +222,9 @@ var errCheckpointBusy = errors.New("core: checkpoint skipped: slab frees deferre
 // appended after a partition's check land in the active segment, which no
 // checkpoint prunes, so the check-then-sync is race-free.
 func (db *DB) syncSlabs() error {
+	if db.health != nil && !db.health.ok() {
+		return errCheckpointDegraded
+	}
 	for _, p := range db.parts {
 		p.mu.Lock()
 		dirty := p.slabs.DeferredDirty()
@@ -206,6 +233,12 @@ func (db *DB) syncSlabs() error {
 			return errCheckpointBusy
 		}
 		if err := p.slabs.Sync(); err != nil {
+			// A real checkpoint failure (not the benign busy skip above): a
+			// slab file's fsync failed, so the page cache's contents can no
+			// longer be trusted to reach disk. The WAL retries checkpoints on
+			// its own cadence, but further acks would be promises the storage
+			// can't keep — degrade to read-only.
+			db.health.degrade("checkpoint", err)
 			return err
 		}
 	}
@@ -223,8 +256,9 @@ func (db *DB) closeDurable() error {
 	err := d.wal.Close()
 	serr := db.syncSlabs()
 	switch {
-	case errors.Is(serr, errCheckpointBusy):
-		// Keep the segments; replay-on-open covers the un-issued frees.
+	case errors.Is(serr, errCheckpointBusy), errors.Is(serr, errCheckpointDegraded):
+		// Keep the segments; replay-on-open covers the un-issued frees
+		// (busy) or the whole degraded tail (degraded).
 	case serr != nil:
 		if err == nil {
 			err = serr
@@ -248,6 +282,7 @@ func (db *DB) crashDurable() {
 	if db.closed.Swap(true) {
 		return
 	}
+	db.stopScrubber()
 	// Stop the write owners first (pending intents fail with ErrClosed —
 	// they were never acknowledged); producers blocked in WaitDurable are
 	// woken by the WAL Kill below. Owner-before-worker order matters, as

@@ -23,6 +23,12 @@ type engineObs struct {
 	compRound    *obs.Histogram // async compaction round wall time
 	viewRetries  *obs.Counter   // lock-free GET view-validation retries
 	epochPins    *obs.Counter   // slab reclamation epochs pinned
+
+	ioStalls        *obs.Counter // WAL I/O stalls declared by the watchdog
+	scrubSlots      *obs.Counter // slab slots CRC-verified by the scrubber
+	scrubBlocks     *obs.Counter // SST blocks CRC-verified by the scrubber
+	scrubBitRot     *obs.Counter // CRC mismatches found (both tiers)
+	scrubQuarantine *obs.Counter // SSTs quarantined from the manifest
 }
 
 func newEngineObs(reg *obs.Registry, events *obs.EventLog) *engineObs {
@@ -53,6 +59,16 @@ func newEngineObs(reg *obs.Registry, events *obs.EventLog) *engineObs {
 			"Lock-free GET attempts that failed slot validation and retried against a fresh view."),
 		epochPins: reg.Counter("prism_epoch_pins_total",
 			"Slab reclamation epochs pinned (iterators and async compaction jobs)."),
+		ioStalls: reg.Counter("prism_io_stall_total",
+			"WAL I/O operations declared stalled by the watchdog (each degrades the DB)."),
+		scrubSlots: reg.Counter("prism_scrub_slots_total",
+			"NVM slab slots CRC-verified by the background scrubber."),
+		scrubBlocks: reg.Counter("prism_scrub_blocks_total",
+			"Flash SST blocks CRC-verified by the background scrubber."),
+		scrubBitRot: reg.Counter("prism_scrub_bitrot_total",
+			"CRC mismatches the scrubber found (slab slots and SST blocks)."),
+		scrubQuarantine: reg.Counter("prism_scrub_quarantined_ssts_total",
+			"SST files quarantined from the manifest after a failed block CRC."),
 	}
 }
 
@@ -129,6 +145,11 @@ func (db *DB) registerCollector() {
 			g.Counter("prism_wal_checkpoints_total", "Checkpoint + prune cycles completed.", ps.Checkpoints)
 			g.Gauge("prism_wal_segments", "WAL segment files on disk.", float64(ps.WALSegments))
 		}
+
+		h := db.Health()
+		g.Gauge("prism_health_state",
+			"Failure-domain state: 0 healthy, 1 degraded (read-only), 2 failed.",
+			float64(h.State))
 
 		g.Counter("prism_events_total", "Structured events emitted.", db.obs.events.Total())
 	})

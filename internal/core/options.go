@@ -287,6 +287,23 @@ type Options struct {
 	// covered segments.
 	WALSegmentBytes int64
 
+	// IOStallDeadline, when positive, arms the WAL I/O stall watchdog
+	// (DataDir mode only): a single WAL write, fsync, or checkpoint call
+	// that stays in flight longer than the deadline is declared stalled,
+	// waiters fail with storage.ErrIOStalled instead of hanging, and the
+	// DB degrades to read-only. Zero (the default) disables the watchdog —
+	// simulated and test workloads routinely sit idle for longer than any
+	// sensible deadline.
+	IOStallDeadline time.Duration
+
+	// ScrubInterval, when positive, starts the background scrubber
+	// (DataDir mode only): a low-priority goroutine that cycles through
+	// every slab slot and SST block, verifying stored CRCs. A rotted SST
+	// block quarantines its table (reads fall through to other tiers); a
+	// rotted slab slot — unrecoverable — moves the DB to Failed. Zero (the
+	// default) disables scrubbing.
+	ScrubInterval time.Duration
+
 	// Faults, when set, injects deterministic I/O failures into the file
 	// backend (testing hook; DataDir mode only).
 	Faults *storage.FaultInjector

@@ -140,6 +140,13 @@ type partition struct {
 	// partitions; every instrument is lock-free or nil-safe).
 	obs *engineObs
 
+	// health is the DB-wide failure-domain state machine (set by Open right
+	// after construction; nil only for partitions built directly in tests).
+	// Client mutations gate on it, the write owners drain-fail queued
+	// intents through it, and the compaction worker stands down when it
+	// leaves Healthy.
+	health *healthTracker
+
 	// Hill-climbing threshold tuner state (§7.4 future work).
 	pinThreshold float64
 	tuneOps      int
@@ -387,6 +394,11 @@ func (p *partition) stallTo(t int64) {
 // (durable DBs in SyncEvery mode) until the write's WAL record is fsynced,
 // so the group-commit wait never serializes the partition.
 func (p *partition) put(key, value []byte, tomb, clientOp bool) (time.Duration, error) {
+	if clientOp {
+		if err := p.writeGate(); err != nil {
+			return 0, err
+		}
+	}
 	if p.wq != nil && clientOp && !tomb {
 		// Uncontended fast path: with no intents queued and the lock free,
 		// handing this op to the owner would buy nothing — the batch would
@@ -583,6 +595,16 @@ func (p *partition) putBodyLocked(key, value []byte, tomb, clientOp bool) (time.
 	p.maybeCompact()
 	p.rt.onOp(p, false)
 	return time.Duration(p.clk.Now() - start), lsn, nil
+}
+
+// writeGate returns the sticky ErrReadOnly-wrapped error when the DB has
+// degraded, nil while healthy (and for partitions built without a DB in
+// tests). One atomic load on the healthy hot path.
+func (p *partition) writeGate() error {
+	if p.health == nil {
+		return nil
+	}
+	return p.health.writeErr()
 }
 
 // takeVersion hands out the next slab-record version. Taken at write time
@@ -826,6 +848,9 @@ func (p *partition) recordGet(src Tier) {
 // merge (§6). In WriteAsync mode client deletes ride the owner queue like
 // puts; WAL replay and WriteSync mode go through delLocking directly.
 func (p *partition) del(key []byte) (time.Duration, error) {
+	if err := p.writeGate(); err != nil {
+		return 0, err
+	}
 	if p.wq != nil {
 		// Same uncontended fast path as put: a lone deleter is a batch of
 		// one, applied directly; contended deleters ride the queue.

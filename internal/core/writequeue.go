@@ -125,6 +125,14 @@ type writeQueue struct {
 	parkMu   sync.Mutex
 	parkCond *sync.Cond
 
+	// gate, when set (before the owner starts; never mutated after), vetoes
+	// new enqueues with a typed error — the DB's read-only degradation
+	// check. A parked producer re-evaluates it after every wakeProducers
+	// broadcast, so the degrade transition unparks writers the same way
+	// Close does instead of leaving them asleep on a ring nobody will
+	// drain into a healthy apply again.
+	gate func() error
+
 	work chan struct{} // cap 1: owner wakeup
 	quit chan struct{}
 	done chan struct{} // closed when the owner goroutine exits
@@ -191,8 +199,9 @@ func (q *writeQueue) idle() bool {
 }
 
 // enqueue pushes it, parking (not spinning, not dropping) while the ring is
-// full. Returns ErrClosed — without having pushed — once the queue closes;
-// a parked producer is woken by the close broadcast, never leaked.
+// full. Returns ErrClosed — without having pushed — once the queue closes,
+// or the gate's error once the DB degrades; a parked producer is woken by
+// the close/degrade broadcast, never leaked.
 func (q *writeQueue) enqueue(it *writeIntent) error {
 	q.inflight.Add(1)
 	defer q.inflight.Add(-1)
@@ -200,17 +209,28 @@ func (q *writeQueue) enqueue(it *writeIntent) error {
 		if q.closed.Load() {
 			return ErrClosed
 		}
+		if err := q.gateErr(); err != nil {
+			return err
+		}
 		if q.push(it) {
 			q.wake()
 			return nil
 		}
 		q.parks.Add(1)
 		q.parkMu.Lock()
-		for !q.closed.Load() && q.full() {
+		for !q.closed.Load() && q.gateErr() == nil && q.full() {
 			q.parkCond.Wait()
 		}
 		q.parkMu.Unlock()
 	}
+}
+
+// gateErr evaluates the enqueue gate (nil gate = always open).
+func (q *writeQueue) gateErr() error {
+	if q.gate == nil {
+		return nil
+	}
+	return q.gate()
 }
 
 // wake nudges the owner (non-blocking; the channel holds one token).
@@ -272,6 +292,7 @@ func (q *writeQueue) failPending(batch []*writeIntent) {
 // (WriteAsync mode; called once during Open, before client traffic).
 func (p *partition) startWriteOwner() {
 	p.wq = newWriteQueue()
+	p.wq.gate = p.writeGate
 	go p.writeOwner()
 }
 
@@ -339,6 +360,19 @@ type pendingBatch struct {
 // done signals. Latency composition is per-op: each intent is billed
 // exactly the clock interval its own mutation consumed.
 func (p *partition) applyBatch(batch []*writeIntent) {
+	if err := p.writeGate(); err != nil {
+		// The DB degraded while these intents sat in the ring: fail them
+		// fast with the typed read-only error, before any slab or WAL state
+		// is touched. None were acknowledged, so refusing them is exactly as
+		// correct as Close's ErrClosed drain — and unlike letting the batch
+		// run into the poisoned WAL, it costs no mutation work.
+		for _, it := range batch {
+			it.rec = -1
+			it.err = err
+			it.done <- struct{}{}
+		}
+		return
+	}
 	p.mu.Lock()
 	p.syncClockLocked()
 	p.drainReadsLocked()

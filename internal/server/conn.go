@@ -8,6 +8,7 @@ import (
 
 	"github.com/prismdb/prismdb/internal/core"
 	"github.com/prismdb/prismdb/internal/obs"
+	"github.com/prismdb/prismdb/internal/storage"
 )
 
 // traceEngine is the optional engine interface sampled writes use to pull
@@ -36,8 +37,9 @@ type traceEngine interface {
 type flushReader struct {
 	nc         net.Conn
 	bw         *bufio.Writer
-	beforeRead func()       // flushes the pending SET batch; set by handleConn
-	flush      func() error // flushes bw, recording flush size + traced spans
+	idle       time.Duration // Config.IdleTimeout; 0 = no read deadline
+	beforeRead func()        // flushes the pending SET batch; set by handleConn
+	flush      func() error  // flushes bw, recording flush size + traced spans
 }
 
 func (f *flushReader) Read(p []byte) (int, error) {
@@ -48,6 +50,12 @@ func (f *flushReader) Read(p []byte) (int, error) {
 		if err := f.flush(); err != nil {
 			return 0, err
 		}
+	}
+	// The idle clock re-arms per socket read: a connection only times out
+	// when it produces no bytes for the whole window, never mid-pipeline
+	// (buffered commands are parsed without touching the socket).
+	if f.idle > 0 {
+		f.nc.SetReadDeadline(time.Now().Add(f.idle))
 	}
 	return f.nc.Read(p)
 }
@@ -65,7 +73,7 @@ func (s *Server) handleConn(nc net.Conn) {
 	}()
 
 	bw := bufio.NewWriterSize(nc, s.cfg.WriteBuffer)
-	fr := &flushReader{nc: nc, bw: bw}
+	fr := &flushReader{nc: nc, bw: bw, idle: s.cfg.IdleTimeout}
 	br := bufio.NewReaderSize(fr, s.cfg.ReadBuffer)
 	r := newReader(br)
 	w := &writer{bw: bw}
@@ -130,6 +138,11 @@ func (s *Server) handleConn(nc net.Conn) {
 			// ordering. Usually a no-op — beforeRead already flushed at the
 			// last socket read.
 			s.flushSetBatch(w, st)
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				// The idle deadline expired: a quiet goodbye, not an error
+				// reply — the client wasn't mid-command.
+				s.logf("server: %s: closed after %v idle", nc.RemoteAddr(), s.cfg.IdleTimeout)
+			}
 			if perr, ok := err.(ProtocolError); ok {
 				// One diagnostic, then hang up: a desynced RESP stream
 				// cannot be safely resumed.
@@ -449,6 +462,49 @@ func (s *Server) executeCmd(args [][]byte, w *writer, st *connState, sp *obs.Spa
 			section = string(args[1])
 		}
 		w.bulkString(s.info(section))
+	case cmdIs(name, "HEALTH"):
+		s.cmdCounts[opOther].Add(1)
+		if len(args) != 1 {
+			s.argErr(w, "health")
+			return true
+		}
+		// Flat field/value array (HGETALL-shaped), cheap to script against:
+		// state, read_only flag, the first sticky cause, and when it struck.
+		// An engine without health tracking (a test fake, the in-memory
+		// simulator) reports healthy — its zero value.
+		var h core.Health
+		if s.heng != nil {
+			h = s.heng.Health()
+		}
+		w.array(8)
+		w.bulkString("state")
+		w.bulkString(h.State.String())
+		w.bulkString("read_only")
+		if h.ReadOnly {
+			w.bulkString("1")
+		} else {
+			w.bulkString("0")
+		}
+		w.bulkString("cause")
+		w.bulkString(h.Cause)
+		w.bulkString("since")
+		if h.Since.IsZero() {
+			w.bulkString("")
+		} else {
+			w.bulkString(h.Since.UTC().Format(time.RFC3339))
+		}
+	case cmdIs(name, "DEBUG"):
+		s.cmdCounts[opOther].Add(1)
+		if len(args) < 2 {
+			s.argErr(w, "debug")
+			return true
+		}
+		if !cmdIs(args[1], "FAULT") {
+			s.errCount.Add(1)
+			w.err("ERR unknown DEBUG subcommand '" + printable(args[1]) + "'")
+			return true
+		}
+		s.debugFault(args[2:], w)
 	case cmdIs(name, "SLOWLOG"):
 		s.cmdCounts[opOther].Add(1)
 		if len(args) < 2 || len(args) > 3 {
@@ -514,6 +570,73 @@ func (s *Server) executeCmd(args [][]byte, w *writer, st *connState, sp *obs.Spa
 		w.err("ERR unknown command '" + printable(name) + "'")
 	}
 	return true
+}
+
+// debugFault arms the configured storage fault injector over the wire:
+//
+//	DEBUG FAULT <scope> <n> <mode> [stall_ms]
+//	DEBUG FAULT RESET
+//
+// scope ∈ {any, wal, journal, slab, sst}; mode ∈ {error, short, torn,
+// enospc, stall} (stall carries its duration in milliseconds); n counts
+// in-scope I/Os until the fault fires (1 = the very next one). RESET
+// disarms. Only live when Config.Faults is set (prismserver -chaos-debug):
+// the chaos harness's hook for breaking storage under a live workload.
+func (s *Server) debugFault(args [][]byte, w *writer) {
+	if s.cfg.Faults == nil {
+		s.errCount.Add(1)
+		w.err("ERR DEBUG FAULT is disabled (start the server with fault injection to use it)")
+		return
+	}
+	if len(args) == 1 && cmdIs(args[0], "RESET") {
+		s.cfg.Faults.Reset()
+		w.simple("OK")
+		return
+	}
+	if len(args) != 3 && len(args) != 4 {
+		s.argErr(w, "debug")
+		return
+	}
+	scope, err := storage.ParseFaultScope(string(args[0]))
+	if err != nil {
+		s.errCount.Add(1)
+		w.err("ERR " + err.Error())
+		return
+	}
+	n := parseLen(args[1])
+	if n <= 0 {
+		s.errCount.Add(1)
+		w.err("ERR DEBUG FAULT count must be a positive integer")
+		return
+	}
+	mode, err := storage.ParseFaultMode(string(args[2]))
+	if err != nil {
+		s.errCount.Add(1)
+		w.err("ERR " + err.Error())
+		return
+	}
+	if mode == storage.FaultStall {
+		if len(args) != 4 {
+			s.errCount.Add(1)
+			w.err("ERR DEBUG FAULT stall requires a duration in milliseconds")
+			return
+		}
+		ms := parseLen(args[3])
+		if ms <= 0 {
+			s.errCount.Add(1)
+			w.err("ERR DEBUG FAULT stall duration must be a positive integer")
+			return
+		}
+		s.cfg.Faults.ArmStall(scope, int64(n), time.Duration(ms)*time.Millisecond)
+		w.simple("OK")
+		return
+	}
+	if len(args) != 3 {
+		s.argErr(w, "debug")
+		return
+	}
+	s.cfg.Faults.ArmScoped(scope, int64(n), mode)
+	w.simple("OK")
 }
 
 // doGet serves one point read on the zero-allocation GetBuf path (GET and

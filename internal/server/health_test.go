@@ -1,0 +1,240 @@
+package server
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/prismdb/prismdb/internal/core"
+	"github.com/prismdb/prismdb/internal/simdev"
+	"github.com/prismdb/prismdb/internal/storage"
+)
+
+// durableEngine builds a small durable DB with a fault injector attached,
+// so wire tests can break its storage mid-conversation.
+func durableEngine(t testing.TB) (*core.DB, *storage.FaultInjector) {
+	t.Helper()
+	fi := &storage.FaultInjector{}
+	opts := core.Options{
+		CompactionMode:   core.CompactionSync,
+		Partitions:       1,
+		NVM:              simdev.New(simdev.NVMParams(64 << 20)),
+		Flash:            simdev.New(simdev.QLCParams(512 << 20)),
+		Cache:            simdev.NewPageCache(1 << 20),
+		NVMBudget:        4 << 20,
+		TrackerCapacity:  1024,
+		PinningThreshold: 0.7,
+		KeySpace:         1 << 16,
+		BucketKeys:       256,
+		TargetSSTBytes:   64 << 10,
+		Seed:             1,
+		DataDir:          t.TempDir(),
+		Faults:           fi,
+	}
+	db, err := core.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, fi
+}
+
+// healthMap flattens a HEALTH reply's field/value array.
+func healthMap(t *testing.T, rep Reply) map[string]string {
+	t.Helper()
+	if rep.Kind != '*' || len(rep.Elems)%2 != 0 {
+		t.Fatalf("HEALTH reply = %+v, want a flat field/value array", rep)
+	}
+	m := make(map[string]string, len(rep.Elems)/2)
+	for i := 0; i < len(rep.Elems); i += 2 {
+		m[string(rep.Elems[i].Str)] = string(rep.Elems[i+1].Str)
+	}
+	return m
+}
+
+func TestHealthCommandHealthy(t *testing.T) {
+	db := testEngine(t, 1)
+	defer db.Close()
+	_, dial := startServer(t, db)
+	nc := dial()
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	h := healthMap(t, roundTrip(t, nc, br, "HEALTH"))
+	if h["state"] != "healthy" || h["read_only"] != "0" || h["cause"] != "" {
+		t.Fatalf("HEALTH on a healthy engine = %v", h)
+	}
+	if rep := roundTrip(t, nc, br, "HEALTH", "extra"); !rep.IsErr() {
+		t.Fatalf("HEALTH with arguments = %+v, want arity error", rep)
+	}
+}
+
+// TestDegradedServesReadOnly walks the whole degraded-serving contract over
+// the wire: DEBUG FAULT arms a WAL failure, the write that hits it gets an
+// error, every later write is refused with -READONLY, reads keep answering,
+// and HEALTH + INFO report the state.
+func TestDegradedServesReadOnly(t *testing.T) {
+	db, fi := durableEngine(t)
+	defer db.Close()
+	_, dial := startServerCfg(t, Config{Engine: db, Faults: fi})
+	nc := dial()
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	if rep := roundTrip(t, nc, br, "SET", "alpha", "1"); rep.Kind != '+' {
+		t.Fatalf("SET = %+v", rep)
+	}
+	if rep := roundTrip(t, nc, br, "DEBUG", "FAULT", "wal", "1", "error"); rep.Kind != '+' {
+		t.Fatalf("DEBUG FAULT = %+v", rep)
+	}
+	// The armed write fails (its WAL append is the injected error); the
+	// engine degrades, so the reply must be an error — and every write
+	// after it must be the typed -READONLY refusal.
+	if rep := roundTrip(t, nc, br, "SET", "beta", "2"); !rep.IsErr() {
+		t.Fatalf("SET through the armed fault = %+v, want error", rep)
+	}
+	rep := roundTrip(t, nc, br, "SET", "gamma", "3")
+	if !rep.IsErr() || !strings.HasPrefix(string(rep.Str), "READONLY") {
+		t.Fatalf("SET while degraded = %+v, want -READONLY", rep)
+	}
+	if rep := roundTrip(t, nc, br, "DEL", "alpha"); !rep.IsErr() || !strings.HasPrefix(string(rep.Str), "READONLY") {
+		t.Fatalf("DEL while degraded = %+v, want -READONLY", rep)
+	}
+	// Reads still serve.
+	if rep := roundTrip(t, nc, br, "GET", "alpha"); rep.Kind != '$' || string(rep.Str) != "1" {
+		t.Fatalf("GET while degraded = %+v", rep)
+	}
+	h := healthMap(t, roundTrip(t, nc, br, "HEALTH"))
+	if h["state"] != "degraded" || h["read_only"] != "1" || h["cause"] == "" || h["since"] == "" {
+		t.Fatalf("HEALTH while degraded = %v", h)
+	}
+	info := roundTrip(t, nc, br, "INFO", "health")
+	if !strings.Contains(string(info.Str), "health_state:degraded") ||
+		!strings.Contains(string(info.Str), "read_only:1") {
+		t.Fatalf("INFO health while degraded:\n%s", info.Str)
+	}
+}
+
+func TestDebugFaultGatedAndValidated(t *testing.T) {
+	db := testEngine(t, 1)
+	defer db.Close()
+	_, dial := startServer(t, db) // no Faults in the config
+	nc := dial()
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	if rep := roundTrip(t, nc, br, "DEBUG", "FAULT", "wal", "1", "error"); !rep.IsErr() || !strings.Contains(string(rep.Str), "disabled") {
+		t.Fatalf("DEBUG FAULT without an injector = %+v, want disabled error", rep)
+	}
+
+	db2, fi := durableEngine(t)
+	defer db2.Close()
+	_, dial2 := startServerCfg(t, Config{Engine: db2, Faults: fi})
+	nc2 := dial2()
+	defer nc2.Close()
+	br2 := bufio.NewReader(nc2)
+	for _, bad := range [][]string{
+		{"DEBUG", "FAULT", "bogus", "1", "error"},    // unknown scope
+		{"DEBUG", "FAULT", "wal", "0", "error"},      // non-positive count
+		{"DEBUG", "FAULT", "wal", "1", "nonsense"},   // unknown mode
+		{"DEBUG", "FAULT", "wal", "1", "stall"},      // stall without duration
+		{"DEBUG", "FAULT", "wal", "1", "stall", "0"}, // non-positive stall
+	} {
+		if rep := roundTrip(t, nc2, br2, bad...); !rep.IsErr() {
+			t.Fatalf("%v = %+v, want error", bad, rep)
+		}
+	}
+	if rep := roundTrip(t, nc2, br2, "DEBUG", "FAULT", "RESET"); rep.Kind != '+' {
+		t.Fatalf("DEBUG FAULT RESET = %+v", rep)
+	}
+	if rep := roundTrip(t, nc2, br2, "DEBUG", "FAULT", "slab", "2", "enospc"); rep.Kind != '+' {
+		t.Fatalf("DEBUG FAULT slab 2 enospc = %+v", rep)
+	}
+	// RESET disarms: the engine must still be healthy and writable after
+	// the re-reset below even though a fault was armed above.
+	if rep := roundTrip(t, nc2, br2, "DEBUG", "FAULT", "RESET"); rep.Kind != '+' {
+		t.Fatalf("DEBUG FAULT RESET = %+v", rep)
+	}
+	if rep := roundTrip(t, nc2, br2, "SET", "k", "v"); rep.Kind != '+' {
+		t.Fatalf("SET after RESET = %+v", rep)
+	}
+}
+
+func TestMaxConnsRejectsExtras(t *testing.T) {
+	db := testEngine(t, 1)
+	defer db.Close()
+	_, dial := startServerCfg(t, Config{Engine: db, MaxConns: 1})
+
+	nc1 := dial()
+	defer nc1.Close()
+	br1 := bufio.NewReader(nc1)
+	if rep := roundTrip(t, nc1, br1, "PING"); string(rep.Str) != "PONG" {
+		t.Fatalf("PING on first conn = %+v", rep)
+	}
+
+	// The second connection is refused at accept with a clean RESP error,
+	// then closed.
+	nc2 := dial()
+	defer nc2.Close()
+	nc2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	br2 := bufio.NewReader(nc2)
+	rep, err := ReadReply(br2)
+	if err != nil {
+		t.Fatalf("reading rejection reply: %v", err)
+	}
+	if !rep.IsErr() || !strings.Contains(string(rep.Str), "max clients") {
+		t.Fatalf("over-limit conn reply = %+v, want max clients error", rep)
+	}
+	if _, err := br2.ReadByte(); err != io.EOF {
+		t.Fatalf("over-limit conn read after rejection = %v, want EOF", err)
+	}
+
+	// Draining the first connection frees the slot.
+	nc1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		nc3 := dial()
+		nc3.SetReadDeadline(time.Now().Add(time.Second))
+		br3 := bufio.NewReader(nc3)
+		if _, err := nc3.Write(respCmd("PING")); err == nil {
+			if rep, err := ReadReply(br3); err == nil && string(rep.Str) == "PONG" {
+				nc3.Close()
+				return
+			}
+		}
+		nc3.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after the first connection closed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestIdleTimeoutClosesConnection(t *testing.T) {
+	db := testEngine(t, 1)
+	defer db.Close()
+	_, dial := startServerCfg(t, Config{Engine: db, IdleTimeout: 150 * time.Millisecond})
+
+	nc := dial()
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	// Active connections are untouched: two commands spaced under the
+	// timeout both answer.
+	if rep := roundTrip(t, nc, br, "PING"); string(rep.Str) != "PONG" {
+		t.Fatalf("PING = %+v", rep)
+	}
+	time.Sleep(75 * time.Millisecond)
+	if rep := roundTrip(t, nc, br, "PING"); string(rep.Str) != "PONG" {
+		t.Fatalf("second PING = %+v", rep)
+	}
+	// Going quiet past the timeout gets the connection closed server-side:
+	// the next read returns EOF (or a reset), not a hang.
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := br.ReadByte(); err == nil {
+		t.Fatal("idle connection still open well past the idle timeout")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("idle connection not closed within 5s (client read deadline hit)")
+	}
+}

@@ -27,6 +27,27 @@ func (s *Server) info(section string) string {
 		b.WriteString("\r\n")
 	}
 
+	if want("health") {
+		// Present only for engines that track failure-domain state (a
+		// durable core.DB behind the facade); a fake without the method
+		// renders nothing rather than guessing.
+		if s.heng != nil {
+			h := s.heng.Health()
+			fmt.Fprintf(&b, "# health\r\n")
+			fmt.Fprintf(&b, "health_state:%s\r\n", h.State)
+			ro := 0
+			if h.ReadOnly {
+				ro = 1
+			}
+			fmt.Fprintf(&b, "read_only:%d\r\n", ro)
+			fmt.Fprintf(&b, "health_cause:%s\r\n", h.Cause)
+			if !h.Since.IsZero() {
+				fmt.Fprintf(&b, "degraded_seconds:%.1f\r\n", time.Since(h.Since).Seconds())
+			}
+			b.WriteString("\r\n")
+		}
+	}
+
 	if want("ops") {
 		fmt.Fprintf(&b, "# ops\r\n")
 		var total int64

@@ -22,8 +22,9 @@
 // partition, one WAL group append, and one view republication. MSET is the
 // explicit form of the same batch.
 //
-// Protocol subset: GET, SET, DEL, MGET, MSET, SCAN, PING, INFO, COMMAND,
-// QUIT.
+// Protocol subset: GET, SET, DEL, MGET, MSET, SCAN, PING, INFO, HEALTH,
+// SLOWLOG, TRACE, COMMAND, QUIT (plus DEBUG FAULT when fault injection is
+// configured).
 // SCAN is PrismDB's range scan (SCAN start count → a flat array of
 // alternating keys and values), not Redis's cursor iteration. INFO reports
 // server counters, engine Stats, tier hit ratios, and per-op latency
@@ -31,6 +32,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -39,6 +41,7 @@ import (
 
 	"github.com/prismdb/prismdb/internal/core"
 	"github.com/prismdb/prismdb/internal/obs"
+	"github.com/prismdb/prismdb/internal/storage"
 )
 
 // Engine is the storage interface the server serves. *core.DB implements
@@ -88,6 +91,23 @@ type Config struct {
 	// SlowlogLen bounds SLOWLOG GET's ring of slowest traced ops
 	// (default 32).
 	SlowlogLen int
+
+	// MaxConns caps concurrently open client connections (0 = unlimited).
+	// A connection past the cap gets one "-ERR max clients reached" reply
+	// and is closed before a handler goroutine is spawned, so an
+	// overloaded server degrades with a crisp refusal instead of an
+	// unbounded goroutine pile.
+	MaxConns int
+	// IdleTimeout closes a connection whose socket has produced no bytes
+	// for the duration (0 = never). The deadline re-arms at every socket
+	// read, so a pipelining client is never cut mid-burst — only one that
+	// has gone quiet.
+	IdleTimeout time.Duration
+	// Faults, when non-nil, enables the DEBUG FAULT command: the chaos
+	// harness's wire-level hook for arming the storage fault injector
+	// under a live workload. Leave nil outside fault testing — the
+	// command then answers with an error.
+	Faults *storage.FaultInjector
 }
 
 // traceSampleDefault is the 1-in-N command sampling rate when
@@ -112,11 +132,19 @@ const (
 
 var opNames = [opKinds]string{"get", "set", "del", "mget", "scan", "mset", "other"}
 
+// healthEngine is the optional engine interface behind the HEALTH command
+// and INFO's health section. *core.DB and the prismdb facade implement it;
+// an engine without it (a test fake) reports healthy.
+type healthEngine interface {
+	Health() core.Health
+}
+
 // Server is a RESP2-subset front end over an Engine.
 type Server struct {
 	cfg  Config
 	eng  Engine
-	teng traceEngine // non-nil when eng supports traced writes
+	teng traceEngine  // non-nil when eng supports traced writes
+	heng healthEngine // non-nil when eng reports failure-domain health
 
 	ln     net.Listener
 	lnMu   sync.Mutex
@@ -142,10 +170,11 @@ type Server struct {
 
 	// Command counters, atomics so INFO reads them live (the smoke test
 	// compares them against the load generator's issued-op counts).
-	cmdCounts  [opKinds]atomic.Int64
-	errCount   atomic.Int64
-	connsTotal atomic.Int64
-	connsLive  atomic.Int64
+	cmdCounts   [opKinds]atomic.Int64
+	errCount    atomic.Int64
+	connsTotal  atomic.Int64
+	connsLive   atomic.Int64
+	connRejects atomic.Int64 // refused at the MaxConns cap
 }
 
 // New builds a Server. Call Serve or ListenAndServe to start it.
@@ -188,6 +217,7 @@ func New(cfg Config) (*Server, error) {
 		tracer: obs.NewTracer(sample, cfg.SlowlogLen, 0),
 	}
 	s.teng, _ = cfg.Engine.(traceEngine)
+	s.heng, _ = cfg.Engine.(healthEngine)
 	for k := opKind(0); k < opKinds; k++ {
 		s.opWall[k] = s.reg.Histogram(
 			`prism_server_op_wall_latency_seconds{op="`+opNames[k]+`"}`,
@@ -208,6 +238,8 @@ func New(cfg Config) (*Server, error) {
 			"Commands answered with a RESP error.", s.errCount.Load())
 		g.Counter("prism_server_connections_total",
 			"Client connections accepted.", s.connsTotal.Load())
+		g.Counter("prism_server_connections_rejected_total",
+			"Connections refused at the max-conns cap.", s.connRejects.Load())
 		g.Gauge("prism_server_connections_live",
 			"Client connections currently open.", float64(s.connsLive.Load()))
 	})
@@ -260,6 +292,17 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		if s.closed.Load() {
 			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.connRejects.Add(1)
+			// One crisp diagnostic, no handler goroutine. The write rides
+			// a short deadline so a client that never reads cannot wedge
+			// the accept loop.
+			nc.SetWriteDeadline(time.Now().Add(time.Second))
+			nc.Write([]byte("-ERR max clients reached\r\n"))
 			nc.Close()
 			continue
 		}
@@ -324,8 +367,15 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
-// errorReply formats an engine error as a RESP error and counts it.
+// errorReply formats an engine error as a RESP error and counts it. A
+// degraded engine's ErrReadOnly maps to the Redis-shaped -READONLY error
+// class, so clients (and prismload's retry loop) can tell a policy refusal
+// — back off, maybe fail over — from a plain command failure.
 func (s *Server) errorReply(w *writer, err error) {
 	s.errCount.Add(1)
+	if errors.Is(err, core.ErrReadOnly) {
+		w.err("READONLY " + err.Error())
+		return
+	}
 	w.err("ERR " + err.Error())
 }

@@ -308,10 +308,27 @@ func (s *Snapshot) SearchFrom(start []byte) int {
 	})
 }
 
+// Quarantine removes t from the live set — the scrubber's response to a
+// failed block CRC. The edit is journaled like a compaction commit, so the
+// corrupt table stays gone across restarts; unlike a normal removal the
+// file itself is left on the device for post-mortem inspection (the next
+// recovery's orphan sweep clears it, since the journal no longer references
+// it). Reads of keys the table covered fall through to whatever other tiers
+// hold: an NVM copy still serves, a flash-only key reports not-found rather
+// than returning rotted bytes.
+func (m *Manifest) Quarantine(t *Table) error {
+	m.mu.Lock()
+	t.quarantined = true
+	m.mu.Unlock()
+	return m.Apply(nil, []*Table{t})
+}
+
 func (m *Manifest) unrefLocked(t *Table) {
 	t.refs--
 	if t.refs <= 0 {
-		m.dev.RemoveFile(t.Name())
+		if !t.quarantined {
+			m.dev.RemoveFile(t.Name())
+		}
 		if m.cache != nil {
 			m.cache.InvalidateFile(t.Name())
 		}

@@ -13,11 +13,15 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 
 	"github.com/prismdb/prismdb/internal/bloom"
 	"github.com/prismdb/prismdb/internal/simdev"
 )
+
+// blockCRCTable is the Castagnoli polynomial used for data-block checksums.
+var blockCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // DefaultBlockSize is the target data-block size. Flash reads happen at
 // block granularity, so this matches the device page size.
@@ -34,9 +38,13 @@ type Record struct {
 	Tombstone bool
 }
 
-// blockHandle locates a data block within the file.
+// blockHandle locates a data block within the file. crc is the Castagnoli
+// checksum of the block's bytes, stored in the index (which lives on NVM)
+// so the scrubber can detect flash bit rot without trusting the flash
+// contents to checksum themselves.
 type blockHandle struct {
 	off, len int64
+	crc      uint32
 	lastKey  []byte // largest key in the block
 }
 
@@ -62,6 +70,10 @@ type Table struct {
 	count    int   // number of records
 	size     int64 // file bytes
 	refs     int   // guarded by the owning Manifest
+	// quarantined marks a table the scrubber evicted for bit rot: its file
+	// is preserved on the device when the last reference drops, instead of
+	// being deleted (guarded by the owning Manifest's mu).
+	quarantined bool
 }
 
 // SetTierCache installs a second-level block cache backed by tierDev.
@@ -93,7 +105,7 @@ func (t *Table) Size() int64 { return t.size }
 func (t *Table) MetaBytes() int64 {
 	var n int64
 	for _, h := range t.index {
-		n += int64(len(h.lastKey)) + 12
+		n += int64(len(h.lastKey)) + 16
 	}
 	if t.filter != nil {
 		n += int64(t.filter.SizeBytes())
@@ -229,6 +241,7 @@ func (w *Writer) flushBlock() {
 	w.blocks = append(w.blocks, blockHandle{
 		off:     int64(len(w.data)),
 		len:     int64(len(w.buf)),
+		crc:     crc32.Checksum(w.buf, blockCRCTable),
 		lastKey: append([]byte(nil), w.lastKey...),
 	})
 	w.data = append(w.data, w.buf...)
@@ -256,10 +269,11 @@ func (w *Writer) Finish(clk *simdev.Clock) (*Table, error) {
 	binary.LittleEndian.PutUint32(cnt[:], uint32(len(w.blocks)))
 	idx = append(idx, cnt[:]...)
 	for _, b := range w.blocks {
-		var h [14]byte
+		var h [18]byte
 		binary.LittleEndian.PutUint64(h[0:], uint64(b.off))
 		binary.LittleEndian.PutUint32(h[8:], uint32(b.len))
-		binary.LittleEndian.PutUint16(h[12:], uint16(len(b.lastKey)))
+		binary.LittleEndian.PutUint32(h[12:], b.crc)
+		binary.LittleEndian.PutUint16(h[16:], uint16(len(b.lastKey)))
 		idx = append(idx, h[:]...)
 		idx = append(idx, b.lastKey...)
 	}
@@ -362,18 +376,19 @@ func Open(dev *simdev.Device, cache *simdev.PageCache, name string, clk *simdev.
 	idx = idx[4:]
 	blocks := make([]blockHandle, 0, nBlocks)
 	for i := 0; i < nBlocks; i++ {
-		if len(idx) < 14 {
+		if len(idx) < 18 {
 			return nil, fmt.Errorf("sst: %s truncated index entry", name)
 		}
 		off := int64(binary.LittleEndian.Uint64(idx[0:]))
 		blen := int64(binary.LittleEndian.Uint32(idx[8:]))
-		kl := int(binary.LittleEndian.Uint16(idx[12:]))
-		idx = idx[14:]
+		crc := binary.LittleEndian.Uint32(idx[12:])
+		kl := int(binary.LittleEndian.Uint16(idx[16:]))
+		idx = idx[18:]
 		if len(idx) < kl {
 			return nil, fmt.Errorf("sst: %s truncated index key", name)
 		}
 		blocks = append(blocks, blockHandle{
-			off: off, len: blen,
+			off: off, len: blen, crc: crc,
 			lastKey: append([]byte(nil), idx[:kl]...),
 		})
 		idx = idx[kl:]
@@ -518,6 +533,32 @@ func (t *Table) readBlockInto(clk *simdev.Clock, h blockHandle, bp *[]byte) ([]b
 		}
 	}
 	return buf, nil
+}
+
+// NumBlocks returns how many data blocks the table holds, so a scrubber
+// can verify them one at a time with pacing in between.
+func (t *Table) NumBlocks() int { return len(t.index) }
+
+// VerifyBlock re-reads data block i and checks it against the CRC recorded
+// in the index. The read bypasses the page cache and charges no clock — a
+// scrub pass must not perturb the simulation's timing or cache state.
+// ok=false with a nil error means the block's bytes no longer match their
+// checksum: flash bit rot. Tables are immutable, so VerifyBlock is safe to
+// call concurrently with reads as long as the caller holds a manifest
+// snapshot reference keeping t alive.
+func (t *Table) VerifyBlock(i int, buf []byte) (ok bool, _ []byte, err error) {
+	if i < 0 || i >= len(t.index) {
+		return false, buf, fmt.Errorf("sst: block %d out of range (table has %d)", i, len(t.index))
+	}
+	h := t.index[i]
+	if int64(cap(buf)) < h.len {
+		buf = make([]byte, h.len)
+	}
+	buf = buf[:h.len]
+	if err := t.file.ReadAt(buf, h.off); err != nil {
+		return false, buf, err
+	}
+	return crc32.Checksum(buf, blockCRCTable) == h.crc, buf, nil
 }
 
 // ReadAll streams every record to fn in key order, charging one sequential

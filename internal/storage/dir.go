@@ -117,7 +117,7 @@ func (d *Dir) create(sub, name string) (*file, error) {
 	if err != nil {
 		return nil, err
 	}
-	return d.track(osf), nil
+	return d.track(sub, osf), nil
 }
 
 // openExisting opens an injected file under sub, returning its size.
@@ -131,11 +131,11 @@ func (d *Dir) openExisting(sub, name string) (*file, int64, error) {
 		osf.Close()
 		return nil, 0, err
 	}
-	return d.track(osf), st.Size(), nil
+	return d.track(sub, osf), st.Size(), nil
 }
 
-func (d *Dir) track(osf *os.File) *file {
-	f := &file{d: d, f: osf}
+func (d *Dir) track(sub string, osf *os.File) *file {
+	f := &file{d: d, f: osf, scope: scopeOf(sub)}
 	d.mu.Lock()
 	d.open[f] = struct{}{}
 	d.mu.Unlock()
@@ -273,10 +273,13 @@ func (d *Dir) RemoveExtraFiles(sub string, keep map[string]bool) ([]string, erro
 }
 
 // file is an os.File that routes writes, truncates, and syncs through the
-// Dir's fault injector. It satisfies simdev.BackingFile.
+// Dir's fault injector, tagged with the fault scope of the subdirectory it
+// lives in so scoped arming can target one failure domain. It satisfies
+// simdev.BackingFile.
 type file struct {
-	d *Dir
-	f *os.File
+	d     *Dir
+	f     *os.File
+	scope FaultScope
 }
 
 func (f *file) ReadAt(p []byte, off int64) error {
@@ -285,7 +288,7 @@ func (f *file) ReadAt(p []byte, off int64) error {
 }
 
 func (f *file) WriteAt(p []byte, off int64) error {
-	allow, ferr := f.d.faults.onIO(len(p))
+	allow, ferr := f.d.faults.onIO(f.scope, len(p))
 	if allow < len(p) {
 		if allow > 0 {
 			f.f.WriteAt(p[:allow], off)
@@ -304,14 +307,14 @@ func (f *file) WriteAt(p []byte, off int64) error {
 }
 
 func (f *file) Truncate(size int64) error {
-	if _, ferr := f.d.faults.onIO(0); ferr != nil {
+	if _, ferr := f.d.faults.onIO(f.scope, 0); ferr != nil {
 		return ferr
 	}
 	return f.f.Truncate(size)
 }
 
 func (f *file) Sync() error {
-	if _, ferr := f.d.faults.onIO(0); ferr != nil {
+	if _, ferr := f.d.faults.onIO(f.scope, 0); ferr != nil {
 		return ferr
 	}
 	return fdatasync(f.f)

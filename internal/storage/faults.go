@@ -2,13 +2,21 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+	"syscall"
+	"time"
 )
 
 // ErrInjected is returned by file operations that a FaultInjector failed on
 // purpose. Recovery tests match on it to distinguish injected faults from
 // real I/O errors.
 var ErrInjected = errors.New("storage: injected fault")
+
+// errENOSPC is what a FaultENOSPC firing returns: it matches both
+// ErrInjected (so fault harnesses recognise it) and syscall.ENOSPC (so the
+// layers above treat it exactly like a real full disk).
+var errENOSPC = fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)
 
 // FaultMode selects what happens when an armed FaultInjector fires.
 type FaultMode int
@@ -24,32 +32,133 @@ const (
 	// power-cut shape: the caller believes the write landed, the tail of
 	// it never did, and the machine is gone an instant later.
 	FaultTornWrite
+	// FaultENOSPC fails the I/O with an error that wraps syscall.ENOSPC,
+	// simulating a full disk. Unlike FaultError the error is
+	// indistinguishable from the real condition by errors.Is.
+	FaultENOSPC
+	// FaultStall delays the I/O by the armed duration and then lets it
+	// succeed, simulating a wedged device or a controller pause. The I/O
+	// stall watchdog — not an error return — is what surfaces it.
+	FaultStall
 )
+
+// FaultScope names one failure domain of the data directory, so a fault can
+// be armed against exactly one path family. The zero value ScopeAny matches
+// every I/O (the pre-scoping behavior).
+type FaultScope string
+
+const (
+	ScopeAny     FaultScope = ""
+	ScopeWAL     FaultScope = "wal"     // wal/ segments
+	ScopeJournal FaultScope = "journal" // MANIFEST-* and CURRENT at the root
+	ScopeSlab    FaultScope = "slab"    // nvm/ slab class files
+	ScopeSST     FaultScope = "sst"     // flash/ sorted tables
+)
+
+// scopeOf maps a Dir subdirectory to its fault scope.
+func scopeOf(sub string) FaultScope {
+	switch sub {
+	case DirWAL:
+		return ScopeWAL
+	case DirNVM:
+		return ScopeSlab
+	case DirFlash:
+		return ScopeSST
+	default: // root: manifest journal + CURRENT
+		return ScopeJournal
+	}
+}
+
+// ParseFaultScope resolves a scope name ("wal", "journal", "slab", "sst",
+// or "any"/"" for unscoped) — the debug-hook and chaos-harness spelling.
+func ParseFaultScope(s string) (FaultScope, error) {
+	switch s {
+	case "", "any":
+		return ScopeAny, nil
+	case "wal":
+		return ScopeWAL, nil
+	case "journal":
+		return ScopeJournal, nil
+	case "slab":
+		return ScopeSlab, nil
+	case "sst":
+		return ScopeSST, nil
+	}
+	return ScopeAny, fmt.Errorf("storage: unknown fault scope %q", s)
+}
+
+// ParseFaultMode resolves a mode name ("error", "short", "torn", "enospc",
+// "stall") — the debug-hook and chaos-harness spelling.
+func ParseFaultMode(s string) (FaultMode, error) {
+	switch s {
+	case "error":
+		return FaultError, nil
+	case "short":
+		return FaultShortWrite, nil
+	case "torn":
+		return FaultTornWrite, nil
+	case "enospc":
+		return FaultENOSPC, nil
+	case "stall":
+		return FaultStall, nil
+	}
+	return FaultError, fmt.Errorf("storage: unknown fault mode %q", s)
+}
 
 // FaultInjector makes the file backend fail deterministically. Every write,
 // truncate, and sync issued through a Dir counts as one I/O; Arm(n, mode)
-// makes the nth-from-now I/O fail in the given mode. A torn write leaves
-// the injector "dead": all later I/O through the same Dir returns
-// ErrInjected until Reset, simulating the crash that follows the tear.
+// makes the nth-from-now I/O fail in the given mode, and ArmScoped counts
+// only I/Os of one failure domain (wal/journal/slab/sst) so a fault lands
+// on a chosen path regardless of interleaved traffic elsewhere. A torn
+// write leaves the injector "dead": all later I/O through the same Dir
+// returns ErrInjected until Reset, simulating the crash that follows the
+// tear.
 //
 // The zero value is an inert injector that counts I/O but never fires.
 type FaultInjector struct {
-	mu     sync.Mutex
-	ops    int64 // I/Os observed so far
-	fireAt int64 // fire when ops reaches this value; 0 = disarmed
-	mode   FaultMode
-	fired  bool
-	dead   bool
+	mu       sync.Mutex
+	ops      int64                // I/Os observed so far, all scopes
+	scopeOps map[FaultScope]int64 // per-scope I/O counts
+
+	scope     FaultScope // armed scope; ScopeAny matches everything
+	fireAt    int64      // fire when armedSeen reaches this; 0 = disarmed
+	armedSeen int64      // matching I/Os observed since Arm
+	mode      FaultMode
+	stall     time.Duration // FaultStall: how long the I/O wedges
+	fired     bool
+	dead      bool
 }
 
-// Arm schedules a fault on the nth I/O from now (n=1 is the very next one).
+// Arm schedules a fault on the nth I/O from now (n=1 is the very next one),
+// regardless of which path it lands on.
 func (fi *FaultInjector) Arm(n int64, mode FaultMode) {
+	fi.ArmScoped(ScopeAny, n, mode)
+}
+
+// ArmScoped schedules a fault on the nth I/O from now that touches the
+// given scope; I/O outside the scope passes through and does not advance
+// the countdown.
+func (fi *FaultInjector) ArmScoped(scope FaultScope, n int64, mode FaultMode) {
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
-	fi.fireAt = fi.ops + n
+	fi.scope = scope
+	fi.fireAt = n
+	fi.armedSeen = 0
 	fi.mode = mode
+	fi.stall = 0
 	fi.fired = false
 	fi.dead = false
+}
+
+// ArmStall schedules a FaultStall of duration d on the nth in-scope I/O:
+// that I/O blocks for d and then succeeds. Concurrent I/O on other files is
+// not blocked — only the unlucky operation wedges, like a single stuck
+// request in a device queue.
+func (fi *FaultInjector) ArmStall(scope FaultScope, n int64, d time.Duration) {
+	fi.ArmScoped(scope, n, FaultStall)
+	fi.mu.Lock()
+	fi.stall = d
+	fi.mu.Unlock()
 }
 
 // Reset disarms the injector and revives a dead one.
@@ -57,6 +166,9 @@ func (fi *FaultInjector) Reset() {
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
 	fi.fireAt = 0
+	fi.armedSeen = 0
+	fi.scope = ScopeAny
+	fi.stall = 0
 	fi.fired = false
 	fi.dead = false
 }
@@ -68,6 +180,13 @@ func (fi *FaultInjector) Ops() int64 {
 	return fi.ops
 }
 
+// ScopeOps reports how many I/Os the injector has observed in one scope.
+func (fi *FaultInjector) ScopeOps(scope FaultScope) int64 {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.scopeOps[scope]
+}
+
 // Fired reports whether the armed fault has gone off.
 func (fi *FaultInjector) Fired() bool {
 	fi.mu.Lock()
@@ -75,30 +194,55 @@ func (fi *FaultInjector) Fired() bool {
 	return fi.fired
 }
 
-// onIO accounts one I/O of n payload bytes and decides its fate: allow is
-// how many bytes may actually be written (n for reads/syncs, which pass 0),
-// and err is what the operation must return. A nil fi allows everything.
-func (fi *FaultInjector) onIO(n int) (allow int, err error) {
+// onIO accounts one I/O of n payload bytes in the given scope and decides
+// its fate: allow is how many bytes may actually be written (n for
+// reads/syncs, which pass 0), and err is what the operation must return. A
+// nil fi allows everything.
+func (fi *FaultInjector) onIO(scope FaultScope, n int) (allow int, err error) {
 	if fi == nil {
 		return n, nil
 	}
 	fi.mu.Lock()
-	defer fi.mu.Unlock()
 	fi.ops++
+	if fi.scopeOps == nil {
+		fi.scopeOps = make(map[FaultScope]int64)
+	}
+	fi.scopeOps[scope]++
 	if fi.dead {
+		fi.mu.Unlock()
 		return 0, ErrInjected
 	}
-	if fi.fireAt == 0 || fi.ops != fi.fireAt {
+	if fi.fireAt == 0 || (fi.scope != ScopeAny && scope != fi.scope) {
+		fi.mu.Unlock()
+		return n, nil
+	}
+	fi.armedSeen++
+	if fi.armedSeen != fi.fireAt {
+		fi.mu.Unlock()
 		return n, nil
 	}
 	fi.fired = true
-	switch fi.mode {
+	mode, stall := fi.mode, fi.stall
+	switch mode {
 	case FaultShortWrite:
+		fi.mu.Unlock()
 		return n / 2, ErrInjected
 	case FaultTornWrite:
 		fi.dead = true
+		fi.mu.Unlock()
 		return n / 2, nil
+	case FaultENOSPC:
+		fi.mu.Unlock()
+		return 0, errENOSPC
+	case FaultStall:
+		// Sleep off-lock so only this operation wedges; everything else
+		// keeps flowing, which is what makes the stall watchdog — not
+		// global unavailability — the detection mechanism.
+		fi.mu.Unlock()
+		time.Sleep(stall)
+		return n, nil
 	default:
+		fi.mu.Unlock()
 		return 0, ErrInjected
 	}
 }

@@ -81,6 +81,20 @@ type WALOptions struct {
 	// segment the checkpoint covers.
 	SegmentBytes int64
 
+	// StallDeadline, when positive, starts an I/O stall watchdog: the
+	// flusher records a heartbeat before every segment write, fdatasync,
+	// and checkpoint, and a monitor goroutine poisons the log with
+	// ErrIOStalled once an in-flight operation exceeds the deadline — so
+	// WaitDurable callers fail fast instead of hanging on a wedged device.
+	// Zero (the default) disables the watchdog.
+	StallDeadline time.Duration
+
+	// OnIOError, if non-nil, is invoked exactly once with the first sticky
+	// I/O error (including a watchdog-declared stall), after every waiter
+	// has been woken. It runs on the flusher or watchdog goroutine and must
+	// not call back into the WAL.
+	OnIOError func(error)
+
 	// Telemetry hooks, all optional (nil disables each — the obs types are
 	// nil-receiver-safe, so the flusher records unconditionally).
 	//
@@ -120,12 +134,20 @@ type WALStats struct {
 	Records     int64 // records appended
 	Fsyncs      int64 // fdatasync calls on segment files
 	Checkpoints int64 // checkpoint + prune cycles completed
+	Stalls      int64 // I/O stalls declared by the watchdog
 	Segments    int   // segment files currently on disk
 	BatchP50    int64 // median records per fsync (group-commit batch size)
 	Recovery    RecoveryStats
 }
 
 var errWALClosed = errors.New("storage: wal is closed")
+
+// ErrIOStalled is the sticky error the stall watchdog latches when a
+// flusher-side write, fdatasync, or checkpoint exceeds the configured
+// deadline. The operation may still complete afterwards, but nothing it
+// covers is acknowledged: once latched, the log is poisoned like any other
+// I/O failure and the engine degrades to read-only.
+var ErrIOStalled = errors.New("storage: I/O stalled")
 
 // WAL is a write-ahead log of put/del records across append-only segment
 // files, with a single flusher goroutine providing group commit: appenders
@@ -168,6 +190,12 @@ type WAL struct {
 	flushedLSN uint64        // highest LSN written to the OS (flusher only)
 	durMu      sync.Mutex
 	durCond    *sync.Cond
+
+	// ioOpStart is the watchdog heartbeat: unix-nanos of the in-flight
+	// flusher I/O operation (segment write, fdatasync, or checkpoint), or 0
+	// when none is in flight.
+	ioOpStart atomic.Int64
+	stStalls  atomic.Int64
 
 	work chan struct{}
 	quit chan struct{}
@@ -294,11 +322,54 @@ func (w *WAL) Start(checkpoint func() error) error {
 	w.started = true
 	w.mu.Unlock()
 	go w.flusher()
+	if w.opts.StallDeadline > 0 {
+		go w.watchdog()
+	}
 	if len(w.oldSegs) > 0 {
 		w.checkpointAndPrune()
 	}
 	return nil
 }
+
+// watchdog monitors the flusher heartbeat and declares an I/O stall once an
+// in-flight operation exceeds StallDeadline: it latches ErrIOStalled so
+// every WaitDurable caller fails fast instead of hanging on a wedged
+// device, emits an io_stall event, and exits (the log is poisoned; there is
+// nothing further to watch).
+func (w *WAL) watchdog() {
+	period := w.opts.StallDeadline / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.quit:
+			return
+		case <-t.C:
+		}
+		start := w.ioOpStart.Load()
+		if start == 0 {
+			continue
+		}
+		stalled := time.Since(time.Unix(0, start))
+		if stalled < w.opts.StallDeadline {
+			continue
+		}
+		w.stStalls.Add(1)
+		w.opts.Events.Emit("io_stall", "stalled_ms", stalled.Milliseconds(),
+			"deadline_ms", w.opts.StallDeadline.Milliseconds())
+		w.fail(fmt.Errorf("%w: wal I/O in flight for %v (deadline %v)",
+			ErrIOStalled, stalled.Round(time.Millisecond), w.opts.StallDeadline))
+		return
+	}
+}
+
+// beginIO and endIO bracket every flusher-side I/O operation with the
+// watchdog heartbeat.
+func (w *WAL) beginIO() { w.ioOpStart.Store(time.Now().UnixNano()) }
+func (w *WAL) endIO()   { w.ioOpStart.Store(0) }
 
 // AppendPut frames a put record. It returns the record's LSN; the record
 // is durable only once WaitDurable(lsn) returns (SyncEvery) or the next
@@ -498,7 +569,9 @@ func (w *WAL) flushOnce(force bool, groupPending *int) {
 	w.mu.Lock()
 	if w.ioErr != nil {
 		w.mu.Unlock()
-		w.durCond.Broadcast()
+		// Broadcast under durMu (wakeWaiters), not bare: a waiter that has
+		// checked its condition but not yet parked must not miss the wake.
+		w.wakeWaiters()
 		return
 	}
 	buf, recs, last := w.buf, w.bufRecs, w.bufLastLSN
@@ -510,7 +583,10 @@ func (w *WAL) flushOnce(force bool, groupPending *int) {
 	w.mu.Unlock()
 
 	if len(buf) > 0 {
-		if err := seg.WriteAt(buf, off); err != nil {
+		w.beginIO()
+		err := seg.WriteAt(buf, off)
+		w.endIO()
+		if err != nil {
 			w.fail(err)
 			return
 		}
@@ -549,7 +625,10 @@ func (w *WAL) flushOnce(force bool, groupPending *int) {
 // fsyncSeg fdatasyncs seg and records a group-commit batch of n records.
 func (w *WAL) fsyncSeg(seg *file, n int) bool {
 	t0 := time.Now()
-	if err := seg.Sync(); err != nil {
+	w.beginIO()
+	err := seg.Sync()
+	w.endIO()
+	if err != nil {
 		w.fail(err)
 		return false
 	}
@@ -574,6 +653,19 @@ func (w *WAL) advanceDurable(lsn uint64) {
 	if lsn == 0 || w.durable.Load() >= lsn {
 		return
 	}
+	// Never advance a poisoned log: if the watchdog latched ErrIOStalled
+	// while an fsync was wedged, the waiters it covers were already failed —
+	// an eventual "success" of that fsync must not retroactively
+	// acknowledge anything. (The narrow race where the latch lands after
+	// this check is benign: the I/O did complete, so the records ARE
+	// durable and acknowledging them is correct.)
+	w.mu.Lock()
+	poisoned := w.ioErr != nil
+	w.mu.Unlock()
+	if poisoned {
+		w.wakeWaiters()
+		return
+	}
 	w.durable.Store(lsn)
 	w.wakeWaiters()
 }
@@ -587,14 +679,20 @@ func (w *WAL) wakeWaiters() {
 	w.durMu.Unlock()
 }
 
-// fail latches the first I/O error and wakes every waiter.
+// fail latches the first I/O error, wakes every waiter, and — on the
+// latching call only — notifies the OnIOError hook so the engine can
+// transition to read-only immediately rather than on the next append.
 func (w *WAL) fail(err error) {
 	w.mu.Lock()
-	if w.ioErr == nil {
+	latched := w.ioErr == nil
+	if latched {
 		w.ioErr = err
 	}
 	w.mu.Unlock()
 	w.wakeWaiters()
+	if latched && w.opts.OnIOError != nil {
+		w.opts.OnIOError(err)
+	}
 }
 
 // maybeRotate swaps in a fresh segment once the active one is full, then
@@ -652,7 +750,10 @@ func (w *WAL) checkpointAndPrune() {
 		return
 	}
 	t0 := time.Now()
-	if err := w.checkpoint(); err != nil {
+	w.beginIO()
+	err := w.checkpoint()
+	w.endIO()
+	if err != nil {
 		w.opts.Events.Emit("checkpoint", "ok", false, "err", err)
 		return
 	}
@@ -781,6 +882,7 @@ func (w *WAL) Stats() WALStats {
 	w.mu.Unlock()
 	s.Fsyncs = w.stFsyncs.Load()
 	s.Checkpoints = w.stCheckpoints.Load()
+	s.Stalls = w.stStalls.Load()
 	w.durMu.Lock()
 	var total, cum int64
 	for _, c := range w.batchHist {

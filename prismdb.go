@@ -274,6 +274,48 @@
 // fault-injection hooks (Options.Faults, FaultInjector) can fail, truncate,
 // or tear the Nth I/O to exercise these paths deterministically.
 //
+// # Robustness
+//
+// A durable DB tracks its failure-domain state in a sticky three-state
+// machine — Healthy → Degraded → Failed — exposed by Health (and the
+// server's HEALTH command and INFO health section):
+//
+//   - Degraded (read-only): the first sticky storage error — a WAL append
+//     or fsync failure, a manifest journal write failure, a checkpoint
+//     fsync failure, ENOSPC, or a declared I/O stall — makes further write
+//     acknowledgements promises the storage can't keep, so every mutation
+//     from that point fails fast with ErrReadOnly (the server answers
+//     -READONLY) while the lock-free read path keeps serving from the
+//     published views. Nothing is ever acknowledged after a failed fsync:
+//     in-flight waiters are woken with the error, queued write intents
+//     fail before touching state, and parked producers are released.
+//     Background compactions stand down. The state is sticky until the
+//     process reopens the data directory — recovery is a reopen (all
+//     acknowledged writes are on disk or in the WAL), not an in-place
+//     retry.
+//
+//   - Failed: the background scrubber (Options.ScrubInterval) has proven
+//     unrecoverable data loss — an NVM slab slot failed its stored CRC.
+//     Slab slots hold the newest version of their objects, so there is no
+//     redundant copy and a reopen cannot restore them; the state says so.
+//     A rotted SST block, by contrast, only quarantines its table
+//     (journaled out of the manifest, file preserved for post-mortem) and
+//     reads fall through to other tiers.
+//
+// An I/O stall watchdog (Options.IOStallDeadline) covers the failure mode
+// errors never report: a write that simply never returns. The WAL flusher
+// heartbeats around every segment write, fsync, and checkpoint; when an
+// I/O exceeds the deadline the watchdog declares the log stalled, fails
+// all durability waiters with a typed error (ErrIOStalled), and degrades
+// the DB — bounded unavailability instead of an unbounded hang.
+//
+// The fault-injection hooks exercise all of this deterministically:
+// FaultENOSPC simulates a full disk, FaultInjector.ArmStall wedges one
+// I/O for a chosen duration, and ArmScoped pins a fault to one failure
+// domain (wal, journal, slab, sst). See the README's "Failure modes &
+// degraded operation" matrix for the full fault → state → client-visible
+// behavior table.
+//
 // # Serving
 //
 // The repo ships a network front end so the engine can serve real traffic:
@@ -389,6 +431,15 @@ type (
 	FaultInjector = storage.FaultInjector
 	// FaultMode selects what an armed FaultInjector does when it fires.
 	FaultMode = storage.FaultMode
+	// FaultScope pins an armed fault to one failure domain of the data
+	// directory (wal, journal, slab, sst); the zero value matches any I/O.
+	FaultScope = storage.FaultScope
+	// Health is a point-in-time snapshot of a DB's failure-domain state;
+	// see the package docs' Robustness section.
+	Health = core.Health
+	// HealthState is the sticky Healthy → Degraded → Failed machine's
+	// position.
+	HealthState = core.HealthState
 	// MetricsRegistry is the lock-free metrics registry behind /metrics
 	// and INFO; see the package docs' Observability section. Pass one
 	// instance as Options.Metrics and the server Config's Metrics to
@@ -466,10 +517,49 @@ const (
 	// FaultTornWrite persists half the buffer, reports success, and then
 	// fails all subsequent I/O — a power cut mid-write.
 	FaultTornWrite = storage.FaultTornWrite
+	// FaultENOSPC fails the I/O with an error satisfying
+	// errors.Is(err, syscall.ENOSPC) — a full disk.
+	FaultENOSPC = storage.FaultENOSPC
+	// FaultStall delays the I/O by the armed duration (ArmStall), then
+	// lets it succeed — a wedged device, surfaced by the stall watchdog.
+	FaultStall = storage.FaultStall
+)
+
+// Fault scopes (FaultInjector.ArmScoped / ArmStall).
+const (
+	// ScopeAny matches every I/O.
+	ScopeAny = storage.ScopeAny
+	// ScopeWAL matches WAL segment I/O.
+	ScopeWAL = storage.ScopeWAL
+	// ScopeJournal matches manifest journal and CURRENT I/O.
+	ScopeJournal = storage.ScopeJournal
+	// ScopeSlab matches NVM slab file I/O.
+	ScopeSlab = storage.ScopeSlab
+	// ScopeSST matches flash SST I/O.
+	ScopeSST = storage.ScopeSST
+)
+
+// Health states (Health.State); see the package docs' Robustness section.
+const (
+	// StateHealthy: full service.
+	StateHealthy = core.StateHealthy
+	// StateDegraded: read-only after a sticky storage error.
+	StateDegraded = core.StateDegraded
+	// StateFailed: read-only with scrub-proven unrecoverable NVM loss.
+	StateFailed = core.StateFailed
 )
 
 // ErrInjected is returned by file operations a FaultInjector failed.
 var ErrInjected = storage.ErrInjected
+
+// ErrReadOnly is returned by every mutation issued while the DB is
+// degraded; see the package docs' Robustness section. The server maps it
+// to a RESP -READONLY reply.
+var ErrReadOnly = core.ErrReadOnly
+
+// ErrIOStalled is the error the I/O stall watchdog fails durability
+// waiters with when a WAL write exceeds Options.IOStallDeadline.
+var ErrIOStalled = storage.ErrIOStalled
 
 // ParseSyncMode parses the -wal-sync flag spellings: "sync", "group", or
 // "nosync".
@@ -659,6 +749,12 @@ func (db *DB) Close() error { return db.inner.Close() }
 // PersistenceStats reports the durability layer's counters; Durable is
 // false (and everything zero) when Options.DataDir was not set.
 func (db *DB) PersistenceStats() PersistenceStats { return db.inner.PersistenceStats() }
+
+// Health reports the DB's failure-domain state — Healthy, Degraded
+// (read-only), or Failed — with the first sticky cause and when it struck;
+// see the package docs' Robustness section. Callable at any time,
+// including after Close.
+func (db *DB) Health() Health { return db.inner.Health() }
 
 // Registry returns the DB's metrics registry — Options.Metrics, or the
 // private one Open created when it was nil. Every engine instrument
